@@ -1,0 +1,168 @@
+// Microbenchmarks (google-benchmark) for the engineering-critical kernels:
+// truth-table composition, BDD construction and column multiplicity, the
+// Dinic K-cut test, Roth–Karp decomposition, the expanded-circuit build and
+// the sequential simulator. These are the inner loops that the per-sweep
+// label computation cost (and hence every table) rests on.
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.hpp"
+#include "bdd/bdd.hpp"
+#include "core/expanded.hpp"
+#include "core/labeling.hpp"
+#include "decomp/roth_karp.hpp"
+#include "graph/max_flow.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/generator.hpp"
+
+namespace turbosyn {
+namespace {
+
+TruthTable random_tt(Rng& rng, int vars) {
+  TruthTable t = TruthTable::constant(vars, false);
+  for (std::size_t w = 0; w < t.num_words(); ++w) {
+    // Build word-wise for speed.
+    for (std::uint32_t b = 0; b < 64 && (w * 64 + b) < t.num_bits(); ++b) {
+      if (rng.next_bool()) t.set_bit(static_cast<std::uint32_t>(w * 64 + b), true);
+    }
+  }
+  return t;
+}
+
+void BM_TruthTableCompose(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const TruthTable g = random_tt(rng, 5);
+  std::vector<TruthTable> inputs;
+  for (int i = 0; i < 5; ++i) inputs.push_back(random_tt(rng, arity));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compose(g, inputs));
+  }
+}
+BENCHMARK(BM_TruthTableCompose)->Arg(8)->Arg(12)->Arg(15);
+
+void BM_BddFromTruthTable(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const TruthTable t = random_tt(rng, arity);
+  for (auto _ : state) {
+    BddManager mgr(arity);
+    benchmark::DoNotOptimize(mgr.from_truth_table(t));
+  }
+}
+BENCHMARK(BM_BddFromTruthTable)->Arg(10)->Arg(13)->Arg(15);
+
+void BM_ColumnMultiplicityBdd(benchmark::State& state) {
+  Rng rng(3);
+  const TruthTable t = random_tt(rng, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(column_multiplicity_bdd(t, 5));
+  }
+}
+BENCHMARK(BM_ColumnMultiplicityBdd);
+
+void BM_ColumnMultiplicityTt(benchmark::State& state) {
+  Rng rng(3);
+  const TruthTable t = random_tt(rng, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(column_multiplicity_tt(t, 5));
+  }
+}
+BENCHMARK(BM_ColumnMultiplicityTt);
+
+void BM_RothKarpDecompose(benchmark::State& state) {
+  // A decomposable function: tree of ANDs/XORs over 12 inputs.
+  const int m = 12;
+  TruthTable f = TruthTable::constant(m, false);
+  {
+    TruthTable acc = TruthTable::var(m, 0) & TruthTable::var(m, 1);
+    for (int i = 2; i + 1 < m; i += 2) {
+      acc = acc ^ (TruthTable::var(m, i) & TruthTable::var(m, i + 1));
+    }
+    f = acc;
+  }
+  std::vector<int> eff(m, 0);
+  DecompOptions opt;
+  opt.k = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decompose_for_label(f, eff, 3, opt));
+  }
+}
+BENCHMARK(BM_RothKarpDecompose);
+
+void BM_DinicKCutTest(benchmark::State& state) {
+  // Layered DAG flow network, the shape of a FlowMap cone test.
+  const int layers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    MaxFlow flow;
+    const int s = flow.add_node();
+    const int t = flow.add_node();
+    std::vector<int> prev;
+    for (int i = 0; i < 8; ++i) {
+      const int in = flow.add_node();
+      const int out = flow.add_node();
+      flow.add_arc(in, out, 1);
+      flow.add_arc(s, in, MaxFlow::kInfinity);
+      prev.push_back(out);
+    }
+    for (int l = 1; l < layers; ++l) {
+      std::vector<int> cur;
+      for (int i = 0; i < 8; ++i) {
+        const int in = flow.add_node();
+        const int out = flow.add_node();
+        flow.add_arc(in, out, 1);
+        flow.add_arc(prev[static_cast<std::size_t>(i)], in, MaxFlow::kInfinity);
+        flow.add_arc(prev[static_cast<std::size_t>((i + 1) % 8)], in, MaxFlow::kInfinity);
+        cur.push_back(out);
+      }
+      prev = cur;
+    }
+    for (const int out : prev) flow.add_arc(out, t, MaxFlow::kInfinity);
+    benchmark::DoNotOptimize(flow.compute(s, t, 5));
+  }
+}
+BENCHMARK(BM_DinicKCutTest)->Arg(4)->Arg(16);
+
+void BM_ExpandedNetworkBuildAndCut(benchmark::State& state) {
+  const Circuit c = generate_fsm_circuit(table1_suite()[0]);
+  std::vector<int> labels(static_cast<std::size_t>(c.num_nodes()), 1);
+  for (const NodeId pi : c.pis()) labels[static_cast<std::size_t>(pi)] = 0;
+  ExpandedOptions opt;
+  // Pick a gate deep in the circuit.
+  NodeId root = kNoNode;
+  for (NodeId v = c.num_nodes() - 1; v >= 0; --v) {
+    if (c.is_gate(v) && !c.fanin_edges(v).empty()) {
+      root = v;
+      break;
+    }
+  }
+  for (auto _ : state) {
+    ExpandedNetwork net(c, labels, 2, root, 1, opt);
+    benchmark::DoNotOptimize(net.find_cut(5));
+  }
+}
+BENCHMARK(BM_ExpandedNetworkBuildAndCut);
+
+void BM_LabelComputationTurboMap(benchmark::State& state) {
+  const Circuit c = generate_fsm_circuit(tiny_suite()[2]);
+  LabelOptions lo;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_labels(c, 2, lo));
+  }
+}
+BENCHMARK(BM_LabelComputationTurboMap);
+
+void BM_SequentialSimulation(benchmark::State& state) {
+  const Circuit c = generate_fsm_circuit(table1_suite()[0]);
+  Rng rng(7);
+  const auto stimulus = random_stimulus(rng, c.num_pis(), 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_sequence(c, stimulus));
+  }
+}
+BENCHMARK(BM_SequentialSimulation);
+
+}  // namespace
+}  // namespace turbosyn
+
+BENCHMARK_MAIN();

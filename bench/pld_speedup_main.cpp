@@ -1,0 +1,98 @@
+// The PLD claim (paper Section 4): positive loop detection speeds up the
+// label computation by 10~50x over the previous n^2 stopping criterion.
+//
+// For every suite circuit we first find the minimum feasible ratio phi* with
+// TurboMap, then time the *infeasible* probe at phi* - 1 — the case the
+// stopping criterion governs — once with PLD (isolation check + 6n bound)
+// and once with the n^2 criterion. The per-circuit speedup in label sweeps
+// and wall-clock time reproduces the claim's regime.
+//
+// Usage: pld_speedup_main [--quick]
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/flows.hpp"
+#include "core/labeling.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/table.hpp"
+
+namespace {
+
+struct Probe {
+  double seconds = 0.0;
+  std::int64_t sweeps = 0;
+  bool feasible = false;
+};
+
+Probe run_probe(const turbosyn::Circuit& c, int phi, bool use_pld,
+                std::int64_t sweep_budget = 0) {
+  using Clock = std::chrono::steady_clock;
+  turbosyn::LabelOptions lo;
+  lo.k = 5;
+  lo.use_pld = use_pld;
+  lo.sweep_budget = sweep_budget;
+  const auto start = Clock::now();
+  const turbosyn::LabelResult r = turbosyn::compute_labels(c, phi, lo);
+  Probe p;
+  p.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  p.sweeps = r.stats.sweeps;
+  p.feasible = r.feasible;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace turbosyn;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  std::vector<BenchmarkSpec> suite = table1_suite();
+  if (quick) suite.resize(6);
+
+  FlowOptions opt;
+  TextTable table({"circuit", "phi*", "PLD sweeps", "PLD s", "n^2 sweeps", "n^2 s",
+                   "speedup"});
+  double log_speedup = 0.0;
+  int rows = 0;
+  for (const BenchmarkSpec& spec : suite) {
+    const Circuit c = generate_fsm_circuit(spec);
+    const FlowResult tm = run_turbomap(c, opt);
+    if (tm.phi <= 1) {
+      std::cerr << "[pld] " << spec.name << " skipped (phi* = 1, no infeasible probe)\n";
+      continue;
+    }
+    const Probe with_pld = run_probe(c, tm.phi - 1, /*use_pld=*/true);
+    // The n^2 baseline is cut off at 200x the PLD sweep count so large
+    // circuits finish; a truncated run makes the reported speedup a lower
+    // bound (marked with ">").
+    const std::int64_t budget = 200 * std::max<std::int64_t>(1, with_pld.sweeps);
+    const Probe without = run_probe(c, tm.phi - 1, /*use_pld=*/false, budget);
+    const bool truncated = without.sweeps >= budget;
+    if (!truncated && with_pld.feasible != without.feasible) {
+      std::cerr << "[pld] WARNING: criteria disagree on " << spec.name << '\n';
+    }
+    const double speedup = without.seconds / std::max(1e-9, with_pld.seconds);
+    table.add_row({spec.name, std::to_string(tm.phi), std::to_string(with_pld.sweeps),
+                   format_double(with_pld.seconds, 3),
+                   (truncated ? ">" : "") + std::to_string(without.sweeps),
+                   format_double(without.seconds, 3),
+                   (truncated ? ">" : "") + format_double(speedup, 1)});
+    log_speedup += std::log(speedup);
+    ++rows;
+    std::cerr << "[pld] " << spec.name << " speedup " << format_double(speedup, 1) << "x\n";
+  }
+
+  std::cout << "PLD ablation — infeasible probe at phi*-1: PLD vs n^2 stopping criterion\n";
+  table.print(std::cout);
+  if (rows > 0) {
+    std::cout << "\ngeomean speedup = " << format_double(std::exp(log_speedup / rows), 1)
+              << "x   (paper: 10~50x)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Scenario: choosing the LUT size. Sweeps K for TurboMap and TurboSYN on a
+// pattern-detector FSM plus a generated datapath-ish circuit and reports how
+// the achievable MDR ratio and area move — the K-vs-period tradeoff that
+// motivates retiming-aware mapping in the paper's introduction.
+//
+//   $ ./compare_mappers
+
+#include <iostream>
+
+#include "core/flows.hpp"
+#include "decomp/gate_decomp.hpp"
+#include "netlist/blif.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/samples.hpp"
+#include "workloads/table.hpp"
+
+namespace {
+
+void sweep(const turbosyn::Circuit& c, const std::string& label) {
+  using namespace turbosyn;
+  std::cout << label << ":\n";
+  TextTable table({"K", "TM phi", "TM LUTs", "TS phi", "TS LUTs"});
+  for (int k = 3; k <= 6; ++k) {
+    FlowOptions options;
+    options.k = k;
+    // Narrow LUTs may need the input re-decomposed first (dmig/DOGMA role).
+    const Circuit bounded = c.is_k_bounded(k) ? c : gate_decompose(c, k);
+    const FlowResult tm = run_turbomap(bounded, options);
+    const FlowResult ts = run_turbosyn(bounded, options);
+    table.add_row({std::to_string(k), std::to_string(tm.phi), std::to_string(tm.luts),
+                   std::to_string(ts.phi), std::to_string(ts.luts)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace turbosyn;
+  sweep(read_blif_string(pattern_fsm_blif()), "pattern-1011 detector FSM");
+
+  BenchmarkSpec spec;
+  spec.name = "datapath";
+  spec.seed = 515;
+  spec.num_pis = 8;
+  spec.num_pos = 4;
+  spec.num_gates = 120;
+  spec.feedback = 0.06;
+  spec.exotic_gate_ratio = 0.15;  // mostly AND/OR/XOR: decomposition-friendly
+  sweep(generate_fsm_circuit(spec), "generated datapath (120 gates)");
+  return 0;
+}

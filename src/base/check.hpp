@@ -1,0 +1,50 @@
+#pragma once
+// Error handling primitives used across the TurboSYN libraries.
+//
+// Invariant violations and malformed inputs throw turbosyn::Error; internal
+// logic errors use TS_ASSERT which aborts via the same exception type so that
+// tests can observe them.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace turbosyn {
+
+/// Exception thrown on malformed input or violated invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* kind, const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace turbosyn
+
+/// Validates a runtime condition (inputs, file formats, API contracts).
+#define TS_CHECK(cond, msg)                                                      \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::ostringstream ts_check_os_;                                           \
+      ts_check_os_ << msg;                                                       \
+      ::turbosyn::detail::fail("check", #cond, __FILE__, __LINE__,               \
+                               ts_check_os_.str());                              \
+    }                                                                            \
+  } while (0)
+
+/// Validates an internal invariant; failure indicates a bug in this library.
+#define TS_ASSERT(cond)                                                          \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      ::turbosyn::detail::fail("assert", #cond, __FILE__, __LINE__, "");         \
+    }                                                                            \
+  } while (0)

@@ -1,0 +1,21 @@
+#include "base/logging.hpp"
+
+namespace turbosyn {
+namespace {
+
+LogLevel g_level = LogLevel::kQuiet;
+
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& msg) {
+  const char* tag = level == LogLevel::kDebug ? "[debug] " : "[info] ";
+  std::cerr << tag << msg << '\n';
+}
+
+}  // namespace detail
+}  // namespace turbosyn

@@ -1,0 +1,36 @@
+#pragma once
+// Minimal leveled logging to stderr.
+//
+// The algorithms are silent by default; verbose tracing of the label
+// computation and binary search can be enabled globally (examples do this
+// behind a --verbose flag).
+
+#include <iostream>
+#include <sstream>
+
+namespace turbosyn {
+
+enum class LogLevel { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+/// Global log threshold; messages above it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace turbosyn
+
+#define TS_LOG_AT(level, msg)                                   \
+  do {                                                          \
+    if (static_cast<int>(::turbosyn::log_level()) >=            \
+        static_cast<int>(level)) {                              \
+      std::ostringstream ts_log_os_;                            \
+      ts_log_os_ << msg;                                        \
+      ::turbosyn::detail::log_line(level, ts_log_os_.str());    \
+    }                                                           \
+  } while (0)
+
+#define TS_INFO(msg) TS_LOG_AT(::turbosyn::LogLevel::kInfo, msg)
+#define TS_DEBUG(msg) TS_LOG_AT(::turbosyn::LogLevel::kDebug, msg)

@@ -1,0 +1,84 @@
+#include "base/rational.hpp"
+
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "base/check.hpp"
+
+namespace turbosyn {
+namespace {
+
+using Int128 = __int128;
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  TS_CHECK(den != 0, "rational with zero denominator");
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+std::int64_t Rational::ceil() const {
+  if (num_ >= 0) return (num_ + den_ - 1) / den_;
+  return -((-num_) / den_);
+}
+
+std::int64_t Rational::floor() const {
+  if (num_ >= 0) return num_ / den_;
+  return -(((-num_) + den_ - 1) / den_);
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  const Int128 n = Int128(num_) * o.den_ + Int128(o.num_) * den_;
+  const Int128 d = Int128(den_) * o.den_;
+  TS_ASSERT(n <= INT64_MAX && n >= INT64_MIN && d <= INT64_MAX);
+  return Rational(static_cast<std::int64_t>(n), static_cast<std::int64_t>(d));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  const Int128 n = Int128(num_) * o.num_;
+  const Int128 d = Int128(den_) * o.den_;
+  TS_ASSERT(n <= INT64_MAX && n >= INT64_MIN && d <= INT64_MAX);
+  return Rational(static_cast<std::int64_t>(n), static_cast<std::int64_t>(d));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  TS_CHECK(o.num_ != 0, "division of rational by zero");
+  return *this * Rational(o.den_, o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  return Int128(num_) * o.den_ < Int128(o.num_) * den_;
+}
+
+Rational Rational::mediant(const Rational& a, const Rational& b) {
+  return Rational(a.num_ + b.num_, a.den_ + b.den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (r.den() != 1) os << '/' << r.den();
+  return os;
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,57 @@
+#pragma once
+// Exact rational arithmetic on 64-bit integers.
+//
+// Used to report exact maximum delay-to-register (MDR) ratios: the ratio of
+// a cycle is delay(C)/weight(C) with both terms bounded by circuit size, so
+// 64-bit numerators/denominators never overflow for the circuit sizes this
+// library targets. Comparisons cross-multiply in 128 bits.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace turbosyn {
+
+/// A normalized rational number num/den with den > 0 and gcd(|num|, den) = 1.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  Rational(std::int64_t num, std::int64_t den);
+  /// Implicit from integer, as in `Rational r = 3;`.
+  constexpr Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  bool is_integer() const { return den_ == 1; }
+  /// Smallest integer >= this.
+  std::int64_t ceil() const;
+  /// Largest integer <= this.
+  std::int64_t floor() const;
+  double to_double() const;
+  std::string to_string() const;
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const { return Rational(-num_, den_); }
+
+  bool operator==(const Rational& o) const { return num_ == o.num_ && den_ == o.den_; }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator<=(const Rational& o) const { return !(o < *this); }
+  bool operator>=(const Rational& o) const { return !(*this < o); }
+
+  /// The mediant (num1+num2)/(den1+den2); lies strictly between distinct operands.
+  static Rational mediant(const Rational& a, const Rational& b);
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace turbosyn

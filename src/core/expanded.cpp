@@ -1,0 +1,187 @@
+#include "core/expanded.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/check.hpp"
+#include "graph/max_flow.hpp"
+
+namespace turbosyn {
+namespace {
+
+std::uint64_t pack(SeqCutNode id) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.node)) << 24) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.w));
+}
+
+}  // namespace
+
+ExpandedNetwork::ExpandedNetwork(const Circuit& c, std::span<const int> labels, int phi,
+                                 NodeId root, int height_limit, const ExpandedOptions& options)
+    : circuit_(c),
+      labels_(labels),
+      phi_(phi),
+      root_(root),
+      height_limit_(height_limit),
+      options_(options) {
+  TS_CHECK(phi >= 1, "target ratio must be at least 1");
+  expand();
+}
+
+bool ExpandedNetwork::allowed(SeqCutNode id) const {
+  // eff(u, w) + 1 <= H, i.e. this copy may be a LUT input.
+  const std::int64_t eff =
+      static_cast<std::int64_t>(labels_[static_cast<std::size_t>(id.node)]) -
+      static_cast<std::int64_t>(phi_) * id.w;
+  return eff + 1 <= height_limit_;
+}
+
+int ExpandedNetwork::intern(SeqCutNode id) {
+  const auto [it, inserted] = index_.emplace(pack(id), static_cast<int>(nodes_.size()));
+  if (inserted) {
+    ExpNode n;
+    n.id = id;
+    n.allowed = allowed(id);
+    nodes_.push_back(std::move(n));
+  }
+  return it->second;
+}
+
+void ExpandedNetwork::expand() {
+  // BFS from the root. slack[i] = number of allowed nodes on the best path
+  // from the root to node i (the root itself is always interior). Mandatory
+  // nodes always expand; allowed nodes expand while slack <= extra_levels.
+  const int root_idx = intern(SeqCutNode{root_, 0});
+  std::vector<int> slack(1, 0);
+  std::deque<int> queue{root_idx};
+  while (!queue.empty()) {
+    const int i = queue.front();
+    queue.pop_front();
+    // Copy the fields used below: intern() may reallocate nodes_.
+    const SeqCutNode id = nodes_[static_cast<std::size_t>(i)].id;
+    const bool node_allowed = nodes_[static_cast<std::size_t>(i)].allowed;
+    const bool is_root = (i == root_idx);
+    const int my_slack = slack[static_cast<std::size_t>(i)];
+    const bool should_expand = is_root || !node_allowed || my_slack <= options_.extra_levels;
+    if (!should_expand || nodes_[static_cast<std::size_t>(i)].expanded) continue;
+    if (circuit_.is_pi(id.node)) continue;  // sources have no fanins
+    nodes_[static_cast<std::size_t>(i)].expanded = true;
+    const int child_slack = my_slack + ((node_allowed && !is_root) ? 1 : 0);
+    for (const EdgeId e : circuit_.fanin_edges(id.node)) {
+      const auto& edge = circuit_.edge(e);
+      const SeqCutNode child{edge.from, id.w + edge.weight};
+      const std::size_t before = nodes_.size();
+      const int j = intern(child);
+      if (nodes_.size() > before) {
+        slack.push_back(child_slack + (nodes_[static_cast<std::size_t>(j)].allowed ? 1 : 0));
+        queue.push_back(j);
+      } else if (child_slack + (nodes_[static_cast<std::size_t>(j)].allowed ? 1 : 0) <
+                 slack[static_cast<std::size_t>(j)]) {
+        slack[static_cast<std::size_t>(j)] =
+            child_slack + (nodes_[static_cast<std::size_t>(j)].allowed ? 1 : 0);
+        queue.push_back(j);  // better slack may unlock expansion
+      }
+      nodes_[static_cast<std::size_t>(i)].fanins.push_back(j);
+      if (static_cast<int>(nodes_.size()) > options_.node_budget) {
+        viable_ = false;
+        return;
+      }
+    }
+  }
+}
+
+std::optional<std::vector<SeqCutNode>> ExpandedNetwork::find_cut_impl(
+    std::int64_t value_limit, const std::function<std::int64_t(const ExpNode&)>& capacity_of) {
+  if (!viable_) return std::nullopt;
+
+  MaxFlow flow;
+  const int source = flow.add_node();
+  const int sink = flow.add_node();
+  std::vector<int> in_id(nodes_.size());
+  std::vector<int> out_id(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].id.node == root_ && nodes_[i].id.w == 0) {
+      in_id[i] = out_id[i] = sink;
+      continue;
+    }
+    in_id[i] = flow.add_node();
+    out_id[i] = flow.add_node();
+    flow.add_arc(in_id[i], out_id[i],
+                 nodes_[i].allowed ? capacity_of(nodes_[i]) : MaxFlow::kInfinity);
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const ExpNode& n = nodes_[i];
+    if (n.expanded && !n.fanins.empty()) {
+      for (const int j : n.fanins) {
+        flow.add_arc(out_id[static_cast<std::size_t>(j)], in_id[i], MaxFlow::kInfinity);
+      }
+    } else if (n.expanded) {
+      // Constant gate: no PI dependence, free inside the LUT — no flow demand.
+    } else {
+      // PI copy or unexpanded frontier: feeds from the flow source.
+      flow.add_arc(source, in_id[i], MaxFlow::kInfinity);
+    }
+  }
+
+  const std::int64_t value = flow.compute(source, sink, value_limit);
+  if (value > value_limit) return std::nullopt;
+
+  const std::vector<bool> side = flow.min_cut_source_side();
+  std::vector<SeqCutNode> cut;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (in_id[i] == sink || !nodes_[i].allowed) continue;
+    if (side[static_cast<std::size_t>(in_id[i])] && !side[static_cast<std::size_t>(out_id[i])]) {
+      cut.push_back(nodes_[i].id);
+    }
+  }
+  std::sort(cut.begin(), cut.end());
+  return cut;
+}
+
+std::optional<std::vector<SeqCutNode>> ExpandedNetwork::find_cut(int size_limit) {
+  auto cut = find_cut_impl(size_limit, [](const ExpNode&) { return std::int64_t{1}; });
+  TS_ASSERT(!cut.has_value() || static_cast<int>(cut->size()) <= size_limit);
+  return cut;
+}
+
+std::optional<std::vector<SeqCutNode>> ExpandedNetwork::find_low_cost_cut(
+    int size_limit, const std::function<bool(const SeqCutNode&)>& shared) {
+  // Capacity B per node plus 1 for non-shared nodes, with B > size_limit:
+  // the min cut is lexicographically (size, #non-shared)-minimal, and a cut
+  // of size <= size_limit exists iff max-flow <= (B+1)*size_limit.
+  const std::int64_t b = size_limit + 1;
+  auto cut = find_cut_impl((b + 1) * size_limit, [&](const ExpNode& n) {
+    return b + (shared(n.id) ? 0 : 1);
+  });
+  if (cut.has_value() && static_cast<int>(cut->size()) > size_limit) return std::nullopt;
+  return cut;
+}
+
+TruthTable ExpandedNetwork::cut_function(std::span<const SeqCutNode> cut) const {
+  const int arity = static_cast<int>(cut.size());
+  TS_CHECK(arity <= TruthTable::kMaxVars, "cut too wide for truth-table extraction");
+  std::unordered_map<std::uint64_t, TruthTable> memo;
+  for (int i = 0; i < arity; ++i) {
+    memo.emplace(pack(cut[static_cast<std::size_t>(i)]), TruthTable::var(arity, i));
+  }
+  auto eval = [&](auto&& self, const ExpNode& n) -> const TruthTable& {
+    const auto it = memo.find(pack(n.id));
+    if (it != memo.end()) return it->second;
+    TS_CHECK(circuit_.is_gate(n.id.node) && n.expanded,
+             "cut does not cover every path to the root");
+    std::vector<TruthTable> inputs;
+    inputs.reserve(n.fanins.size());
+    for (const int j : n.fanins) {
+      inputs.push_back(self(self, nodes_[static_cast<std::size_t>(j)]));
+    }
+    TruthTable result = inputs.empty()
+                            ? circuit_.function(n.id.node).remap(arity, {})
+                            : compose(circuit_.function(n.id.node), inputs);
+    return memo.emplace(pack(n.id), std::move(result)).first->second;
+  };
+  const auto root_it = index_.find(pack(SeqCutNode{root_, 0}));
+  TS_ASSERT(root_it != index_.end());
+  return eval(eval, nodes_[static_cast<std::size_t>(root_it->second)]);
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,105 @@
+#pragma once
+// Expanded circuits E_v and the partial flow network of TurboMap/TurboSYN.
+//
+// E_v (Pan–Liu) represents every LUT rooted at v realizable under retiming
+// and node replication: its nodes are pairs u^w = (u, w) where w is the
+// total register count along a path from u to v; every path from u^w to the
+// root crosses exactly w registers. For a target ratio phi and height limit
+// H, a node u^w may be a cut node (LUT input) iff
+//     eff(u, w) + 1 = l(u) - phi*w + 1 <= H,
+// otherwise it is "mandatory" — it cannot sit on the cut, though it may lie
+// either inside the LUT or beyond a deeper cut. The network therefore gives
+// allowed nodes capacity 1 and mandatory nodes infinite capacity.
+//
+// Expansion is exact through mandatory chains (they terminate because every
+// cycle carries a register, which lowers eff by at least phi per lap) and
+// continues `extra_levels` past the first allowed frontier to catch
+// reconvergent cuts; remaining frontier nodes hang off the source. A node
+// budget keeps degenerate cases bounded (treated conservatively as "no cut").
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "base/truth_table.hpp"
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+/// A node of E_v: original node plus accumulated register count to the root.
+struct SeqCutNode {
+  NodeId node = kNoNode;
+  int w = 0;
+  bool operator==(const SeqCutNode&) const = default;
+  bool operator<(const SeqCutNode& o) const {
+    return node != o.node ? node < o.node : w < o.w;
+  }
+};
+
+struct ExpandedOptions {
+  int extra_levels = 2;       // expansion past the first allowed frontier
+  int node_budget = 20000;    // max E_v nodes per query
+};
+
+/// The partial flow network of E_v for one (root, height-limit) query.
+class ExpandedNetwork {
+ public:
+  /// labels: current node label lower bounds; sources (PIs/constants) must
+  /// be 0 there. phi >= 1.
+  ExpandedNetwork(const Circuit& c, std::span<const int> labels, int phi, NodeId root,
+                  int height_limit, const ExpandedOptions& options);
+
+  /// False when no cut at this height can exist at all (a source copy was
+  /// mandatory, or the node budget was exhausted).
+  bool viable() const { return viable_; }
+
+  /// Minimum cut with all cut nodes allowed at the height limit and size
+  /// <= size_limit; nullopt if none (or !viable()). Sorted, deterministic.
+  std::optional<std::vector<SeqCutNode>> find_cut(int size_limit);
+
+  /// The paper's low-cost K-cut (Step 2): among all cuts of minimum size,
+  /// prefer one whose nodes satisfy `shared` (signals already used as LUT
+  /// inputs elsewhere), maximizing input sharing. Implemented with weighted
+  /// capacities (B per node + 1 penalty for non-shared), so the min cut is
+  /// lexicographically (size, #non-shared)-minimal.
+  std::optional<std::vector<SeqCutNode>> find_low_cost_cut(
+      int size_limit, const std::function<bool(const SeqCutNode&)>& shared);
+
+  /// Truth table of the root over the given cut (variable i = cut[i]).
+  /// The cut must separate the root in E_v (as returned by find_cut).
+  TruthTable cut_function(std::span<const SeqCutNode> cut) const;
+
+  int num_expanded_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct ExpNode {
+    SeqCutNode id;
+    bool allowed = false;   // may be a cut node
+    bool expanded = false;  // fanins materialized
+    std::vector<int> fanins;  // indices into nodes_
+  };
+
+  int intern(SeqCutNode id);
+  bool allowed(SeqCutNode id) const;
+  void expand();
+  /// Shared flow construction: per-node capacities from `capacity_of`,
+  /// acceptance threshold `value_limit` on the max-flow.
+  std::optional<std::vector<SeqCutNode>> find_cut_impl(
+      std::int64_t value_limit, const std::function<std::int64_t(const ExpNode&)>& capacity_of);
+
+  const Circuit& circuit_;
+  std::span<const int> labels_;
+  int phi_;
+  NodeId root_;
+  int height_limit_;
+  ExpandedOptions options_;
+  bool viable_ = true;
+
+  std::vector<ExpNode> nodes_;
+  std::unordered_map<std::uint64_t, int> index_;  // packed (node, w) -> index
+};
+
+}  // namespace turbosyn

@@ -1,0 +1,191 @@
+#include "core/flows.hpp"
+
+#include <chrono>
+
+#include "base/check.hpp"
+#include "base/logging.hpp"
+#include "mapping/dedupe.hpp"
+#include "mapping/flowmap.hpp"
+#include "mapping/pack.hpp"
+#include "mapping/seq_split.hpp"
+#include "retime/cycle_ratio.hpp"
+#include "retime/retiming.hpp"
+
+namespace turbosyn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void accumulate(LabelStats& into, const LabelStats& from) {
+  into.sweeps += from.sweeps;
+  into.node_updates += from.node_updates;
+  into.cut_tests += from.cut_tests;
+  into.decomp_attempts += from.decomp_attempts;
+  into.decomp_successes += from.decomp_successes;
+}
+
+/// Packing + metric extraction + optional pipelining/retiming, shared by all
+/// flows once a mapped network exists.
+void finalize(FlowResult& result, const FlowOptions& options, Circuit mapped) {
+  if (options.dedupe) mapped = dedupe_luts(mapped);
+  if (options.pack) mapped = pack_luts(mapped, options.k);
+  result.luts = mapped.num_gates();
+  result.ffs = mapped.num_ffs_shared();
+  result.exact_mdr = circuit_mdr(mapped).ratio;
+  if (options.pipeline) {
+    // Measure the achievable period on a copy: `mapped` stays un-retimed so
+    // it is cycle-accurate equivalent to the input from the all-zero state.
+    Circuit pipelined = mapped;
+    const PipelineResult p = pipeline_and_retime(pipelined);
+    result.period = p.period;
+    result.pipeline_stages = p.stages;
+  }
+  result.mapped = std::move(mapped);
+}
+
+/// Binary search for the smallest phi in [1, ub] whose label computation is
+/// feasible; writes the winning labels. `ub` must be feasible.
+int search_min_ratio(const Circuit& c, int ub, const LabelOptions& lopts, LabelResult& best,
+                     LabelStats& stats) {
+  int lo = 1;
+  int hi = ub;
+  bool have_best = false;
+  while (lo <= hi) {
+    const int mid = lo + (hi - lo) / 2;
+    LabelResult r = compute_labels(c, mid, lopts);
+    accumulate(stats, r.stats);
+    TS_DEBUG("phi=" << mid << (r.feasible ? " feasible" : " infeasible") << " sweeps="
+                    << r.stats.sweeps);
+    if (r.feasible) {
+      best = std::move(r);
+      have_best = true;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  TS_CHECK(have_best, "upper bound ratio was not feasible");
+  return hi + 1;
+}
+
+FlowResult run_mdr_flow(const Circuit& c, const FlowOptions& options, bool decompose, int ub) {
+  const auto start = Clock::now();
+  FlowResult result;
+  const LabelOptions lopts = options.label_options(decompose);
+  LabelResult labels;
+  result.phi = search_min_ratio(c, ub, lopts, labels, result.stats);
+  MapGenOptions mopts;
+  mopts.label_relaxation = options.label_relaxation;
+  mopts.low_cost_cuts = options.low_cost_cuts;
+  Circuit mapped =
+      generate_sequential_mapping(c, labels, result.phi, lopts, mopts, result.stats);
+  finalize(result, options, std::move(mapped));
+  result.seconds = seconds_since(start);
+  return result;
+}
+
+/// Upper bound for the TurboMap binary search: the identity mapping (one LUT
+/// per gate) is always a valid mapping, so ceil(MDR of the input) works.
+int identity_mapping_ub(const Circuit& c) {
+  const Rational mdr = circuit_mdr(c).ratio;
+  return static_cast<int>(std::max<std::int64_t>(1, mdr.ceil()));
+}
+
+}  // namespace
+
+LabelOptions FlowOptions::label_options(bool enable_decomposition) const {
+  LabelOptions l;
+  l.k = k;
+  l.enable_decomposition = enable_decomposition;
+  l.cmax = cmax;
+  l.height_span = height_span;
+  l.use_pld = use_pld;
+  l.use_bdd = use_bdd;
+  l.expansion = expansion;
+  return l;
+}
+
+FlowResult run_turbomap(const Circuit& c, const FlowOptions& options) {
+  return run_mdr_flow(c, options, /*decompose=*/false, identity_mapping_ub(c));
+}
+
+FlowResult run_turbosyn(const Circuit& c, const FlowOptions& options) {
+  const auto start = Clock::now();
+  // Step 1 of the paper's pseudo-code: TurboMap provides the upper bound UB.
+  FlowResult ub_run = run_turbomap(c, options);
+  FlowResult result = run_mdr_flow(c, options, /*decompose=*/true, ub_run.phi);
+  accumulate(result.stats, ub_run.stats);
+  result.seconds = seconds_since(start);
+  return result;
+}
+
+FlowResult run_flowsyn_s(const Circuit& c, const FlowOptions& options) {
+  const auto start = Clock::now();
+  FlowResult result;
+
+  const SequentialSplit split = split_at_registers(c);
+  FlowMapOptions fopts;
+  fopts.k = options.k;
+  fopts.enable_decomposition = true;
+  fopts.cmax = options.cmax;
+  fopts.min_cut_height_span = options.height_span;
+  fopts.use_bdd = options.use_bdd;
+  const FlowMapResult mapping = flowmap(split.comb, fopts);
+  const Circuit mapped_comb = generate_mapped_circuit(split.comb, mapping, fopts);
+  Circuit merged = merge_registers(c, split, mapped_comb);
+  finalize(result, options, std::move(merged));
+  // FlowSYN-s has no ratio search; report the ceiling of the measured MDR,
+  // with combinational circuits (MDR 0) reported as their pipelined period 1.
+  result.phi = static_cast<int>(std::max<std::int64_t>(1, result.exact_mdr.ceil()));
+  result.seconds = seconds_since(start);
+  return result;
+}
+
+FlowResult run_turbomap_period(const Circuit& c, const FlowOptions& options) {
+  const auto start = Clock::now();
+  FlowResult result;
+  const LabelOptions lopts = options.label_options(false);
+
+  // Upper bound: the unmapped circuit's clock period (identity mapping,
+  // no retiming) is always achievable.
+  int ub = static_cast<int>(std::max<std::int64_t>(1, circuit_clock_period(c)));
+  LabelResult best;
+  bool have_best = false;
+  int lo = 1;
+  int hi = ub;
+  while (lo <= hi) {
+    const int mid = lo + (hi - lo) / 2;
+    LabelResult r = compute_labels(c, mid, lopts);
+    accumulate(result.stats, r.stats);
+    if (r.feasible && r.max_po_label <= mid) {
+      best = std::move(r);
+      have_best = true;
+      result.phi = mid;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  TS_CHECK(have_best, "clock-period upper bound was not feasible");
+
+  MapGenOptions mopts;
+  mopts.label_relaxation = options.label_relaxation;
+  mopts.low_cost_cuts = options.low_cost_cuts;
+  mopts.po_label_limit = result.phi;
+  Circuit mapped = generate_sequential_mapping(c, best, result.phi, lopts, mopts, result.stats);
+  FlowOptions no_pipeline = options;
+  no_pipeline.pipeline = false;
+  finalize(result, no_pipeline, std::move(mapped));
+  // Clock-period mode: retiming only.
+  Circuit retimed = result.mapped;
+  result.period = retime_min_period(retimed);
+  result.mapped = std::move(retimed);
+  result.seconds = seconds_since(start);
+  return result;
+}
+
+}  // namespace turbosyn

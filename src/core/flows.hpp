@@ -1,0 +1,60 @@
+#pragma once
+// End-to-end synthesis flows compared in the paper's Table 1.
+//
+//  - turbomap():  label computation without resynthesis, binary search on the
+//                 integer MDR ratio (the TurboMap algorithm run in MDR mode,
+//                 as the paper does when combining it with PLD).
+//  - turbosyn():  the paper's contribution — TurboMap's upper bound, then
+//                 binary search with sequential functional decomposition.
+//  - flowsyn_s(): the strongest prior baseline — cut at all FFs, map each
+//                 combinational block with FlowSYN, merge the FFs back.
+//  - turbomap_period(): the original ICCD'96 TurboMap objective — minimum
+//                 clock period under retiming only (no pipelining).
+//
+// Every flow returns the mapped network (after packing), its exact MDR
+// ratio, and the clock period achieved after pipelining + retiming.
+
+#include <cstdint>
+
+#include "base/rational.hpp"
+#include "core/labeling.hpp"
+#include "core/mapgen.hpp"
+#include "netlist/circuit.hpp"
+#include "retime/pipeline.hpp"
+
+namespace turbosyn {
+
+struct FlowOptions {
+  int k = 5;
+  int cmax = 15;
+  int height_span = 3;
+  bool use_pld = true;           // positive loop detection (vs n^2 criterion)
+  bool use_bdd = true;           // decomposition multiplicity engine
+  bool label_relaxation = true;  // LUT-reduction in mapping generation
+  bool low_cost_cuts = true;     // min-size, max-sharing cut selection
+  bool dedupe = true;            // structural LUT deduplication
+  bool pack = true;              // mpack/flowpack-style packing
+  bool pipeline = true;          // post-process with pipelining + retiming
+  ExpandedOptions expansion;
+
+  LabelOptions label_options(bool enable_decomposition) const;
+};
+
+struct FlowResult {
+  int phi = 0;               // minimum integer ratio/period the flow achieved
+  Circuit mapped;            // final LUT network
+  int luts = 0;
+  std::int64_t ffs = 0;      // register bits in `mapped` (before pipelining)
+  Rational exact_mdr;        // exact MDR ratio of `mapped`
+  std::int64_t period = 0;   // clock period after pipelining + retiming
+  int pipeline_stages = 0;
+  LabelStats stats;          // accumulated across the binary search
+  double seconds = 0.0;      // wall-clock of the whole flow
+};
+
+FlowResult run_turbomap(const Circuit& c, const FlowOptions& options);
+FlowResult run_turbosyn(const Circuit& c, const FlowOptions& options);
+FlowResult run_flowsyn_s(const Circuit& c, const FlowOptions& options);
+FlowResult run_turbomap_period(const Circuit& c, const FlowOptions& options);
+
+}  // namespace turbosyn

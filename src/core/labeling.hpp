@@ -1,0 +1,98 @@
+#pragma once
+// Iterative label computation (TurboMap) with sequential functional
+// decomposition (TurboSYN) and positive loop detection (PLD).
+//
+// For a target ratio phi, node labels are lower-bounded iteratively:
+//   l(source) = 0,  l(gate) starts at 1,
+//   L(v) = max over fanin edges e(u,v) of l(u) - phi*w(e),
+//   l_new(v) = L(v)   if a K-cut of E_v with height <= L(v) exists
+//                     (or, TurboSYN only, a min-cut of width <= Cmax at
+//                      height L(v)-h decomposes with achieved label <= L(v)),
+//              L(v)+1 otherwise.
+// Lower bounds only grow; the computation converges iff a mapping with MDR
+// ratio <= phi exists (no positive loop). SCCs are processed in topological
+// order. PLD (the paper's Section 4): after each sweep over an SCC, build
+// the predecessor graph
+//   Pi[v] = { u : e(u,v) in G, l(u) - phi*w(e) + 1 >= l(v) }   (l(v) > 1)
+// and declare a positive loop as soon as the SCC is totally isolated from
+// the PIs in it; detection is guaranteed within 6n sweeps for an SCC of n
+// nodes (vs the previous n^2 bound, kept for the ablation benchmark).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/expanded.hpp"
+#include "decomp/roth_karp.hpp"
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+struct LabelOptions {
+  int k = 5;
+  bool enable_decomposition = false;  // false: TurboMap, true: TurboSYN
+  int cmax = 15;                      // max resynthesis cut width (paper: 15)
+  int height_span = 3;                // decomposition min-cut heights L(v)..L(v)-span+1
+  bool use_pld = true;                // false: fall back to the n^2 stopping criterion
+  bool use_bdd = true;                // decomposition multiplicity engine
+  /// Extra cap on per-SCC sweeps (0 = only the criterion's own bound). Used
+  /// by the PLD ablation bench to bound the n^2 baseline's runtime; when the
+  /// cap fires the result is reported as infeasible.
+  std::int64_t sweep_budget = 0;
+  ExpandedOptions expansion;
+};
+
+struct LabelStats {
+  std::int64_t sweeps = 0;           // per-SCC iterations, summed
+  std::int64_t node_updates = 0;     // LabelUpdate invocations
+  std::int64_t cut_tests = 0;        // flow-based K-cut existence tests
+  std::int64_t decomp_attempts = 0;  // resynthesis attempts
+  std::int64_t decomp_successes = 0;
+};
+
+struct LabelResult {
+  /// True iff no positive loop: a mapping with MDR ratio <= phi exists.
+  bool feasible = false;
+  std::vector<int> labels;  // per node; meaningful when feasible
+  int max_po_label = 0;     // for the clock-period (no pipelining) check
+  LabelStats stats;
+};
+
+/// Memoizes decomposition attempt outcomes across sweeps: the result of
+/// "decompose the min-cut of E_v at this height" only depends on the cut and
+/// its inputs' labels, which repeat heavily between iterations.
+struct DecompCache {
+  std::vector<std::unordered_map<std::uint64_t, bool>> per_node;
+};
+
+/// Runs the label computation for target ratio phi (>= 1).
+LabelResult compute_labels(const Circuit& c, int phi, const LabelOptions& options);
+
+/// Single label update for node v given current lower bounds (exposed for
+/// tests). Returns the new label (never below labels[v]). `cache` (optional)
+/// memoizes decomposition outcomes across calls.
+int label_update(const Circuit& c, std::vector<int>& labels, int phi, NodeId v,
+                 const LabelOptions& options, LabelStats& stats, DecompCache* cache = nullptr);
+
+/// The realization the label computation justifies for a node at its final
+/// label: either a plain K-cut of E_v, or a decomposition over a wide cut.
+struct NodeRealization {
+  std::vector<SeqCutNode> cut;
+  TruthTable func;                     // LUT function over `cut` (plain cuts)
+  std::optional<DecompResult> decomp;  // present iff resynthesis is required;
+                                       // its DecompFanin::input indices refer
+                                       // to `cut` positions
+};
+
+/// Recomputes a realization for node v at height limit `height` (typically
+/// the final label, or a relaxed height). Returns nullopt if none exists at
+/// that height (callers then retry at height+1, which always succeeds at
+/// l(v)+... the trivial fanin cut).
+/// `shared` (optional): predicate marking signals already used as LUT inputs
+/// elsewhere; when given, plain cuts are chosen by the paper's low-cost
+/// K-cut rule (minimum size, then maximum sharing).
+std::optional<NodeRealization> realize_node(
+    const Circuit& c, std::span<const int> labels, int phi, NodeId v, int height,
+    const LabelOptions& options, LabelStats& stats, DecompCache* cache = nullptr,
+    const std::function<bool(const SeqCutNode&)>* shared = nullptr);
+
+}  // namespace turbosyn

@@ -1,0 +1,39 @@
+#pragma once
+// Sequential mapping generation: turn converged labels into a K-LUT network.
+//
+// Walking back from the POs, every needed node is realized at its final
+// label (a plain K-cut of E_v, or the decomposition DAG TurboSYN found); the
+// cut nodes u^w become LUT fanins with w flip-flops on the edge. Because the
+// labels converged for ratio phi, the resulting network has MDR ratio <= phi.
+//
+// Label relaxation (the paper's first LUT-reduction technique): a node that
+// needed resynthesis at its own label may be realizable as a single plain
+// K-cut at the (higher) height its consumers actually allow — replacing the
+// decomposition DAG by one LUT. The relaxed height is computed from the
+// consumers' realizations, so swapping never invalidates them.
+
+#include <optional>
+
+#include "core/labeling.hpp"
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+struct MapGenOptions {
+  bool label_relaxation = true;
+  /// Choose plain cuts by the paper's low-cost rule (min size, then max
+  /// sharing with inputs already used by other LUTs).
+  bool low_cost_cuts = true;
+  /// When set (clock-period mode, no pipelining), PO labels must stay within
+  /// this bound, which also constrains how far relaxation may raise heights.
+  std::optional<int> po_label_limit;
+};
+
+/// Generates the mapped LUT circuit for converged `labels` at ratio phi.
+/// PI/PO names are preserved; LUT nodes take the name of the original node
+/// they are rooted at (encoder LUTs get a "$e<i>" suffix).
+Circuit generate_sequential_mapping(const Circuit& c, const LabelResult& labels, int phi,
+                                    const LabelOptions& label_options,
+                                    const MapGenOptions& options, LabelStats& stats);
+
+}  // namespace turbosyn

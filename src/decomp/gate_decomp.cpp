@@ -1,0 +1,149 @@
+#include "decomp/gate_decomp.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/check.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/gates.hpp"
+
+namespace turbosyn {
+namespace {
+
+enum class Assoc { kNone, kAnd, kOr, kXor };
+
+struct AssocMatch {
+  Assoc op = Assoc::kNone;
+  bool inverted = false;
+};
+
+AssocMatch match_associative(const TruthTable& f) {
+  const int m = f.num_vars();
+  if (f == tt_and(m)) return {Assoc::kAnd, false};
+  if (f == tt_nand(m)) return {Assoc::kAnd, true};
+  if (f == tt_or(m)) return {Assoc::kOr, false};
+  if (f == tt_nor(m)) return {Assoc::kOr, true};
+  if (f == tt_xor(m)) return {Assoc::kXor, false};
+  if (f == tt_xnor(m)) return {Assoc::kXor, true};
+  return {};
+}
+
+TruthTable assoc_tt(Assoc op, int arity, bool inverted) {
+  TruthTable t;
+  switch (op) {
+    case Assoc::kAnd: t = tt_and(arity); break;
+    case Assoc::kOr: t = tt_or(arity); break;
+    case Assoc::kXor: t = tt_xor(arity); break;
+    case Assoc::kNone: TS_ASSERT(false);
+  }
+  return inverted ? ~t : t;
+}
+
+class Decomposer {
+ public:
+  Decomposer(const Circuit& in, int k) : in_(in), k_(k) {
+    TS_CHECK(k >= 3, "gate decomposition requires k >= 3 (needs a 2:1 MUX)");
+  }
+
+  Circuit run() {
+    for (const NodeId pi : in_.pis()) map_[pi] = out_.add_pi(in_.name(pi));
+    for (NodeId v = 0; v < in_.num_nodes(); ++v) {
+      if (in_.is_gate(v)) map_[v] = out_.declare_gate(in_.name(v));
+    }
+    for (NodeId v = 0; v < in_.num_nodes(); ++v) {
+      if (in_.is_gate(v)) rebuild_gate(v);
+    }
+    for (const NodeId po : in_.pos()) {
+      const auto& e = in_.edge(in_.fanin_edges(po)[0]);
+      out_.add_po(in_.name(po), {map_.at(e.from), e.weight});
+    }
+    out_.validate();
+    return std::move(out_);
+  }
+
+ private:
+  void rebuild_gate(NodeId v) {
+    std::vector<Circuit::FaninSpec> fanins;
+    for (const EdgeId e : in_.fanin_edges(v)) {
+      fanins.push_back({map_.at(in_.edge(e).from), in_.edge(e).weight});
+    }
+    const TruthTable& f = in_.function(v);
+    const NodeId root = map_.at(v);
+    if (f.num_vars() <= k_) {
+      out_.finish_gate(root, f, fanins);
+      return;
+    }
+    if (const AssocMatch assoc = match_associative(f); assoc.op != Assoc::kNone) {
+      // Balanced tree: group children into chunks of k until they fit.
+      std::vector<Circuit::FaninSpec> level = std::move(fanins);
+      while (static_cast<int>(level.size()) > k_) {
+        std::vector<Circuit::FaninSpec> next;
+        for (std::size_t i = 0; i < level.size(); i += static_cast<std::size_t>(k_)) {
+          const std::size_t chunk = std::min<std::size_t>(static_cast<std::size_t>(k_),
+                                                          level.size() - i);
+          if (chunk == 1) {
+            next.push_back(level[i]);
+            continue;
+          }
+          const std::span<const Circuit::FaninSpec> group(level.data() + i, chunk);
+          const NodeId g = out_.add_gate(fresh_name(v),
+                                         assoc_tt(assoc.op, static_cast<int>(chunk), false),
+                                         group);
+          next.push_back({g, 0});
+        }
+        level = std::move(next);
+      }
+      out_.finish_gate(root, assoc_tt(assoc.op, static_cast<int>(level.size()), assoc.inverted),
+                       level);
+      return;
+    }
+    // General fallback: Shannon expansion on the last variable; the root
+    // becomes a 2:1 MUX over recursively emitted cofactors.
+    const int m = f.num_vars();
+    const Circuit::FaninSpec sel = fanins[static_cast<std::size_t>(m - 1)];
+    const std::span<const Circuit::FaninSpec> rest(fanins.data(), static_cast<std::size_t>(m - 1));
+    const Circuit::FaninSpec lo = emit(f.cofactor(m - 1, false).drop_var(m - 1), rest, v);
+    const Circuit::FaninSpec hi = emit(f.cofactor(m - 1, true).drop_var(m - 1), rest, v);
+    const Circuit::FaninSpec mux_fanins[3] = {sel, lo, hi};
+    out_.finish_gate(root, tt_mux(), mux_fanins);
+  }
+
+  /// Emits a fresh gate computing f over the given fanins, recursing while
+  /// the support is wider than k. Non-support fanins are pruned first.
+  Circuit::FaninSpec emit(TruthTable f, std::span<const Circuit::FaninSpec> fanins, NodeId origin) {
+    std::vector<Circuit::FaninSpec> used;
+    {
+      const std::vector<int> support = f.support();
+      for (const int s : support) used.push_back(fanins[static_cast<std::size_t>(s)]);
+      for (int v = f.num_vars() - 1; v >= 0; --v) {
+        if (!std::binary_search(support.begin(), support.end(), v)) f = f.drop_var(v);
+      }
+    }
+    const int m = f.num_vars();
+    if (m <= k_) {
+      return {out_.add_gate(fresh_name(origin), f, used), 0};
+    }
+    const Circuit::FaninSpec sel = used[static_cast<std::size_t>(m - 1)];
+    const std::span<const Circuit::FaninSpec> rest(used.data(), static_cast<std::size_t>(m - 1));
+    const Circuit::FaninSpec lo = emit(f.cofactor(m - 1, false).drop_var(m - 1), rest, origin);
+    const Circuit::FaninSpec hi = emit(f.cofactor(m - 1, true).drop_var(m - 1), rest, origin);
+    const Circuit::FaninSpec mux_fanins[3] = {sel, lo, hi};
+    return {out_.add_gate(fresh_name(origin), tt_mux(), mux_fanins), 0};
+  }
+
+  std::string fresh_name(NodeId origin) {
+    return in_.name(origin) + "$d" + std::to_string(counter_++);
+  }
+
+  const Circuit& in_;
+  Circuit out_;
+  int k_;
+  int counter_ = 0;
+  std::unordered_map<NodeId, NodeId> map_;
+};
+
+}  // namespace
+
+Circuit gate_decompose(const Circuit& c, int k) { return Decomposer(c, k).run(); }
+
+}  // namespace turbosyn

@@ -1,0 +1,19 @@
+#pragma once
+// Gate decomposition: rewrite a circuit so every gate has at most K fanins.
+//
+// The paper assumes K-bounded input circuits and points at balanced-tree
+// decomposition / DMIG / DOGMA for wide gates. This pass plays that role:
+// associative gates (AND/OR/XOR and their complements) become balanced
+// trees; arbitrary wide functions fall back to Shannon expansion with a MUX
+// tree. All flip-flops of the original fanin edges stay on the leaf edges,
+// so the retiming graph semantics are preserved.
+
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+/// Returns a functionally equivalent circuit whose gates all have <= k
+/// fanins (k >= 3 required so a 2:1 MUX fits during Shannon fallback).
+Circuit gate_decompose(const Circuit& c, int k);
+
+}  // namespace turbosyn

@@ -1,0 +1,270 @@
+#include "decomp/roth_karp.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <numeric>
+
+#include "base/check.hpp"
+#include "bdd/bdd.hpp"
+
+namespace turbosyn {
+namespace {
+
+/// One Roth–Karp step on a function whose bound set already occupies
+/// variables 0..boundary-1: the per-bound-assignment class code and one
+/// representative truth table per class (over the full arity; classes do not
+/// depend on bound variables).
+struct ClassInfo {
+  std::size_t multiplicity = 0;
+  std::vector<std::uint32_t> code_of;   // size 2^boundary
+  std::vector<TruthTable> class_tt;     // size multiplicity
+};
+
+ClassInfo classify_bdd(const TruthTable& f, int boundary) {
+  BddManager mgr(f.num_vars());
+  const BddRef root = mgr.from_truth_table(f);
+  const std::vector<BddRef> classes = mgr.boundary_cofactors(root, boundary);
+  std::map<BddRef, std::uint32_t> index_of;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    index_of.emplace(classes[i], static_cast<std::uint32_t>(i));
+  }
+  ClassInfo info;
+  info.multiplicity = classes.size();
+  info.code_of.resize(std::size_t{1} << boundary);
+  for (std::uint32_t a = 0; a < info.code_of.size(); ++a) {
+    info.code_of[a] = index_of.at(mgr.cofactor_at(root, boundary, a));
+  }
+  info.class_tt.reserve(classes.size());
+  for (const BddRef c : classes) {
+    info.class_tt.push_back(mgr.to_truth_table(c, f.num_vars()));
+  }
+  return info;
+}
+
+ClassInfo classify_tt(const TruthTable& f, int boundary) {
+  ClassInfo info;
+  info.code_of.resize(std::size_t{1} << boundary);
+  std::map<std::string, std::uint32_t> index_of;  // column signature -> class
+  const int free_vars = f.num_vars() - boundary;
+  const std::uint32_t free_count = std::uint32_t{1} << free_vars;
+  for (std::uint32_t a = 0; a < info.code_of.size(); ++a) {
+    std::string signature(free_count, '0');
+    for (std::uint32_t y = 0; y < free_count; ++y) {
+      if (f.bit(a | (y << boundary))) signature[y] = '1';
+    }
+    const auto [it, inserted] =
+        index_of.emplace(std::move(signature), static_cast<std::uint32_t>(info.class_tt.size()));
+    if (inserted) {
+      // Representative: f with the bound variables fixed to this assignment.
+      TruthTable rep = f;
+      for (int v = 0; v < boundary; ++v) rep = rep.cofactor(v, (a >> v) & 1);
+      info.class_tt.push_back(std::move(rep));
+    }
+    info.code_of[a] = it->second;
+  }
+  info.multiplicity = info.class_tt.size();
+  return info;
+}
+
+int ceil_log2(std::size_t x) {
+  TS_ASSERT(x >= 1);
+  return x == 1 ? 0 : std::bit_width(x - 1);
+}
+
+struct Signal {
+  int eff;          // effective label as seen at the root
+  DecompFanin ref;  // what drives this signal
+};
+
+}  // namespace
+
+std::size_t column_multiplicity_bdd(const TruthTable& f, int boundary) {
+  return classify_bdd(f, boundary).multiplicity;
+}
+
+std::size_t column_multiplicity_tt(const TruthTable& f, int boundary) {
+  return classify_tt(f, boundary).multiplicity;
+}
+
+namespace {
+
+/// Backtracking driver for decompose_for_label. Each recursion level picks a
+/// bound set, performs one Roth–Karp step, and recurses on the residue;
+/// dead ends backtrack to the next bound-set choice under a global attempt
+/// budget (the paper's Cmax <= 15 keeps these functions tiny, so the budget
+/// is rarely consumed).
+class DecompSearch {
+ public:
+  DecompSearch(int target_label, const DecompOptions& options)
+      : target_(target_label), options_(options), attempts_left_(options.max_attempts) {}
+
+  bool solve(const TruthTable& f, std::vector<Signal> signals, std::vector<DecompLut>& luts) {
+    if (static_cast<int>(signals.size()) <= options_.k) {
+      // Root LUT fits: success iff every remaining signal meets the target.
+      DecompLut root;
+      root.func = f;
+      achieved_ = 0;
+      for (const Signal& s : signals) {
+        root.fanins.push_back(s.ref);
+        achieved_ = std::max(achieved_, s.eff + 1);
+      }
+      if (achieved_ > target_) return false;
+      luts.push_back(std::move(root));
+      return true;
+    }
+    const int m = static_cast<int>(signals.size());
+    // Candidates for the bound set: signals that can afford one more level,
+    // least critical first.
+    std::vector<int> candidates;
+    for (int i = 0; i < m; ++i) {
+      if (signals[static_cast<std::size_t>(i)].eff <= target_ - 2) candidates.push_back(i);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+      return signals[static_cast<std::size_t>(a)].eff < signals[static_cast<std::size_t>(b)].eff;
+    });
+
+    for (int b = std::min<int>(options_.k, static_cast<int>(candidates.size())); b >= 2; --b) {
+      for (std::size_t start = 0; start + static_cast<std::size_t>(b) <= candidates.size();
+           ++start) {
+        if (attempts_left_-- <= 0) return false;
+        const std::span<const int> bound(candidates.data() + start, static_cast<std::size_t>(b));
+        if (try_step(f, signals, bound, luts)) return true;
+      }
+    }
+    return false;
+  }
+
+  int achieved() const { return achieved_; }
+
+ private:
+  bool try_step(const TruthTable& f, const std::vector<Signal>& signals,
+                std::span<const int> bound, std::vector<DecompLut>& luts) {
+    const int m = static_cast<int>(signals.size());
+    const int b = static_cast<int>(bound.size());
+    // Reorder: bound set to variables 0..b-1, the rest keep their order.
+    std::vector<int> var_map(static_cast<std::size_t>(m), -1);
+    std::vector<bool> in_bound(static_cast<std::size_t>(m), false);
+    for (int j = 0; j < b; ++j) {
+      var_map[static_cast<std::size_t>(bound[static_cast<std::size_t>(j)])] = j;
+      in_bound[static_cast<std::size_t>(bound[static_cast<std::size_t>(j)])] = true;
+    }
+    int next = b;
+    std::vector<int> kept;  // signal indices, in var order b..m-1
+    for (int i = 0; i < m; ++i) {
+      if (!in_bound[static_cast<std::size_t>(i)]) {
+        var_map[static_cast<std::size_t>(i)] = next++;
+        kept.push_back(i);
+      }
+    }
+    const TruthTable reordered = f.remap(m, var_map);
+
+    const ClassInfo info =
+        options_.use_bdd ? classify_bdd(reordered, b) : classify_tt(reordered, b);
+    const int t = std::max(1, ceil_log2(info.multiplicity));
+    if (t >= b) return false;  // no compression from this bound set
+
+    // Encoder LUTs e_0..e_{t-1} over the bound signals.
+    int eff_bound = 0;
+    for (const int i : bound) {
+      eff_bound = std::max(eff_bound, signals[static_cast<std::size_t>(i)].eff);
+    }
+    const std::size_t luts_mark = luts.size();
+    std::vector<Signal> remaining;
+    for (int j = 0; j < t; ++j) {
+      DecompLut lut;
+      lut.func = TruthTable::constant(b, false);
+      for (std::uint32_t a = 0; a < info.code_of.size(); ++a) {
+        if ((info.code_of[a] >> j) & 1) lut.func.set_bit(a, true);
+      }
+      for (const int i : bound) lut.fanins.push_back(signals[static_cast<std::size_t>(i)].ref);
+      luts.push_back(std::move(lut));
+      remaining.push_back(
+          Signal{eff_bound + 1, DecompFanin::lut(static_cast<int>(luts.size() - 1))});
+    }
+    for (const int i : kept) remaining.push_back(signals[static_cast<std::size_t>(i)]);
+
+    // New function over (code vars, kept vars).
+    const int new_arity = t + (m - b);
+    TruthTable next_f = TruthTable::constant(new_arity, false);
+    const std::uint32_t total = std::uint32_t{1} << new_arity;
+    for (std::uint32_t x = 0; x < total; ++x) {
+      std::uint32_t code = x & ((std::uint32_t{1} << t) - 1);
+      if (code >= info.multiplicity) code = 0;  // unreachable code: don't care
+      const std::uint32_t kept_bits = x >> t;
+      // Class tables are over the reordered arity; bound bits are don't
+      // cares there, so place kept bits at positions b.. and zero-fill.
+      if (info.class_tt[code].bit(kept_bits << b)) next_f.set_bit(x, true);
+    }
+
+    if (solve(next_f, std::move(remaining), luts)) return true;
+    luts.resize(luts_mark);  // undo this step's encoders and backtrack
+    return false;
+  }
+
+  int target_;
+  const DecompOptions& options_;
+  int attempts_left_;
+  int achieved_ = 0;
+};
+
+}  // namespace
+
+DecompResult decompose_for_label(const TruthTable& f, std::span<const int> eff_labels,
+                                 int target_label, const DecompOptions& options) {
+  TS_CHECK(options.k >= 2, "LUT size must be at least 2");
+  TS_CHECK(static_cast<int>(eff_labels.size()) == f.num_vars(),
+           "one effective label per input required");
+
+  DecompResult result;
+
+  // Restrict to the support: min-cuts can include inputs the cut function
+  // does not actually depend on.
+  TruthTable current = f;
+  std::vector<Signal> signals;
+  {
+    const std::vector<int> support = current.support();
+    for (const int v : support) {
+      signals.push_back(Signal{eff_labels[static_cast<std::size_t>(v)], DecompFanin::input(v)});
+    }
+    for (int v = f.num_vars() - 1; v >= 0; --v) {
+      if (!std::binary_search(support.begin(), support.end(), v)) {
+        current = current.drop_var(v);
+      }
+    }
+  }
+
+  DecompSearch search(target_label, options);
+  result.success = search.solve(current, std::move(signals), result.luts);
+  result.achieved_label = search.achieved();
+  if (!result.success) result.luts.clear();
+  return result;
+}
+
+bool evaluate_decomposition(const DecompResult& result, std::uint32_t assignment) {
+  TS_CHECK(!result.luts.empty(), "empty decomposition");
+  std::vector<bool> lut_value(result.luts.size(), false);
+  for (std::size_t i = 0; i < result.luts.size(); ++i) {
+    const DecompLut& lut = result.luts[i];
+    std::uint32_t local = 0;
+    for (std::size_t j = 0; j < lut.fanins.size(); ++j) {
+      const DecompFanin& fin = lut.fanins[j];
+      const bool v = fin.kind == DecompFanin::Kind::kInput
+                         ? ((assignment >> fin.index) & 1) != 0
+                         : lut_value[static_cast<std::size_t>(fin.index)];
+      if (v) local |= std::uint32_t{1} << j;
+    }
+    lut_value[i] = lut.func.bit(local);
+  }
+  return lut_value.back();
+}
+
+bool decomposition_matches(const DecompResult& result, const TruthTable& f) {
+  const std::uint32_t total = static_cast<std::uint32_t>(f.num_bits());
+  for (std::uint32_t x = 0; x < total; ++x) {
+    if (evaluate_decomposition(result, x) != f.bit(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,76 @@
+#pragma once
+// Label-driven single-output functional decomposition (Roth–Karp /
+// Ashenhurst–Curtis), the resynthesis engine of TurboSYN and FlowSYN.
+//
+// Given a cut function f over m inputs (m may exceed K, bounded by Cmax),
+// an "effective label" per input (l(u) - phi*w for sequential cuts, plain
+// labels for combinational FlowSYN) and a target label T, produce a DAG of
+// K-input LUTs computing f such that every input i reaches the root through
+// at most T - eff_label(i) LUT levels. Inputs feeding the root directly need
+// eff <= T-1; inputs routed through one encoder LUT need eff <= T-2, etc.
+//
+// Strategy (following FlowSYN / the paper): sort inputs by increasing
+// effective label; repeatedly pick a bound set B of least-critical signals
+// with at least one level of slack, compute the column multiplicity mu via
+// the OBDD built with B ordered first (mu = #distinct cofactors across the
+// bound/free boundary), and replace B by t = ceil(log2 mu) encoder signals.
+// Succeeds when at most K signals remain and the achieved label is <= T.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/truth_table.hpp"
+
+namespace turbosyn {
+
+/// Reference to a LUT fanin inside a DecompResult: either one of the
+/// original cut inputs or a previously produced LUT.
+struct DecompFanin {
+  enum class Kind : std::uint8_t { kInput, kLut };
+  Kind kind = Kind::kInput;
+  int index = 0;
+
+  static DecompFanin input(int i) { return {Kind::kInput, i}; }
+  static DecompFanin lut(int i) { return {Kind::kLut, i}; }
+  bool operator==(const DecompFanin&) const = default;
+};
+
+struct DecompLut {
+  TruthTable func;                  // over fanins, in order
+  std::vector<DecompFanin> fanins;  // size == func.num_vars() <= K
+};
+
+struct DecompResult {
+  bool success = false;
+  /// LUTs in topological order; the last one is the root (computes f).
+  std::vector<DecompLut> luts;
+  /// max over inputs of (eff_label(i) + LUT levels from i to root);
+  /// meaningful only on success.
+  int achieved_label = 0;
+};
+
+struct DecompOptions {
+  int k = 5;               // LUT input count
+  bool use_bdd = true;     // mu via OBDD (paper); false = truth-table engine
+  int max_attempts = 64;   // bound-set selection attempts per round
+};
+
+/// Attempts to realize f as a DAG of K-LUTs meeting `target_label`.
+/// eff_labels[i] is the effective label of input variable i of f.
+DecompResult decompose_for_label(const TruthTable& f, std::span<const int> eff_labels,
+                                 int target_label, const DecompOptions& options);
+
+/// Column multiplicity of f for the bound set = variables 0..boundary-1
+/// (inputs already ordered bound-first). Exposed for tests/benchmarks; both
+/// engines must agree.
+std::size_t column_multiplicity_bdd(const TruthTable& f, int boundary);
+std::size_t column_multiplicity_tt(const TruthTable& f, int boundary);
+
+/// Evaluates a DecompResult on a full input assignment (bit i = input i).
+bool evaluate_decomposition(const DecompResult& result, std::uint32_t assignment);
+
+/// True if the LUT DAG computes exactly f (exhaustive over f's inputs).
+bool decomposition_matches(const DecompResult& result, const TruthTable& f);
+
+}  // namespace turbosyn

@@ -1,0 +1,53 @@
+#include "graph/bellman_ford.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace turbosyn {
+
+PositiveCycle find_positive_cycle(const Digraph& g,
+                                  const std::function<std::int64_t(EdgeId)>& cost) {
+  const int n = g.num_nodes();
+  PositiveCycle result;
+  if (n == 0) return result;
+
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(n), 0);
+  std::vector<EdgeId> parent_edge(static_cast<std::size_t>(n), kNoEdge);
+
+  NodeId touched = kNoNode;
+  for (int round = 0; round < n; ++round) {
+    touched = kNoNode;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& edge = g.edge(e);
+      const std::int64_t cand = dist[static_cast<std::size_t>(edge.from)] + cost(e);
+      if (cand > dist[static_cast<std::size_t>(edge.to)]) {
+        dist[static_cast<std::size_t>(edge.to)] = cand;
+        parent_edge[static_cast<std::size_t>(edge.to)] = e;
+        touched = edge.to;
+      }
+    }
+    if (touched == kNoNode) return result;  // converged: no positive cycle
+  }
+
+  // Still relaxing after n rounds: walk n parent steps from the last updated
+  // node to guarantee landing on the cycle, then collect it.
+  NodeId v = touched;
+  for (int i = 0; i < n; ++i) {
+    const EdgeId pe = parent_edge[static_cast<std::size_t>(v)];
+    TS_ASSERT(pe != kNoEdge);
+    v = g.edge(pe).from;
+  }
+  const NodeId start = v;
+  result.found = true;
+  do {
+    const EdgeId pe = parent_edge[static_cast<std::size_t>(v)];
+    TS_ASSERT(pe != kNoEdge);
+    result.edges.push_back(pe);
+    v = g.edge(pe).from;
+  } while (v != start);
+  std::reverse(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,28 @@
+#pragma once
+// Longest-path relaxation with positive-cycle extraction (Bellman–Ford).
+//
+// Used by the maximum cycle-ratio computation: for a candidate ratio p/q the
+// integer edge cost q*d(v) - p*w(e) admits a positive cycle iff some loop has
+// delay-to-register ratio strictly greater than p/q.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace turbosyn {
+
+struct PositiveCycle {
+  bool found = false;
+  /// Edges of one positive cycle, in traversal order (empty if !found).
+  std::vector<EdgeId> edges;
+};
+
+/// Finds a cycle whose total cost (sum of cost(e) over edges) is > 0, if any.
+/// Every node acts as a source (distances start at 0), so cycles anywhere in
+/// the graph are detected.
+PositiveCycle find_positive_cycle(const Digraph& g,
+                                  const std::function<std::int64_t(EdgeId)>& cost);
+
+}  // namespace turbosyn

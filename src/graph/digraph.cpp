@@ -1,0 +1,31 @@
+#include "graph/digraph.hpp"
+
+#include "base/check.hpp"
+
+namespace turbosyn {
+
+NodeId Digraph::add_node() {
+  fanins_.emplace_back();
+  fanouts_.emplace_back();
+  return static_cast<NodeId>(fanins_.size() - 1);
+}
+
+NodeId Digraph::add_nodes(int count) {
+  TS_CHECK(count >= 0, "cannot add a negative number of nodes");
+  const NodeId first = static_cast<NodeId>(fanins_.size());
+  fanins_.resize(fanins_.size() + static_cast<std::size_t>(count));
+  fanouts_.resize(fanouts_.size() + static_cast<std::size_t>(count));
+  return first;
+}
+
+EdgeId Digraph::add_edge(NodeId from, NodeId to, std::int64_t weight) {
+  TS_CHECK(from >= 0 && from < num_nodes(), "edge source " << from << " out of range");
+  TS_CHECK(to >= 0 && to < num_nodes(), "edge target " << to << " out of range");
+  const EdgeId e = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{from, to, weight});
+  fanouts_[static_cast<std::size_t>(from)].push_back(e);
+  fanins_[static_cast<std::size_t>(to)].push_back(e);
+  return e;
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,53 @@
+#pragma once
+// A plain directed multigraph with integer edge weights.
+//
+// This is the shared substrate for the retiming-graph algorithms: the
+// netlist layer exports its connectivity as a Digraph (edge weight = number
+// of flip-flops on the connection) and the retiming / cycle-ratio / label
+// machinery operates on it uniformly.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace turbosyn {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+inline constexpr EdgeId kNoEdge = -1;
+
+class Digraph {
+ public:
+  struct Edge {
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    std::int64_t weight = 0;
+  };
+
+  NodeId add_node();
+  /// Adds count nodes and returns the id of the first.
+  NodeId add_nodes(int count);
+  EdgeId add_edge(NodeId from, NodeId to, std::int64_t weight = 0);
+
+  int num_nodes() const { return static_cast<int>(fanins_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const Edge& edge(EdgeId e) const { return edges_[static_cast<std::size_t>(e)]; }
+  std::int64_t weight(EdgeId e) const { return edge(e).weight; }
+  void set_weight(EdgeId e, std::int64_t w) { edges_[static_cast<std::size_t>(e)].weight = w; }
+
+  /// Edge ids entering / leaving a node, in insertion order.
+  std::span<const EdgeId> fanin_edges(NodeId v) const { return fanins_[static_cast<std::size_t>(v)]; }
+  std::span<const EdgeId> fanout_edges(NodeId v) const { return fanouts_[static_cast<std::size_t>(v)]; }
+
+  int fanin_count(NodeId v) const { return static_cast<int>(fanins_[static_cast<std::size_t>(v)].size()); }
+  int fanout_count(NodeId v) const { return static_cast<int>(fanouts_[static_cast<std::size_t>(v)].size()); }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> fanins_;
+  std::vector<std::vector<EdgeId>> fanouts_;
+};
+
+}  // namespace turbosyn

@@ -1,0 +1,103 @@
+#include "graph/max_flow.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/check.hpp"
+
+namespace turbosyn {
+
+MaxFlow::MaxFlow(int num_nodes) : head_(static_cast<std::size_t>(num_nodes), -1) {
+  TS_CHECK(num_nodes >= 0, "negative node count");
+}
+
+int MaxFlow::add_node() {
+  head_.push_back(-1);
+  return static_cast<int>(head_.size() - 1);
+}
+
+int MaxFlow::add_arc(int from, int to, std::int64_t capacity) {
+  TS_CHECK(from >= 0 && from < num_nodes() && to >= 0 && to < num_nodes(),
+           "arc endpoint out of range");
+  TS_CHECK(capacity >= 0, "negative arc capacity");
+  const int id = static_cast<int>(arcs_.size());
+  arcs_.push_back(Arc{to, head_[static_cast<std::size_t>(from)], capacity});
+  head_[static_cast<std::size_t>(from)] = id;
+  arcs_.push_back(Arc{from, head_[static_cast<std::size_t>(to)], 0});
+  head_[static_cast<std::size_t>(to)] = id + 1;
+  return id;
+}
+
+bool MaxFlow::build_levels(int source, int sink) {
+  level_.assign(head_.size(), -1);
+  std::deque<int> queue;
+  level_[static_cast<std::size_t>(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    for (int a = head_[static_cast<std::size_t>(v)]; a != -1; a = arcs_[static_cast<std::size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.cap > 0 && level_[static_cast<std::size_t>(arc.to)] == -1) {
+        level_[static_cast<std::size_t>(arc.to)] = level_[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] != -1;
+}
+
+std::int64_t MaxFlow::push(int v, int sink, std::int64_t budget) {
+  if (v == sink) return budget;
+  for (int& a = iter_[static_cast<std::size_t>(v)]; a != -1; a = arcs_[static_cast<std::size_t>(a)].next) {
+    Arc& arc = arcs_[static_cast<std::size_t>(a)];
+    if (arc.cap <= 0 || level_[static_cast<std::size_t>(arc.to)] != level_[static_cast<std::size_t>(v)] + 1) {
+      continue;
+    }
+    const std::int64_t sent = push(arc.to, sink, std::min(budget, arc.cap));
+    if (sent > 0) {
+      arc.cap -= sent;
+      arcs_[static_cast<std::size_t>(a ^ 1)].cap += sent;
+      return sent;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::compute(int source, int sink, std::int64_t limit) {
+  TS_CHECK(source != sink, "source and sink must differ");
+  TS_CHECK(source_ == -1, "compute() may only be called once");
+  source_ = source;
+  sink_ = sink;
+  std::int64_t flow = 0;
+  while (build_levels(source, sink)) {
+    iter_ = head_;
+    while (std::int64_t sent = push(source, sink, kInfinity)) {
+      flow += sent;
+      if (flow > limit) return flow;
+    }
+  }
+  return flow;
+}
+
+std::vector<bool> MaxFlow::min_cut_source_side() const {
+  TS_CHECK(source_ != -1, "min_cut_source_side requires a prior compute()");
+  std::vector<bool> side(head_.size(), false);
+  std::deque<int> queue;
+  side[static_cast<std::size_t>(source_)] = true;
+  queue.push_back(source_);
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    for (int a = head_[static_cast<std::size_t>(v)]; a != -1; a = arcs_[static_cast<std::size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.cap > 0 && !side[static_cast<std::size_t>(arc.to)]) {
+        side[static_cast<std::size_t>(arc.to)] = true;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,55 @@
+#pragma once
+// Dinic max-flow on a residual arc list.
+//
+// The K-feasible cut tests of FlowMap/TurboMap/TurboSYN reduce to "is the
+// max-flow through a node-split network at most K?", so compute() accepts a
+// limit and stops as soon as the flow exceeds it. After compute(), the
+// source side of a minimum cut is available.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace turbosyn {
+
+class MaxFlow {
+ public:
+  static constexpr std::int64_t kInfinity = std::numeric_limits<std::int64_t>::max() / 4;
+
+  explicit MaxFlow(int num_nodes = 0);
+
+  int add_node();
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+  /// Adds a directed arc with the given capacity (and a 0-capacity reverse
+  /// residual arc). Returns the arc index (reverse is index+1).
+  int add_arc(int from, int to, std::int64_t capacity);
+
+  /// Runs Dinic from source to sink. Stops early (returning a value > limit)
+  /// once the flow strictly exceeds `limit`; pass kInfinity for an exact
+  /// max-flow. Can be called once per instance.
+  std::int64_t compute(int source, int sink, std::int64_t limit = kInfinity);
+
+  /// After compute() terminated below its limit: nodes reachable from the
+  /// source in the residual graph (the source side of a minimum cut).
+  std::vector<bool> min_cut_source_side() const;
+
+ private:
+  struct Arc {
+    int to;
+    int next;  // next arc out of the same node, -1 terminates
+    std::int64_t cap;
+  };
+
+  bool build_levels(int source, int sink);
+  std::int64_t push(int v, int sink, std::int64_t budget);
+
+  std::vector<Arc> arcs_;
+  std::vector<int> head_;     // first arc of each node
+  std::vector<int> level_;
+  std::vector<int> iter_;     // current-arc optimization
+  int source_ = -1;
+  int sink_ = -1;
+};
+
+}  // namespace turbosyn

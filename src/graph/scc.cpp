@@ -1,0 +1,119 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace turbosyn {
+
+SccDecomposition strongly_connected_components(const Digraph& g,
+                                               const std::function<bool(EdgeId)>& skip_edge) {
+  const int n = g.num_nodes();
+  SccDecomposition result;
+  result.component_of.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<std::size_t>(n), -1);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<NodeId> stack;
+  int next_index = 0;
+
+  // Iterative Tarjan: each frame remembers the node and the position within
+  // its fanout list.
+  struct Frame {
+    NodeId v;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> frames;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    frames.push_back({root, 0});
+    index[static_cast<std::size_t>(root)] = lowlink[static_cast<std::size_t>(root)] = next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto outs = g.fanout_edges(f.v);
+      bool descended = false;
+      while (f.edge_pos < outs.size()) {
+        const EdgeId e = outs[f.edge_pos++];
+        if (skip_edge && skip_edge(e)) continue;
+        const NodeId w = g.edge(e).to;
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          index[static_cast<std::size_t>(w)] = lowlink[static_cast<std::size_t>(w)] = next_index++;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = true;
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(f.v)] =
+              std::min(lowlink[static_cast<std::size_t>(f.v)], index[static_cast<std::size_t>(w)]);
+        }
+      }
+      if (descended) continue;
+
+      // f.v is fully explored.
+      const NodeId v = f.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const NodeId parent = frames.back().v;
+        lowlink[static_cast<std::size_t>(parent)] =
+            std::min(lowlink[static_cast<std::size_t>(parent)], lowlink[static_cast<std::size_t>(v)]);
+      }
+      if (lowlink[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
+        std::vector<NodeId> comp;
+        while (true) {
+          const NodeId w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          comp.push_back(w);
+          if (w == v) break;
+        }
+        result.components.push_back(std::move(comp));
+      }
+    }
+  }
+
+  // Tarjan emits SCCs in reverse topological order; flip to topological.
+  std::reverse(result.components.begin(), result.components.end());
+  for (std::size_t c = 0; c < result.components.size(); ++c) {
+    for (const NodeId v : result.components[c]) {
+      result.component_of[static_cast<std::size_t>(v)] = static_cast<int>(c);
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> topological_order(const Digraph& g,
+                                      const std::function<bool(EdgeId)>& skip_edge) {
+  const int n = g.num_nodes();
+  std::vector<int> pending(static_cast<std::size_t>(n), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (skip_edge && skip_edge(e)) continue;
+    ++pending[static_cast<std::size_t>(g.edge(e).to)];
+  }
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    if (pending[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+  }
+  while (!ready.empty()) {
+    const NodeId v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (const EdgeId e : g.fanout_edges(v)) {
+      if (skip_edge && skip_edge(e)) continue;
+      if (--pending[static_cast<std::size_t>(g.edge(e).to)] == 0) ready.push_back(g.edge(e).to);
+    }
+  }
+  TS_CHECK(static_cast<int>(order.size()) == n,
+           "topological_order called on a graph with a (non-skipped) cycle");
+  return order;
+}
+
+}  // namespace turbosyn

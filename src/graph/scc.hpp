@@ -1,0 +1,35 @@
+#pragma once
+// Strongly connected components (iterative Tarjan).
+//
+// The TurboMap/TurboSYN label computation processes SCCs in topological
+// order (Theorem 2 of the paper relies on it), so the decomposition also
+// reports components in a topological order of the condensation.
+
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace turbosyn {
+
+struct SccDecomposition {
+  /// component_of[v] = index of v's SCC.
+  std::vector<int> component_of;
+  /// components[i] = nodes of SCC i; component indices are topologically
+  /// ordered: every edge u->v with distinct components goes from a lower
+  /// index to a higher index.
+  std::vector<std::vector<NodeId>> components;
+};
+
+/// Decomposes the graph; edges for which skip_edge returns true are ignored
+/// (used e.g. to break at registered edges). Pass nullptr to keep all edges.
+SccDecomposition strongly_connected_components(
+    const Digraph& g, const std::function<bool(EdgeId)>& skip_edge = nullptr);
+
+/// Topological order of a DAG (throws turbosyn::Error on a cycle). Edges for
+/// which skip_edge returns true are ignored; with a skip predicate the
+/// remaining graph must be acyclic.
+std::vector<NodeId> topological_order(const Digraph& g,
+                                      const std::function<bool(EdgeId)>& skip_edge = nullptr);
+
+}  // namespace turbosyn

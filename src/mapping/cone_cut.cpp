@@ -1,0 +1,86 @@
+#include "mapping/cone_cut.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/check.hpp"
+#include "graph/max_flow.hpp"
+
+namespace turbosyn {
+
+std::optional<std::vector<NodeId>> min_height_cut(const Circuit& c, NodeId root,
+                                                  std::span<const int> label, int height_limit,
+                                                  int size_limit) {
+  TS_CHECK(size_limit >= 1, "cut size limit must be positive");
+  if (height_limit < 0) return std::nullopt;
+
+  // Collect the fanin cone (root included) over zero-weight edges.
+  std::vector<NodeId> cone;
+  std::unordered_map<NodeId, int> cone_index;  // node -> dense index
+  cone.push_back(root);
+  cone_index.emplace(root, 0);
+  for (std::size_t i = 0; i < cone.size(); ++i) {
+    const NodeId v = cone[i];
+    // Only expand past nodes that are (or must be) inside the LUT: the root
+    // and nodes whose label exceeds the height limit. Nodes that may sit on
+    // the cut still need their fanins reachable for flow correctness, so
+    // expand everything — cuts deeper than a splittable node matter.
+    for (const EdgeId e : c.fanin_edges(v)) {
+      TS_CHECK(c.edge(e).weight == 0, "min_height_cut crossed a registered edge");
+      const NodeId u = c.edge(e).from;
+      if (cone_index.emplace(u, static_cast<int>(cone.size())).second) cone.push_back(u);
+    }
+  }
+
+  // Node-split flow network. Collapsed nodes (root, label > height_limit)
+  // share the sink; splittable nodes get in->out with capacity 1; cone
+  // leaves (no fanins) attach to the source.
+  MaxFlow flow;
+  const int source = flow.add_node();
+  const int sink = flow.add_node();
+  std::vector<int> in_id(cone.size(), -1);
+  std::vector<int> out_id(cone.size(), -1);
+  std::vector<bool> collapsed(cone.size(), false);
+  for (std::size_t i = 0; i < cone.size(); ++i) {
+    const NodeId v = cone[i];
+    collapsed[i] = (v == root) || label[static_cast<std::size_t>(v)] > height_limit;
+    if (collapsed[i]) {
+      in_id[i] = out_id[i] = sink;
+    } else {
+      in_id[i] = flow.add_node();
+      out_id[i] = flow.add_node();
+      flow.add_arc(in_id[i], out_id[i], 1);
+    }
+  }
+  for (std::size_t i = 0; i < cone.size(); ++i) {
+    const NodeId v = cone[i];
+    const auto fanins = c.fanin_edges(v);
+    if (fanins.empty()) {
+      if (!collapsed[i]) flow.add_arc(source, in_id[i], MaxFlow::kInfinity);
+      // A collapsed leaf (can only be the root as a constant) needs no arc.
+      continue;
+    }
+    for (const EdgeId e : fanins) {
+      const int u = cone_index.at(c.edge(e).from);
+      if (out_id[static_cast<std::size_t>(u)] == sink && in_id[i] == sink) continue;
+      flow.add_arc(out_id[static_cast<std::size_t>(u)], in_id[i], MaxFlow::kInfinity);
+    }
+  }
+
+  const std::int64_t value = flow.compute(source, sink, size_limit);
+  if (value > size_limit) return std::nullopt;
+
+  const std::vector<bool> side = flow.min_cut_source_side();
+  std::vector<NodeId> cut;
+  for (std::size_t i = 0; i < cone.size(); ++i) {
+    if (collapsed[i]) continue;
+    if (side[static_cast<std::size_t>(in_id[i])] && !side[static_cast<std::size_t>(out_id[i])]) {
+      cut.push_back(cone[i]);
+    }
+  }
+  std::sort(cut.begin(), cut.end());
+  TS_ASSERT(static_cast<std::int64_t>(cut.size()) == value);
+  return cut;
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,97 @@
+#include "mapping/dedupe.hpp"
+
+#include <deque>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace turbosyn {
+namespace {
+
+/// Union-find over node ids (path-compressing find).
+NodeId find_rep(std::vector<NodeId>& rep, NodeId v) {
+  while (rep[static_cast<std::size_t>(v)] != v) {
+    rep[static_cast<std::size_t>(v)] = rep[static_cast<std::size_t>(rep[static_cast<std::size_t>(v)])];
+    v = rep[static_cast<std::size_t>(v)];
+  }
+  return v;
+}
+
+}  // namespace
+
+Circuit dedupe_luts(const Circuit& c, DedupeStats* stats) {
+  std::vector<NodeId> rep(static_cast<std::size_t>(c.num_nodes()));
+  for (NodeId v = 0; v < c.num_nodes(); ++v) rep[static_cast<std::size_t>(v)] = v;
+
+  DedupeStats local;
+  local.before = c.num_gates();
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++local.rounds;
+    // Key: function hash + resolved (driver, weight) fanin list.
+    std::map<std::pair<std::uint64_t, std::vector<std::int64_t>>, NodeId> seen;
+    for (NodeId v = 0; v < c.num_nodes(); ++v) {
+      if (!c.is_gate(v) || find_rep(rep, v) != v) continue;
+      std::vector<std::int64_t> fanins;
+      for (const EdgeId e : c.fanin_edges(v)) {
+        const NodeId d = find_rep(rep, c.edge(e).from);
+        fanins.push_back((static_cast<std::int64_t>(d) << 20) | c.edge(e).weight);
+      }
+      const auto key = std::make_pair(c.function(v).hash(), std::move(fanins));
+      const auto [it, inserted] = seen.emplace(key, v);
+      if (!inserted && c.function(it->second) == c.function(v)) {
+        rep[static_cast<std::size_t>(v)] = it->second;
+        changed = true;
+      }
+    }
+  }
+
+  // Emit representatives reachable from the POs.
+  std::unordered_set<NodeId> live;
+  std::deque<NodeId> queue;
+  const auto mark = [&](NodeId v) {
+    const NodeId r = find_rep(rep, v);
+    if (live.insert(r).second) queue.push_back(r);
+  };
+  for (const NodeId po : c.pos()) mark(c.edge(c.fanin_edges(po)[0]).from);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    if (!c.is_gate(v)) continue;
+    for (const EdgeId e : c.fanin_edges(v)) mark(c.edge(e).from);
+  }
+
+  Circuit out;
+  std::vector<NodeId> to_out(static_cast<std::size_t>(c.num_nodes()), kNoNode);
+  for (const NodeId pi : c.pis()) to_out[static_cast<std::size_t>(pi)] = out.add_pi(c.name(pi));
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (c.is_gate(v) && live.count(v) != 0) {
+      to_out[static_cast<std::size_t>(v)] = out.declare_gate(c.name(v));
+    }
+  }
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (!c.is_gate(v) || live.count(v) == 0) continue;
+    std::vector<Circuit::FaninSpec> fanins;
+    for (const EdgeId e : c.fanin_edges(v)) {
+      const NodeId d = to_out[static_cast<std::size_t>(find_rep(rep, c.edge(e).from))];
+      TS_ASSERT(d != kNoNode);
+      fanins.push_back({d, c.edge(e).weight});
+    }
+    out.finish_gate(to_out[static_cast<std::size_t>(v)], c.function(v), fanins);
+  }
+  for (const NodeId po : c.pos()) {
+    const auto& e = c.edge(c.fanin_edges(po)[0]);
+    out.add_po(c.name(po), {to_out[static_cast<std::size_t>(find_rep(rep, e.from))], e.weight});
+  }
+  out.validate();
+
+  local.after = out.num_gates();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace turbosyn

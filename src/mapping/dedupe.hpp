@@ -1,0 +1,24 @@
+#pragma once
+// Structural LUT deduplication (strash-style).
+//
+// Sequential mapping generation replicates logic freely (node replication is
+// part of the retiming-aware formulation) and TurboSYN's decomposition can
+// emit identical encoder LUTs for different roots. Two gates with the same
+// function and the same (driver, register-count) fanin list compute the same
+// signal, so one can be dropped. Iterates to a fixpoint; a cheap stand-in
+// for the multi-output decomposition the paper lists as future work.
+
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+struct DedupeStats {
+  int before = 0;
+  int after = 0;
+  int rounds = 0;
+};
+
+/// Returns an equivalent circuit with structurally identical gates merged.
+Circuit dedupe_luts(const Circuit& c, DedupeStats* stats = nullptr);
+
+}  // namespace turbosyn

@@ -1,0 +1,149 @@
+#include "mapping/pack.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace turbosyn {
+namespace {
+
+struct Lut {
+  TruthTable func;
+  std::vector<Circuit::FaninSpec> fanins;  // driver may be PI or another LUT
+  bool alive = true;
+};
+
+/// Composes consumer with producer absorbed at fanin position `slot`.
+/// Returns the merged function over `merged_fanins`.
+TruthTable merge_functions(const Lut& consumer, const Lut& producer, std::size_t slot,
+                           const std::vector<Circuit::FaninSpec>& merged_fanins) {
+  const auto index_of = [&](const Circuit::FaninSpec& f) {
+    for (std::size_t i = 0; i < merged_fanins.size(); ++i) {
+      if (merged_fanins[i].driver == f.driver && merged_fanins[i].weight == f.weight) {
+        return static_cast<int>(i);
+      }
+    }
+    TS_ASSERT(false);
+    return -1;
+  };
+  const int arity = static_cast<int>(merged_fanins.size());
+  TruthTable result = TruthTable::constant(arity, false);
+  for (std::uint32_t x = 0; x < result.num_bits(); ++x) {
+    std::uint32_t p_in = 0;
+    for (std::size_t i = 0; i < producer.fanins.size(); ++i) {
+      if ((x >> index_of(producer.fanins[i])) & 1) p_in |= std::uint32_t{1} << i;
+    }
+    const bool p_val = producer.func.bit(p_in);
+    std::uint32_t c_in = 0;
+    for (std::size_t i = 0; i < consumer.fanins.size(); ++i) {
+      const bool v = (i == slot) ? p_val : (((x >> index_of(consumer.fanins[i])) & 1) != 0);
+      if (v) c_in |= std::uint32_t{1} << i;
+    }
+    if (consumer.func.bit(c_in)) result.set_bit(x, true);
+  }
+  return result;
+}
+
+}  // namespace
+
+Circuit pack_luts(const Circuit& c, int k, PackStats* stats) {
+  // Mutable working copy of the LUT network.
+  std::vector<Lut> luts(static_cast<std::size_t>(c.num_nodes()));
+  std::vector<int> fanout_uses(static_cast<std::size_t>(c.num_nodes()), 0);
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (!c.is_gate(v)) continue;
+    luts[static_cast<std::size_t>(v)].func = c.function(v);
+    for (const EdgeId e : c.fanin_edges(v)) {
+      luts[static_cast<std::size_t>(v)].fanins.push_back({c.edge(e).from, c.edge(e).weight});
+    }
+  }
+  for (EdgeId e = 0; e < c.num_edges(); ++e) {
+    ++fanout_uses[static_cast<std::size_t>(c.edge(e).from)];
+  }
+
+  PackStats local;
+  local.luts_before = c.num_gates();
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId v = 0; v < c.num_nodes(); ++v) {
+      Lut& consumer = luts[static_cast<std::size_t>(v)];
+      if (!c.is_gate(v) || !consumer.alive) continue;
+      for (std::size_t slot = 0; slot < consumer.fanins.size(); ++slot) {
+        const Circuit::FaninSpec fin = consumer.fanins[slot];
+        if (fin.weight != 0 || !c.is_gate(fin.driver) || fin.driver == v) continue;
+        Lut& producer = luts[static_cast<std::size_t>(fin.driver)];
+        if (!producer.alive || producer.fanins.empty()) continue;
+        if (fanout_uses[static_cast<std::size_t>(fin.driver)] != 1) continue;
+        // Merged support, deduplicated by (driver, weight).
+        std::vector<Circuit::FaninSpec> merged;
+        const auto add_unique = [&](const Circuit::FaninSpec& f) {
+          for (const auto& g : merged) {
+            if (g.driver == f.driver && g.weight == f.weight) return;
+          }
+          merged.push_back(f);
+        };
+        for (std::size_t i = 0; i < consumer.fanins.size(); ++i) {
+          if (i != slot) add_unique(consumer.fanins[i]);
+        }
+        for (const auto& f : producer.fanins) add_unique(f);
+        if (static_cast<int>(merged.size()) > k) continue;
+
+        consumer.func = merge_functions(consumer, producer, slot, merged);
+        // Re-balance the use counts: the old consumer slots and all producer
+        // slots disappear; the merged slots take their place.
+        for (const auto& f : consumer.fanins) {
+          --fanout_uses[static_cast<std::size_t>(f.driver)];
+        }
+        for (const auto& f : producer.fanins) {
+          --fanout_uses[static_cast<std::size_t>(f.driver)];
+        }
+        for (const auto& f : merged) {
+          ++fanout_uses[static_cast<std::size_t>(f.driver)];
+        }
+        consumer.fanins = merged;
+        producer.alive = false;
+        ++local.merges;
+        changed = true;
+        break;  // consumer changed; revisit it on the next sweep
+      }
+    }
+  }
+
+  // Emit the packed circuit.
+  Circuit out;
+  std::vector<NodeId> to_out(static_cast<std::size_t>(c.num_nodes()), kNoNode);
+  for (const NodeId pi : c.pis()) to_out[static_cast<std::size_t>(pi)] = out.add_pi(c.name(pi));
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (c.is_gate(v) && luts[static_cast<std::size_t>(v)].alive) {
+      to_out[static_cast<std::size_t>(v)] = out.declare_gate(c.name(v));
+    }
+  }
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (!c.is_gate(v) || !luts[static_cast<std::size_t>(v)].alive) continue;
+    std::vector<Circuit::FaninSpec> fanins;
+    for (const auto& f : luts[static_cast<std::size_t>(v)].fanins) {
+      const NodeId d = to_out[static_cast<std::size_t>(f.driver)];
+      TS_ASSERT(d != kNoNode);
+      fanins.push_back({d, f.weight});
+    }
+    out.finish_gate(to_out[static_cast<std::size_t>(v)], luts[static_cast<std::size_t>(v)].func,
+                    fanins);
+  }
+  for (const NodeId po : c.pos()) {
+    const auto& e = c.edge(c.fanin_edges(po)[0]);
+    const NodeId d = to_out[static_cast<std::size_t>(e.from)];
+    TS_ASSERT(d != kNoNode);
+    out.add_po(c.name(po), {d, e.weight});
+  }
+  out.validate();
+
+  local.luts_after = out.num_gates();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace turbosyn

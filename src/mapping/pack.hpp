@@ -1,0 +1,25 @@
+#pragma once
+// Greedy LUT packing (the mpack/flowpack-flavored post-processing).
+//
+// After mapping generation, a LUT u with a single fanout into LUT v over a
+// register-free connection can be absorbed into v whenever the merged
+// support still fits in K inputs. This only shortens paths, so depth and
+// MDR ratio never degrade. The paper uses mpack [4] and flowpack [6] here
+// and notes the post-processing is not its contribution; this greedy pass
+// plays the same role.
+
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+struct PackStats {
+  int luts_before = 0;
+  int luts_after = 0;
+  int merges = 0;
+};
+
+/// Returns a functionally equivalent circuit with single-fanout LUTs packed
+/// into their consumers where the merged input count stays <= k.
+Circuit pack_luts(const Circuit& c, int k, PackStats* stats = nullptr);
+
+}  // namespace turbosyn

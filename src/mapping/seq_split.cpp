@@ -1,0 +1,121 @@
+#include "mapping/seq_split.hpp"
+
+#include <map>
+
+#include "base/check.hpp"
+#include "netlist/gates.hpp"
+
+namespace turbosyn {
+namespace {
+
+std::string pseudo_pi_name(const Circuit& c, NodeId driver, int weight) {
+  return "$ffin:" + c.name(driver) + ":" + std::to_string(weight);
+}
+
+std::string pseudo_po_name(const Circuit& c, NodeId driver) {
+  return "$ffsrc:" + c.name(driver);
+}
+
+}  // namespace
+
+SequentialSplit split_at_registers(const Circuit& c) {
+  SequentialSplit split;
+  Circuit& comb = split.comb;
+
+  std::vector<NodeId> to_comb(static_cast<std::size_t>(c.num_nodes()), kNoNode);
+  for (const NodeId pi : c.pis()) to_comb[static_cast<std::size_t>(pi)] = comb.add_pi(c.name(pi));
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (c.is_gate(v)) to_comb[static_cast<std::size_t>(v)] = comb.declare_gate(c.name(v));
+  }
+
+  std::map<std::pair<NodeId, int>, NodeId> pseudo;  // (driver, weight) -> comb PI
+  std::map<NodeId, bool> needs_src;                 // drivers observed through registers
+  const auto boundary = [&](NodeId driver, int weight) -> Circuit::FaninSpec {
+    if (weight == 0) return {to_comb[static_cast<std::size_t>(driver)], 0};
+    const auto [it, inserted] = pseudo.emplace(std::make_pair(driver, weight), kNoNode);
+    if (inserted) {
+      it->second = comb.add_pi(pseudo_pi_name(c, driver, weight));
+      split.pseudo_pi.emplace(it->second,
+                              SequentialSplit::RegisteredSignal{driver, weight});
+      needs_src[driver] = true;
+    }
+    return {it->second, 0};
+  };
+
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (!c.is_gate(v)) continue;
+    std::vector<Circuit::FaninSpec> fanins;
+    for (const EdgeId e : c.fanin_edges(v)) {
+      fanins.push_back(boundary(c.edge(e).from, c.edge(e).weight));
+    }
+    comb.finish_gate(to_comb[static_cast<std::size_t>(v)], c.function(v), fanins);
+  }
+  for (const NodeId po : c.pos()) {
+    const auto& e = c.edge(c.fanin_edges(po)[0]);
+    comb.add_po(c.name(po), boundary(e.from, e.weight));
+  }
+  for (const auto& [driver, unused] : needs_src) {
+    (void)unused;
+    const NodeId po = comb.add_po(pseudo_po_name(c, driver),
+                                  {to_comb[static_cast<std::size_t>(driver)], 0});
+    split.pseudo_po.emplace(po, driver);
+  }
+  comb.validate();
+  return split;
+}
+
+Circuit merge_registers(const Circuit& original, const SequentialSplit& split,
+                        const Circuit& mapped_comb) {
+  Circuit out;
+  std::vector<NodeId> to_out(static_cast<std::size_t>(mapped_comb.num_nodes()), kNoNode);
+  for (const NodeId pi : original.pis()) {
+    const NodeId mpi = mapped_comb.find(original.name(pi));
+    TS_CHECK(mpi != kNoNode, "mapped circuit lost PI '" << original.name(pi) << "'");
+    to_out[static_cast<std::size_t>(mpi)] = out.add_pi(original.name(pi));
+  }
+  for (NodeId v = 0; v < mapped_comb.num_nodes(); ++v) {
+    if (mapped_comb.is_gate(v)) to_out[static_cast<std::size_t>(v)] = out.declare_gate(mapped_comb.name(v));
+  }
+
+  // Resolves a mapped_comb node to the final-circuit fanin it represents:
+  // gates and real PIs map 1:1; pseudo-PIs become weighted edges from the
+  // mapped driver of the corresponding original register source.
+  const auto resolve = [&](NodeId v) -> Circuit::FaninSpec {
+    if (to_out[static_cast<std::size_t>(v)] != kNoNode) {
+      return {to_out[static_cast<std::size_t>(v)], 0};
+    }
+    TS_CHECK(mapped_comb.is_pi(v), "unmapped internal node in merge");
+    const NodeId comb_pi = split.comb.find(mapped_comb.name(v));
+    const auto sig_it = split.pseudo_pi.find(comb_pi);
+    TS_CHECK(sig_it != split.pseudo_pi.end(),
+             "mapped circuit has unknown PI '" << mapped_comb.name(v) << "'");
+    const auto& sig = sig_it->second;
+    const NodeId src_po = mapped_comb.find(pseudo_po_name(original, sig.driver));
+    TS_CHECK(src_po != kNoNode, "mapped circuit lost register source '"
+                                    << original.name(sig.driver) << "'");
+    const auto& e = mapped_comb.edge(mapped_comb.fanin_edges(src_po)[0]);
+    TS_ASSERT(e.weight == 0);
+    const NodeId driver_out = to_out[static_cast<std::size_t>(e.from)];
+    TS_CHECK(driver_out != kNoNode, "register source resolves to a pseudo node");
+    return {driver_out, sig.weight};
+  };
+
+  for (NodeId v = 0; v < mapped_comb.num_nodes(); ++v) {
+    if (!mapped_comb.is_gate(v)) continue;
+    std::vector<Circuit::FaninSpec> fanins;
+    for (const EdgeId e : mapped_comb.fanin_edges(v)) {
+      TS_ASSERT(mapped_comb.edge(e).weight == 0);
+      fanins.push_back(resolve(mapped_comb.edge(e).from));
+    }
+    out.finish_gate(to_out[static_cast<std::size_t>(v)], mapped_comb.function(v), fanins);
+  }
+  for (const NodeId po : mapped_comb.pos()) {
+    if (mapped_comb.name(po).rfind("$ffsrc:", 0) == 0) continue;  // pseudo boundary
+    const auto& e = mapped_comb.edge(mapped_comb.fanin_edges(po)[0]);
+    out.add_po(mapped_comb.name(po), resolve(e.from));
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace turbosyn

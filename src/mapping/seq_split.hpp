@@ -1,0 +1,42 @@
+#pragma once
+// Splitting a sequential circuit at its registers (and merging back).
+//
+// FlowSYN-s — the strongest prior-art baseline in the paper — cuts the
+// circuit at all FFs, maps every combinational block independently, then
+// stitches the mapped blocks back together with the original FFs. The split
+// introduces a pseudo-PI per distinct (driver, register-count) signal and a
+// pseudo-PO per register driver so the mapper must keep those nodes
+// observable.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+struct SequentialSplit {
+  Circuit comb;  // combinational circuit (every edge weight 0)
+  /// Original driver node feeding pseudo-PI i of `comb`, plus its delay.
+  struct RegisteredSignal {
+    NodeId driver = kNoNode;  // node in the ORIGINAL circuit
+    int weight = 0;           // number of FFs between driver and this signal
+  };
+  /// comb PI node -> registered signal (absent for real PIs).
+  std::unordered_map<NodeId, RegisteredSignal> pseudo_pi;
+  /// comb PO node -> original driver it observes (absent for real POs).
+  std::unordered_map<NodeId, NodeId> pseudo_po;
+};
+
+/// Cuts at all registers. Real PI/PO/gate names are preserved.
+SequentialSplit split_at_registers(const Circuit& c);
+
+/// Re-assembles a sequential circuit from a mapped version of split.comb:
+/// pseudo-PIs become weighted edges from the mapped driver (located via the
+/// pseudo-PO of the same original driver), pseudo boundary nodes disappear.
+/// `mapped_comb` must have the same PI/PO names as split.comb.
+Circuit merge_registers(const Circuit& original, const SequentialSplit& split,
+                        const Circuit& mapped_comb);
+
+}  // namespace turbosyn

@@ -1,0 +1,293 @@
+#include "netlist/blif.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace turbosyn {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+/// One .names block: output signal, input signals, cover rows.
+struct CoverBlock {
+  std::string output;
+  std::vector<std::string> inputs;
+  std::vector<std::pair<std::string, char>> rows;  // (input plane, output bit)
+};
+
+struct LatchDef {
+  std::string input;
+  std::string output;
+};
+
+/// Builds a truth table from an SOP cover. All rows must share the output
+/// polarity (as SIS writes them); a '0' output plane complements the OR.
+TruthTable cover_to_truth_table(const CoverBlock& block) {
+  const int arity = static_cast<int>(block.inputs.size());
+  TS_CHECK(arity <= TruthTable::kMaxVars,
+           ".names '" << block.output << "' has " << arity << " inputs (max "
+                      << TruthTable::kMaxVars << ")");
+  TruthTable sum = TruthTable::constant(arity, false);
+  char polarity = '1';
+  bool polarity_set = false;
+  for (const auto& [plane, out_bit] : block.rows) {
+    TS_CHECK(static_cast<int>(plane.size()) == arity,
+             ".names '" << block.output << "': cover row width mismatch");
+    TS_CHECK(out_bit == '0' || out_bit == '1', "invalid cover output bit");
+    if (!polarity_set) {
+      polarity = out_bit;
+      polarity_set = true;
+    }
+    TS_CHECK(out_bit == polarity, ".names '" << block.output << "': mixed output polarities");
+    TruthTable product = TruthTable::constant(arity, true);
+    for (int i = 0; i < arity; ++i) {
+      if (plane[static_cast<std::size_t>(i)] == '1') {
+        product = product & TruthTable::var(arity, i);
+      } else if (plane[static_cast<std::size_t>(i)] == '0') {
+        product = product & ~TruthTable::var(arity, i);
+      } else {
+        TS_CHECK(plane[static_cast<std::size_t>(i)] == '-', "invalid cover input character");
+      }
+    }
+    sum = sum | product;
+  }
+  if (!polarity_set) return TruthTable::constant(arity, false);  // empty cover = const 0
+  return polarity == '1' ? sum : ~sum;
+}
+
+class BlifParser {
+ public:
+  explicit BlifParser(std::istream& in) : in_(in) {}
+
+  Circuit parse() {
+    read_sections();
+    return build();
+  }
+
+ private:
+  void read_sections() {
+    std::string line;
+    std::string pending;
+    bool done = false;
+    while (!done && std::getline(in_, line)) {
+      // Strip comments and handle '\' continuations.
+      if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+      if (!line.empty() && line.back() == '\\') {
+        line.pop_back();
+        pending += line + ' ';
+        continue;
+      }
+      line = pending + line;
+      pending.clear();
+      const auto tokens = tokenize(line);
+      if (tokens.empty()) continue;
+      const std::string& head = tokens[0];
+      if (head[0] != '.') {
+        TS_CHECK(current_cover_ != nullptr, "cover row outside a .names block");
+        if (tokens.size() == 1) {
+          // Constant function: single output column.
+          TS_CHECK(current_cover_->inputs.empty(), "cover row missing input plane");
+          current_cover_->rows.emplace_back("", tokens[0][0]);
+        } else {
+          TS_CHECK(tokens.size() == 2, "cover row must be '<plane> <bit>'");
+          current_cover_->rows.emplace_back(tokens[0], tokens[1][0]);
+        }
+        continue;
+      }
+      current_cover_ = nullptr;
+      if (head == ".model") {
+        // Model name ignored (single-model files only).
+      } else if (head == ".inputs") {
+        inputs_.insert(inputs_.end(), tokens.begin() + 1, tokens.end());
+      } else if (head == ".outputs") {
+        outputs_.insert(outputs_.end(), tokens.begin() + 1, tokens.end());
+      } else if (head == ".names") {
+        TS_CHECK(tokens.size() >= 2, ".names requires at least an output");
+        CoverBlock block;
+        block.output = tokens.back();
+        block.inputs.assign(tokens.begin() + 1, tokens.end() - 1);
+        covers_.push_back(std::move(block));
+        current_cover_ = &covers_.back();
+      } else if (head == ".latch") {
+        TS_CHECK(tokens.size() >= 3, ".latch requires input and output");
+        latches_.push_back(LatchDef{tokens[1], tokens[2]});
+      } else if (head == ".end") {
+        done = true;
+      } else {
+        TS_CHECK(false, "unsupported BLIF construct '" << head << "'");
+      }
+    }
+    TS_CHECK(pending.empty(), "dangling line continuation at end of file");
+  }
+
+  /// Resolves a signal name to its combinational driver node plus the number
+  /// of latches between driver and the named signal (latch chains collapse
+  /// into the returned edge weight).
+  Circuit::FaninSpec resolve(const Circuit& c, const std::string& signal) const {
+    std::string target = signal;
+    int weight = 0;
+    while (true) {
+      const auto it = latch_by_output_.find(target);
+      if (it == latch_by_output_.end()) break;
+      ++weight;
+      TS_CHECK(weight <= static_cast<int>(latches_.size()),
+               "latch loop without combinational driver at '" << signal << "'");
+      target = it->second->input;
+    }
+    const NodeId v = c.find(target);
+    TS_CHECK(v != kNoNode, "undriven signal '" << target << "'");
+    return Circuit::FaninSpec{v, weight};
+  }
+
+  Circuit build() {
+    Circuit c;
+    std::unordered_set<std::string> driven;
+    for (const auto& latch : latches_) {
+      TS_CHECK(driven.insert(latch.output).second,
+               "signal '" << latch.output << "' driven more than once");
+      latch_by_output_.emplace(latch.output, &latch);
+    }
+    for (const std::string& name : inputs_) {
+      TS_CHECK(driven.insert(name).second, "signal '" << name << "' driven more than once");
+      c.add_pi(name);
+    }
+    // Declare all gates first (sequential loops make any bottom-up order
+    // impossible), then attach covers and finally the POs.
+    std::vector<NodeId> gate_of(covers_.size());
+    for (std::size_t i = 0; i < covers_.size(); ++i) {
+      TS_CHECK(driven.insert(covers_[i].output).second,
+               "signal '" << covers_[i].output << "' driven more than once");
+      gate_of[i] = c.declare_gate(covers_[i].output);
+    }
+    for (std::size_t i = 0; i < covers_.size(); ++i) {
+      std::vector<Circuit::FaninSpec> fanins;
+      fanins.reserve(covers_[i].inputs.size());
+      for (const std::string& in : covers_[i].inputs) fanins.push_back(resolve(c, in));
+      c.finish_gate(gate_of[i], cover_to_truth_table(covers_[i]), fanins);
+    }
+    for (const std::string& name : outputs_) {
+      c.add_po(std::string(kPoPrefix) + name, resolve(c, name));
+    }
+    c.validate();
+    return c;
+  }
+
+  std::istream& in_;
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+  std::vector<CoverBlock> covers_;
+  std::vector<LatchDef> latches_;
+  CoverBlock* current_cover_ = nullptr;
+  std::unordered_map<std::string, const LatchDef*> latch_by_output_;
+};
+
+}  // namespace
+
+std::string po_display_name(const Circuit& c, NodeId po) {
+  TS_CHECK(c.is_po(po), "po_display_name requires a PO node");
+  const std::string& n = c.name(po);
+  if (n.rfind(kPoPrefix, 0) == 0) return n.substr(std::string(kPoPrefix).size());
+  return n;
+}
+
+Circuit read_blif(std::istream& in) { return BlifParser(in).parse(); }
+
+Circuit read_blif_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_blif(is);
+}
+
+Circuit read_blif_file(const std::string& path) {
+  std::ifstream f(path);
+  TS_CHECK(f.good(), "cannot open BLIF file '" << path << "'");
+  return read_blif(f);
+}
+
+void write_blif(const Circuit& c, std::ostream& out, const std::string& model_name) {
+  out << ".model " << model_name << '\n';
+  out << ".inputs";
+  for (const NodeId pi : c.pis()) out << ' ' << c.name(pi);
+  out << '\n';
+  out << ".outputs";
+  for (const NodeId po : c.pos()) out << ' ' << po_display_name(c, po);
+  out << '\n';
+
+  // Latch chains: signal name of `driver` delayed by `level` >= 1 latches.
+  // All .latch lines are emitted up front (before any .names) so gate covers
+  // can reference them.
+  std::map<std::pair<NodeId, int>, std::string> latch_signal;
+  const auto declare_chain = [&](NodeId driver, int weight) {
+    std::string prev = c.name(driver);
+    for (int lvl = 1; lvl <= weight; ++lvl) {
+      auto [it, inserted] = latch_signal.emplace(std::make_pair(driver, lvl), "");
+      if (inserted) {
+        it->second = c.name(driver) + "_ff" + std::to_string(lvl);
+        out << ".latch " << prev << ' ' << it->second << " 0\n";
+      }
+      prev = it->second;
+    }
+  };
+  for (EdgeId e = 0; e < c.num_edges(); ++e) {
+    declare_chain(c.edge(e).from, c.edge(e).weight);
+  }
+  const auto signal_at = [&](NodeId driver, int weight) -> std::string {
+    if (weight == 0) return c.name(driver);
+    return latch_signal.at(std::make_pair(driver, weight));
+  };
+
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (!c.is_gate(v)) continue;
+    const auto fanins = c.fanin_edges(v);
+    out << ".names";
+    for (const EdgeId e : fanins) out << ' ' << signal_at(c.edge(e).from, c.edge(e).weight);
+    out << ' ' << c.name(v) << '\n';
+    const TruthTable& f = c.function(v);
+    const int arity = f.num_vars();
+    if (arity == 0) {
+      if (f.bit(0)) out << "1\n";
+      continue;
+    }
+    for (std::uint32_t m = 0; m < f.num_bits(); ++m) {
+      if (!f.bit(m)) continue;
+      std::string plane(static_cast<std::size_t>(arity), '0');
+      for (int i = 0; i < arity; ++i) {
+        if ((m >> i) & 1) plane[static_cast<std::size_t>(i)] = '1';
+      }
+      out << plane << " 1\n";
+    }
+  }
+
+  for (const NodeId po : c.pos()) {
+    const auto& e = c.edge(c.fanin_edges(po)[0]);
+    const std::string sig = signal_at(e.from, e.weight);
+    const std::string display = po_display_name(c, po);
+    if (sig != display) out << ".names " << sig << ' ' << display << "\n1 1\n";
+  }
+  out << ".end\n";
+}
+
+std::string write_blif_string(const Circuit& c, const std::string& model_name) {
+  std::ostringstream os;
+  write_blif(c, os, model_name);
+  return os.str();
+}
+
+void write_blif_file(const Circuit& c, const std::string& path, const std::string& model_name) {
+  std::ofstream f(path);
+  TS_CHECK(f.good(), "cannot open '" << path << "' for writing");
+  write_blif(c, f, model_name);
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,36 @@
+#pragma once
+// BLIF reader/writer (the SIS subset used by the MCNC benchmark flows).
+//
+// Supported constructs: .model/.inputs/.outputs/.names/.latch/.end, comments
+// and line continuations. Latches are absorbed into edge weights of the
+// retiming graph (a chain of k latches becomes weight k); latch initial
+// values are ignored, consistent with the paper's retiming formulation.
+// PO nodes receive an internal "$po:" name prefix so that output names may
+// coincide with internal signal names; the writer strips the prefix.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+inline constexpr const char* kPoPrefix = "$po:";
+
+/// The user-visible name of a PO node (strips the internal prefix).
+std::string po_display_name(const Circuit& c, NodeId po);
+
+/// Parses a BLIF model into a Circuit. Throws turbosyn::Error on malformed
+/// input (unknown signals, duplicate drivers, combinational loops, ...).
+Circuit read_blif(std::istream& in);
+Circuit read_blif_string(const std::string& text);
+Circuit read_blif_file(const std::string& path);
+
+/// Serializes the circuit as BLIF; edge weights are expanded into latch
+/// chains. Gates are emitted as minterm covers.
+void write_blif(const Circuit& c, std::ostream& out, const std::string& model_name = "circuit");
+std::string write_blif_string(const Circuit& c, const std::string& model_name = "circuit");
+void write_blif_file(const Circuit& c, const std::string& path,
+                     const std::string& model_name = "circuit");
+
+}  // namespace turbosyn

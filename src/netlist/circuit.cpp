@@ -1,0 +1,170 @@
+#include "netlist/circuit.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+#include "graph/scc.hpp"
+
+namespace turbosyn {
+
+NodeId Circuit::add_node(NodeKind kind, const std::string& name) {
+  TS_CHECK(!name.empty(), "node name must be non-empty");
+  TS_CHECK(by_name_.find(name) == by_name_.end(), "duplicate node name '" << name << "'");
+  const NodeId v = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{kind, name, TruthTable(), true, {}, {}});
+  by_name_.emplace(name, v);
+  return v;
+}
+
+EdgeId Circuit::add_edge(NodeId from, NodeId to, int weight) {
+  TS_CHECK(from >= 0 && from < num_nodes(), "edge source out of range");
+  TS_CHECK(to >= 0 && to < num_nodes(), "edge target out of range");
+  TS_CHECK(weight >= 0, "edge weight (flip-flop count) must be non-negative");
+  TS_CHECK(!is_po(from), "a PO cannot drive anything");
+  const EdgeId e = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{from, to, weight});
+  node(from).fanouts.push_back(e);
+  node(to).fanins.push_back(e);
+  return e;
+}
+
+NodeId Circuit::add_pi(const std::string& name) {
+  const NodeId v = add_node(NodeKind::kPi, name);
+  pis_.push_back(v);
+  return v;
+}
+
+NodeId Circuit::add_po(const std::string& name, FaninSpec fanin) {
+  const NodeId v = add_node(NodeKind::kPo, name);
+  pos_.push_back(v);
+  add_edge(fanin.driver, v, fanin.weight);
+  return v;
+}
+
+NodeId Circuit::add_gate(const std::string& name, TruthTable func,
+                         std::span<const FaninSpec> fanins) {
+  const NodeId v = declare_gate(name);
+  finish_gate(v, std::move(func), fanins);
+  return v;
+}
+
+NodeId Circuit::declare_gate(const std::string& name) {
+  const NodeId v = add_node(NodeKind::kGate, name);
+  node(v).finished = false;
+  return v;
+}
+
+void Circuit::finish_gate(NodeId v, TruthTable func, std::span<const FaninSpec> fanins) {
+  TS_CHECK(is_gate(v), "finish_gate requires a declared gate");
+  TS_CHECK(!node(v).finished, "gate '" << name(v) << "' finished twice");
+  TS_CHECK(func.num_vars() == static_cast<int>(fanins.size()),
+           "gate '" << name(v) << "': function arity " << func.num_vars() << " != fanin count "
+                    << fanins.size());
+  node(v).func = std::move(func);
+  for (const FaninSpec& f : fanins) add_edge(f.driver, v, f.weight);
+  node(v).finished = true;
+}
+
+int Circuit::num_gates() const {
+  int n = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (is_gate(v) && !fanin_edges(v).empty()) ++n;
+  }
+  return n;
+}
+
+std::int64_t Circuit::num_ffs() const {
+  std::int64_t n = 0;
+  for (const Edge& e : edges_) n += e.weight;
+  return n;
+}
+
+std::int64_t Circuit::num_ffs_shared() const {
+  std::int64_t n = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    int deepest = 0;
+    for (const EdgeId e : fanout_edges(v)) deepest = std::max(deepest, edge(e).weight);
+    n += deepest;
+  }
+  return n;
+}
+
+const TruthTable& Circuit::function(NodeId v) const {
+  TS_CHECK(is_gate(v), "only gates have logic functions");
+  return node(v).func;
+}
+
+void Circuit::set_edge_weight(EdgeId e, int weight) {
+  TS_CHECK(weight >= 0, "edge weight must be non-negative");
+  edges_[static_cast<std::size_t>(e)].weight = weight;
+}
+
+NodeId Circuit::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoNode : it->second;
+}
+
+void Circuit::validate() const {
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    switch (kind(v)) {
+      case NodeKind::kPi:
+        TS_CHECK(fanin_edges(v).empty(), "PI '" << name(v) << "' has fanins");
+        break;
+      case NodeKind::kPo:
+        TS_CHECK(fanin_edges(v).size() == 1, "PO '" << name(v) << "' must have exactly one fanin");
+        break;
+      case NodeKind::kGate:
+        TS_CHECK(node(v).finished, "gate '" << name(v) << "' declared but never finished");
+        TS_CHECK(node(v).func.num_vars() == static_cast<int>(fanin_edges(v).size()),
+                 "gate '" << name(v) << "' arity mismatch");
+        break;
+    }
+  }
+  // Every cycle must carry at least one flip-flop: the subgraph of weight-0
+  // edges must be acyclic.
+  const Digraph g = to_digraph();
+  topological_order(g, [&](EdgeId e) { return g.edge(e).weight > 0; });
+}
+
+bool Circuit::is_k_bounded(int k) const { return max_fanin() <= k; }
+
+int Circuit::max_fanin() const {
+  int m = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (is_gate(v)) m = std::max(m, static_cast<int>(fanin_edges(v).size()));
+  }
+  return m;
+}
+
+Digraph Circuit::to_digraph() const {
+  Digraph g;
+  g.add_nodes(num_nodes());
+  for (const Edge& e : edges_) g.add_edge(e.from, e.to, e.weight);
+  return g;
+}
+
+CircuitStats compute_stats(const Circuit& c) {
+  CircuitStats s;
+  s.pis = c.num_pis();
+  s.pos = c.num_pos();
+  s.gates = c.num_gates();
+  s.ffs = c.num_ffs_shared();
+  s.max_fanin = c.max_fanin();
+  const Digraph g = c.to_digraph();
+  const SccDecomposition scc = strongly_connected_components(g);
+  for (const auto& comp : scc.components) {
+    if (comp.size() > 1) {
+      ++s.sccs_with_cycle;
+      continue;
+    }
+    for (const EdgeId e : g.fanout_edges(comp[0])) {
+      if (g.edge(e).to == comp[0]) {
+        ++s.sccs_with_cycle;
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace turbosyn

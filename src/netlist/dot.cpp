@@ -1,0 +1,62 @@
+#include "netlist/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "base/check.hpp"
+#include "netlist/blif.hpp"
+
+namespace turbosyn {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_dot(const Circuit& c, std::ostream& out, const DotOptions& options) {
+  if (!options.annotations.empty()) {
+    TS_CHECK(static_cast<int>(options.annotations.size()) == c.num_nodes(),
+             "annotation vector must have one entry per node");
+  }
+  out << "digraph circuit {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    std::string label = c.is_po(v) ? po_display_name(c, v) : c.name(v);
+    if (options.show_functions && c.is_gate(v)) {
+      label += "\\n0x" + c.function(v).to_hex();
+    }
+    if (!options.annotations.empty()) {
+      label += "\\nl=" + std::to_string(options.annotations[static_cast<std::size_t>(v)]);
+    }
+    out << "  n" << v << " [label=\"" << escape(label) << "\" shape=";
+    switch (c.kind(v)) {
+      case NodeKind::kPi: out << "triangle"; break;
+      case NodeKind::kPo: out << "invtriangle"; break;
+      case NodeKind::kGate: out << "box"; break;
+    }
+    out << "];\n";
+  }
+  for (EdgeId e = 0; e < c.num_edges(); ++e) {
+    const auto& edge = c.edge(e);
+    out << "  n" << edge.from << " -> n" << edge.to;
+    if (edge.weight > 0) {
+      out << " [label=\"" << edge.weight << "\" style=bold color=firebrick]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+}
+
+std::string write_dot_string(const Circuit& c, const DotOptions& options) {
+  std::ostringstream os;
+  write_dot(c, os, options);
+  return os.str();
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,26 @@
+#pragma once
+// Graphviz (DOT) export of circuits.
+//
+// Renders the retiming graph: PIs as triangles, POs as inverted triangles,
+// gates as boxes labeled with their name (and optionally the truth table
+// hex); registered edges are labeled with their FF count and drawn heavier.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+struct DotOptions {
+  bool show_functions = false;  // append the truth-table hex to gate labels
+  /// Optional per-node annotation (e.g. labels from the label computation);
+  /// empty = none. Indexed by NodeId.
+  std::span<const int> annotations = {};
+};
+
+void write_dot(const Circuit& c, std::ostream& out, const DotOptions& options = {});
+std::string write_dot_string(const Circuit& c, const DotOptions& options = {});
+
+}  // namespace turbosyn

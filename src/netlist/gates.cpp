@@ -1,0 +1,59 @@
+#include "netlist/gates.hpp"
+
+#include "base/check.hpp"
+
+namespace turbosyn {
+namespace {
+
+void check_gate_arity(int arity) {
+  TS_CHECK(arity >= 1 && arity <= TruthTable::kMaxVars, "gate arity out of range");
+}
+
+}  // namespace
+
+TruthTable tt_buf() { return TruthTable::var(1, 0); }
+
+TruthTable tt_not() { return ~TruthTable::var(1, 0); }
+
+TruthTable tt_and(int arity) {
+  check_gate_arity(arity);
+  TruthTable t = TruthTable::constant(arity, true);
+  for (int i = 0; i < arity; ++i) t = t & TruthTable::var(arity, i);
+  return t;
+}
+
+TruthTable tt_or(int arity) {
+  check_gate_arity(arity);
+  TruthTable t = TruthTable::constant(arity, false);
+  for (int i = 0; i < arity; ++i) t = t | TruthTable::var(arity, i);
+  return t;
+}
+
+TruthTable tt_nand(int arity) { return ~tt_and(arity); }
+
+TruthTable tt_nor(int arity) { return ~tt_or(arity); }
+
+TruthTable tt_xor(int arity) {
+  check_gate_arity(arity);
+  TruthTable t = TruthTable::constant(arity, false);
+  for (int i = 0; i < arity; ++i) t = t ^ TruthTable::var(arity, i);
+  return t;
+}
+
+TruthTable tt_xnor(int arity) { return ~tt_xor(arity); }
+
+TruthTable tt_mux() {
+  const TruthTable s = TruthTable::var(3, 0);
+  const TruthTable a = TruthTable::var(3, 1);
+  const TruthTable b = TruthTable::var(3, 2);
+  return (~s & a) | (s & b);
+}
+
+TruthTable tt_maj3() {
+  const TruthTable a = TruthTable::var(3, 0);
+  const TruthTable b = TruthTable::var(3, 1);
+  const TruthTable c = TruthTable::var(3, 2);
+  return (a & b) | (a & c) | (b & c);
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,24 @@
+#pragma once
+// Truth tables for the standard gate library.
+//
+// The workload generator and tests build K-bounded networks from these
+// primitives; the mapper itself is gate-agnostic and only sees truth tables.
+
+#include "base/truth_table.hpp"
+
+namespace turbosyn {
+
+TruthTable tt_buf();
+TruthTable tt_not();
+TruthTable tt_and(int arity);
+TruthTable tt_or(int arity);
+TruthTable tt_nand(int arity);
+TruthTable tt_nor(int arity);
+TruthTable tt_xor(int arity);
+TruthTable tt_xnor(int arity);
+/// mux(s, a, b) = s ? b : a with variable order (s, a, b).
+TruthTable tt_mux();
+/// Majority of three inputs.
+TruthTable tt_maj3();
+
+}  // namespace turbosyn

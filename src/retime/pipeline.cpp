@@ -1,0 +1,73 @@
+#include "retime/pipeline.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+#include "retime/cycle_ratio.hpp"
+#include "retime/retiming.hpp"
+
+namespace turbosyn {
+
+void pipeline_inputs(Circuit& c, int stages) {
+  TS_CHECK(stages >= 0, "pipeline stage count must be non-negative");
+  if (stages == 0) return;
+  for (const NodeId pi : c.pis()) {
+    for (const EdgeId e : c.fanout_edges(pi)) {
+      c.set_edge_weight(e, c.edge(e).weight + stages);
+    }
+  }
+}
+
+void pipeline_outputs(Circuit& c, int stages) {
+  TS_CHECK(stages >= 0, "pipeline stage count must be non-negative");
+  if (stages == 0) return;
+  for (const NodeId po : c.pos()) {
+    for (const EdgeId e : c.fanin_edges(po)) {
+      c.set_edge_weight(e, c.edge(e).weight + stages);
+    }
+  }
+}
+
+PipelineResult pipeline_and_retime(Circuit& c, int max_stages) {
+  const Rational mdr = circuit_mdr(c).ratio;
+  const std::int64_t floor_target = std::max<std::int64_t>(1, mdr.ceil());
+
+  std::vector<int> delay(static_cast<std::size_t>(c.num_nodes()));
+  for (NodeId v = 0; v < c.num_nodes(); ++v) delay[static_cast<std::size_t>(v)] = c.delay(v);
+  std::vector<NodeId> pinned(c.pis().begin(), c.pis().end());
+  pinned.insert(pinned.end(), c.pos().begin(), c.pos().end());
+
+  // Try the MDR bound first, then relax the target period; for each target,
+  // grow the pipeline depth geometrically. The fallback (no pipelining,
+  // plain min-period retiming) always succeeds.
+  const std::int64_t fallback =
+      min_period_retiming(c.to_digraph(), delay, pinned).period;
+  for (std::int64_t target = floor_target; target < fallback; ++target) {
+    int stages = 1;
+    while (stages <= max_stages) {
+      Digraph g = c.to_digraph();
+      for (const NodeId pi : c.pis()) {
+        for (const EdgeId e : g.fanout_edges(pi)) {
+          g.set_weight(e, g.edge(e).weight + stages);
+        }
+      }
+      for (const NodeId po : c.pos()) {
+        for (const EdgeId e : g.fanin_edges(po)) {
+          g.set_weight(e, g.edge(e).weight + stages);
+        }
+      }
+      if (auto r = feasible_retiming(g, delay, target, pinned)) {
+        pipeline_inputs(c, stages);
+        pipeline_outputs(c, stages);
+        apply_retiming(c, *r);
+        return PipelineResult{target, stages};
+      }
+      stages *= 2;
+    }
+  }
+  const RetimeResult best = min_period_retiming(c.to_digraph(), delay, pinned);
+  apply_retiming(c, best.r);
+  return PipelineResult{best.period, 0};
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,33 @@
+#pragma once
+// Pipelining: inserting flip-flop stages at the primary inputs.
+//
+// Pipelining adds the same number of FFs on every PI fanout edge; combined
+// with retiming it eliminates critical I/O paths, so the clock period is
+// bounded only by the MDR ratio of the loops (paper refs [16, 22]). This is
+// the post-processing step that turns a minimum-MDR mapping into a
+// minimum-clock-period implementation.
+
+#include <cstdint>
+
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+/// Adds `stages` flip-flops to every PI fanout edge (changes I/O latency by
+/// `stages` cycles, preserves the input-output function modulo that shift).
+void pipeline_inputs(Circuit& c, int stages);
+
+/// Adds `stages` flip-flops in front of every PO (output registers).
+void pipeline_outputs(Circuit& c, int stages);
+
+struct PipelineResult {
+  std::int64_t period = 0;  // achieved clock period
+  int stages = 0;           // pipeline stages inserted at the PIs
+};
+
+/// Minimizes the clock period using input pipelining + retiming. Searches
+/// target periods from max(1, ceil(MDR)) upward and pipeline depths up to
+/// max_stages; mutates the circuit to the winning configuration.
+PipelineResult pipeline_and_retime(Circuit& c, int max_stages = 64);
+
+}  // namespace turbosyn

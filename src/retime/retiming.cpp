@@ -1,0 +1,271 @@
+#include "retime/retiming.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "base/check.hpp"
+#include "graph/scc.hpp"
+
+namespace turbosyn {
+namespace {
+
+/// Arrival times over the zero-weight subgraph of g with the per-node lag r
+/// applied to edge weights; nullopt if the retimed zero-weight subgraph is
+/// cyclic (infinite period).
+std::optional<std::vector<std::int64_t>> arrival_times(const Digraph& g,
+                                                       std::span<const int> delay,
+                                                       std::span<const int> r) {
+  const auto retimed_weight = [&](EdgeId e) {
+    const auto& edge = g.edge(e);
+    return edge.weight + r[static_cast<std::size_t>(edge.to)] -
+           r[static_cast<std::size_t>(edge.from)];
+  };
+  std::vector<NodeId> order;
+  try {
+    order = topological_order(g, [&](EdgeId e) { return retimed_weight(e) != 0; });
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+  std::vector<std::int64_t> at(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (const NodeId v : order) {
+    std::int64_t best = 0;
+    for (const EdgeId e : g.fanin_edges(v)) {
+      if (retimed_weight(e) != 0) continue;
+      best = std::max(best, at[static_cast<std::size_t>(g.edge(e).from)]);
+    }
+    at[static_cast<std::size_t>(v)] = best + delay[static_cast<std::size_t>(v)];
+  }
+  return at;
+}
+
+}  // namespace
+
+std::int64_t clock_period(const Digraph& g, std::span<const int> delay) {
+  const std::vector<int> zero(static_cast<std::size_t>(g.num_nodes()), 0);
+  const auto at = arrival_times(g, delay, zero);
+  TS_CHECK(at.has_value(), "combinational loop: clock period is unbounded");
+  return at->empty() ? 0 : *std::max_element(at->begin(), at->end());
+}
+
+namespace {
+
+/// Exact retiming feasibility via Leiserson–Saxe difference constraints:
+/// W(u,v)/D(u,v) from per-source lexicographic Dijkstra, then Bellman–Ford
+/// on   r(u) - r(v) <= w(e)              (legality)
+///      r(u) - r(v) <= W(u,v) - 1        (whenever D(u,v) > c)
+///      r(p) = r(q)                      (pinned nodes share a lag)
+/// O(V E log V + V^2) building + O(V * #constraints) solving — used below
+/// for graphs small enough to afford it.
+std::optional<std::vector<int>> feasible_retiming_exact(const Digraph& g,
+                                                        std::span<const int> delay,
+                                                        std::int64_t c,
+                                                        std::span<const NodeId> pinned) {
+  const int n = g.num_nodes();
+  // Lexicographic distance: (registers, -delay-sum-of-heads).
+  struct Dist {
+    std::int64_t w;
+    std::int64_t neg_d;
+    bool operator>(const Dist& o) const {
+      return w != o.w ? w > o.w : neg_d > o.neg_d;
+    }
+  };
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+  // Difference-constraint edges: r(u) - r(v) <= bound  ==  arc v -> u, bound.
+  struct Constraint {
+    NodeId u;
+    NodeId v;
+    std::int64_t bound;
+  };
+  std::vector<Constraint> constraints;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    constraints.push_back({g.edge(e).from, g.edge(e).to, g.edge(e).weight});
+  }
+  for (std::size_t i = 1; i < pinned.size(); ++i) {
+    constraints.push_back({pinned[i - 1], pinned[i], 0});
+    constraints.push_back({pinned[i], pinned[i - 1], 0});
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    // Dijkstra from u; the source distance stays "unvisited" so that cycles
+    // back to u produce a genuine W(u,u)/D(u,u).
+    std::vector<Dist> dist(static_cast<std::size_t>(n), Dist{kInf, 0});
+    using Entry = std::tuple<std::int64_t, std::int64_t, NodeId>;  // (w, -d, node)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    const auto offer = [&](NodeId to, std::int64_t w, std::int64_t neg_d) {
+      Dist& best = dist[static_cast<std::size_t>(to)];
+      if (w < best.w || (w == best.w && neg_d < best.neg_d)) {
+        best = Dist{w, neg_d};
+        queue.emplace(w, neg_d, to);
+      }
+    };
+    for (const EdgeId e : g.fanout_edges(u)) {
+      const auto& edge = g.edge(e);
+      offer(edge.to, edge.weight, -static_cast<std::int64_t>(delay[static_cast<std::size_t>(edge.to)]));
+    }
+    while (!queue.empty()) {
+      const auto [w, neg_d, v] = queue.top();
+      queue.pop();
+      if (dist[static_cast<std::size_t>(v)].w != w ||
+          dist[static_cast<std::size_t>(v)].neg_d != neg_d) {
+        continue;  // stale entry
+      }
+      for (const EdgeId e : g.fanout_edges(v)) {
+        const auto& edge = g.edge(e);
+        offer(edge.to, w + edge.weight,
+              neg_d - static_cast<std::int64_t>(delay[static_cast<std::size_t>(edge.to)]));
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (dist[static_cast<std::size_t>(v)].w >= kInf) continue;
+      const std::int64_t total_delay =
+          -dist[static_cast<std::size_t>(v)].neg_d + delay[static_cast<std::size_t>(u)];
+      if (total_delay > c) {
+        constraints.push_back({u, v, dist[static_cast<std::size_t>(v)].w - 1});
+      }
+    }
+  }
+
+  // Bellman–Ford from a virtual all-zero source; negative cycle = infeasible.
+  std::vector<std::int64_t> r(static_cast<std::size_t>(n), 0);
+  for (int round = 0; round <= n; ++round) {
+    bool relaxed = false;
+    for (const Constraint& cst : constraints) {
+      const std::int64_t cand = r[static_cast<std::size_t>(cst.v)] + cst.bound;
+      if (cand < r[static_cast<std::size_t>(cst.u)]) {
+        r[static_cast<std::size_t>(cst.u)] = cand;
+        relaxed = true;
+      }
+    }
+    if (!relaxed) {
+      const std::int64_t base = pinned.empty() ? 0 : r[static_cast<std::size_t>(pinned[0])];
+      std::vector<int> result(static_cast<std::size_t>(n));
+      for (NodeId v = 0; v < n; ++v) {
+        result[static_cast<std::size_t>(v)] = static_cast<int>(r[static_cast<std::size_t>(v)] - base);
+      }
+      // Safety: the retimed graph must be legal and meet the period.
+      const auto at = arrival_times(g, delay, result);
+      if (!at.has_value()) return std::nullopt;
+      for (const std::int64_t a : *at) {
+        if (a > c) return std::nullopt;
+      }
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Largest graph the exact solver is applied to; beyond it the conservative
+/// increment-only FEAS below takes over (it never returns an illegal
+/// retiming, but may miss solutions that need lags below the pinned I/O).
+constexpr int kExactRetimingLimit = 1500;
+
+}  // namespace
+
+std::optional<std::vector<int>> feasible_retiming(const Digraph& g, std::span<const int> delay,
+                                                  std::int64_t c, std::span<const NodeId> pinned) {
+  TS_CHECK(c >= 0, "target period must be non-negative");
+  const int n = g.num_nodes();
+  TS_CHECK(static_cast<int>(delay.size()) == n, "one delay per node required");
+  for (const int d : delay) {
+    if (d > c) return std::nullopt;  // a single node already exceeds the period
+  }
+  if (n <= kExactRetimingLimit) return feasible_retiming_exact(g, delay, c, pinned);
+
+  std::vector<bool> is_pinned(static_cast<std::size_t>(n), false);
+  for (const NodeId v : pinned) is_pinned[static_cast<std::size_t>(v)] = true;
+
+  std::vector<int> r(static_cast<std::size_t>(n), 0);
+  // FEAS with pinned I/O: violators increment their lag; pinned nodes never
+  // move. A zero-weight successor of a violator violates too, so the only
+  // way a weight can go negative is an increment against a pinned head —
+  // which proves that lag exceeded its legal maximum, hence infeasibility.
+  // (With the I/O pinned, solutions requiring negative internal lags are
+  // unreachable; pipelining — extra registers at the PI/PO boundary, see
+  // pipeline.hpp — is the transformation that restores that headroom.)
+  for (int round = 0; round <= n; ++round) {
+    const auto at = arrival_times(g, delay, r);
+    if (!at.has_value()) return std::nullopt;  // zero-weight cycle appeared
+    bool violated = false;
+    bool any_movable = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if ((*at)[static_cast<std::size_t>(v)] > c) {
+        violated = true;
+        if (!is_pinned[static_cast<std::size_t>(v)]) {
+          ++r[static_cast<std::size_t>(v)];
+          any_movable = true;
+        }
+      }
+    }
+    if (!violated) return r;
+    if (!any_movable) return std::nullopt;  // only pinned nodes violate
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& edge = g.edge(e);
+      if (edge.weight + r[static_cast<std::size_t>(edge.to)] -
+              r[static_cast<std::size_t>(edge.from)] <
+          0) {
+        return std::nullopt;  // lag exceeded the legal maximum
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+RetimeResult min_period_retiming(const Digraph& g, std::span<const int> delay,
+                                 std::span<const NodeId> pinned) {
+  std::int64_t hi = clock_period(g, delay);
+  std::int64_t lo = 0;
+  for (const int d : delay) lo = std::max<std::int64_t>(lo, d);
+  RetimeResult best{hi, std::vector<int>(static_cast<std::size_t>(g.num_nodes()), 0)};
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (auto r = feasible_retiming(g, delay, mid, pinned)) {
+      best = RetimeResult{mid, std::move(*r)};
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+std::vector<int> circuit_delays(const Circuit& c) {
+  std::vector<int> delay(static_cast<std::size_t>(c.num_nodes()));
+  for (NodeId v = 0; v < c.num_nodes(); ++v) delay[static_cast<std::size_t>(v)] = c.delay(v);
+  return delay;
+}
+
+std::vector<NodeId> circuit_pinned(const Circuit& c) {
+  std::vector<NodeId> pinned(c.pis().begin(), c.pis().end());
+  pinned.insert(pinned.end(), c.pos().begin(), c.pos().end());
+  return pinned;
+}
+
+}  // namespace
+
+std::int64_t circuit_clock_period(const Circuit& c) {
+  return clock_period(c.to_digraph(), circuit_delays(c));
+}
+
+void apply_retiming(Circuit& c, std::span<const int> r) {
+  TS_CHECK(static_cast<int>(r.size()) == c.num_nodes(), "one lag per node required");
+  for (EdgeId e = 0; e < c.num_edges(); ++e) {
+    const auto& edge = c.edge(e);
+    const int w = edge.weight + r[static_cast<std::size_t>(edge.to)] -
+                  r[static_cast<std::size_t>(edge.from)];
+    TS_CHECK(w >= 0, "retiming drives edge weight negative");
+    c.set_edge_weight(e, w);
+  }
+}
+
+std::int64_t retime_min_period(Circuit& c) {
+  const RetimeResult result =
+      min_period_retiming(c.to_digraph(), circuit_delays(c), circuit_pinned(c));
+  apply_retiming(c, result.r);
+  return result.period;
+}
+
+}  // namespace turbosyn

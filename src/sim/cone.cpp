@@ -1,0 +1,56 @@
+#include "sim/cone.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace turbosyn {
+namespace {
+
+class ConeEvaluator {
+ public:
+  ConeEvaluator(const Circuit& c, std::span<const NodeId> leaves) : circuit_(c) {
+    const int m = static_cast<int>(leaves.size());
+    TS_CHECK(m <= TruthTable::kMaxVars, "cone has too many leaves (" << m << ")");
+    for (int i = 0; i < m; ++i) {
+      const bool inserted = memo_.emplace(leaves[static_cast<std::size_t>(i)],
+                                          TruthTable::var(m, i))
+                                .second;
+      TS_CHECK(inserted, "duplicate cone leaf");
+    }
+    arity_ = m;
+  }
+
+  const TruthTable& eval(NodeId v) {
+    const auto it = memo_.find(v);
+    if (it != memo_.end()) return it->second;
+    TS_CHECK(circuit_.is_gate(v),
+             "cone of '" << circuit_.name(v) << "' escapes the leaf set at a non-gate");
+    const auto fanins = circuit_.fanin_edges(v);
+    std::vector<TruthTable> inputs;
+    inputs.reserve(fanins.size());
+    for (const EdgeId e : fanins) {
+      TS_CHECK(circuit_.edge(e).weight == 0,
+               "combinational cone crosses a registered edge into '" << circuit_.name(v) << "'");
+      inputs.push_back(eval(circuit_.edge(e).from));
+    }
+    TruthTable result = inputs.empty() ? circuit_.function(v).remap(arity_, {})
+                                       : compose(circuit_.function(v), inputs);
+    return memo_.emplace(v, std::move(result)).first->second;
+  }
+
+ private:
+  const Circuit& circuit_;
+  std::unordered_map<NodeId, TruthTable> memo_;
+  int arity_ = 0;
+};
+
+}  // namespace
+
+TruthTable cone_truth_table(const Circuit& c, NodeId root, std::span<const NodeId> leaves) {
+  ConeEvaluator evaluator(c, leaves);
+  return evaluator.eval(root);
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,22 @@
+#pragma once
+// Extraction of the combinational function of a logic cone.
+//
+// Given a root node and a set of leaves that cuts every path from the root
+// to the sources, computes the root's truth table over the leaves. Used by
+// the combinational mappers (FlowMap/FlowSYN) to derive LUT functions and by
+// the tests to prove functional equivalence of mapped cones.
+
+#include <span>
+
+#include "base/truth_table.hpp"
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+/// Truth table of `root` over `leaves` (variable i = leaves[i]).
+/// Requirements: every path from root into the circuit reaches a leaf before
+/// a PI/PO/latch, and all traversed edges have weight 0; at most
+/// TruthTable::kMaxVars leaves. Throws turbosyn::Error otherwise.
+TruthTable cone_truth_table(const Circuit& c, NodeId root, std::span<const NodeId> leaves);
+
+}  // namespace turbosyn

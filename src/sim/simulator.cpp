@@ -1,0 +1,82 @@
+#include "sim/simulator.hpp"
+
+#include "base/check.hpp"
+#include "graph/scc.hpp"
+
+namespace turbosyn {
+
+Simulator::Simulator(const Circuit& circuit) : circuit_(circuit) {
+  const Digraph g = circuit.to_digraph();
+  eval_order_ = topological_order(g, [&](EdgeId e) { return g.edge(e).weight > 0; });
+  values_.assign(static_cast<std::size_t>(circuit.num_nodes()), 0);
+  regs_.resize(static_cast<std::size_t>(circuit.num_edges()));
+  for (EdgeId e = 0; e < circuit.num_edges(); ++e) {
+    regs_[static_cast<std::size_t>(e)].assign(
+        static_cast<std::size_t>(circuit.edge(e).weight), 0);
+  }
+}
+
+void Simulator::reset() {
+  for (auto& chain : regs_) chain.assign(chain.size(), 0);
+  values_.assign(values_.size(), 0);
+}
+
+bool Simulator::edge_value(EdgeId e) const {
+  const auto& chain = regs_[static_cast<std::size_t>(e)];
+  if (chain.empty()) return values_[static_cast<std::size_t>(circuit_.edge(e).from)] != 0;
+  return chain.front() != 0;
+}
+
+std::vector<bool> Simulator::step(const std::vector<bool>& pi_values) {
+  TS_CHECK(pi_values.size() == static_cast<std::size_t>(circuit_.num_pis()),
+           "expected " << circuit_.num_pis() << " PI values, got " << pi_values.size());
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    values_[static_cast<std::size_t>(circuit_.pis()[i])] = pi_values[i] ? 1 : 0;
+  }
+  for (const NodeId v : eval_order_) {
+    if (circuit_.is_pi(v)) continue;
+    const auto fanins = circuit_.fanin_edges(v);
+    if (circuit_.is_po(v)) {
+      values_[static_cast<std::size_t>(v)] = edge_value(fanins[0]) ? 1 : 0;
+      continue;
+    }
+    std::uint32_t assignment = 0;
+    for (std::size_t i = 0; i < fanins.size(); ++i) {
+      if (edge_value(fanins[i])) assignment |= std::uint32_t{1} << i;
+    }
+    values_[static_cast<std::size_t>(v)] = circuit_.function(v).bit(assignment) ? 1 : 0;
+  }
+  std::vector<bool> outputs;
+  outputs.reserve(static_cast<std::size_t>(circuit_.num_pos()));
+  for (const NodeId po : circuit_.pos()) {
+    outputs.push_back(values_[static_cast<std::size_t>(po)] != 0);
+  }
+  // Advance the registers: shift each chain by one, feeding the driver value.
+  for (EdgeId e = 0; e < circuit_.num_edges(); ++e) {
+    auto& chain = regs_[static_cast<std::size_t>(e)];
+    if (chain.empty()) continue;
+    chain.erase(chain.begin());
+    chain.push_back(values_[static_cast<std::size_t>(circuit_.edge(e).from)]);
+  }
+  return outputs;
+}
+
+std::vector<std::vector<bool>> simulate_sequence(const Circuit& circuit,
+                                                 const std::vector<std::vector<bool>>& inputs) {
+  Simulator sim(circuit);
+  std::vector<std::vector<bool>> outputs;
+  outputs.reserve(inputs.size());
+  for (const auto& in : inputs) outputs.push_back(sim.step(in));
+  return outputs;
+}
+
+std::vector<std::vector<bool>> random_stimulus(Rng& rng, int num_inputs, int length) {
+  std::vector<std::vector<bool>> seq(static_cast<std::size_t>(length));
+  for (auto& cycle : seq) {
+    cycle.resize(static_cast<std::size_t>(num_inputs));
+    for (std::size_t i = 0; i < cycle.size(); ++i) cycle[i] = rng.next_bool();
+  }
+  return seq;
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,51 @@
+#pragma once
+// Cycle-accurate logic simulation of sequential circuits.
+//
+// Flip-flops live on edges (weight w = a chain of w FFs, all initialized to
+// zero). One step() evaluates the combinational logic from the current
+// register contents + primary inputs, samples the outputs, then advances all
+// registers. Used by tests to validate transformations (e.g. pipelined /
+// retimed circuits produce time-shifted but otherwise equal output streams).
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+class Simulator {
+ public:
+  explicit Simulator(const Circuit& circuit);
+
+  /// Resets every flip-flop to zero.
+  void reset();
+
+  /// Advances one clock cycle. `pi_values` must have one entry per PI in
+  /// pis() order; returns PO values in pos() order.
+  std::vector<bool> step(const std::vector<bool>& pi_values);
+
+  /// Value of an arbitrary node after the last step (PIs included).
+  bool value(NodeId v) const { return values_[static_cast<std::size_t>(v)] != 0; }
+
+  const Circuit& circuit() const { return circuit_; }
+
+ private:
+  bool edge_value(EdgeId e) const;
+
+  const Circuit& circuit_;
+  std::vector<NodeId> eval_order_;               // topological over 0-weight edges
+  std::vector<std::uint8_t> values_;             // node outputs, current cycle
+  std::vector<std::vector<std::uint8_t>> regs_;  // per-edge FF chain, index 0 = oldest
+};
+
+/// Runs the circuit on an input sequence from the all-zero state and returns
+/// one PO-value vector per cycle.
+std::vector<std::vector<bool>> simulate_sequence(const Circuit& circuit,
+                                                 const std::vector<std::vector<bool>>& inputs);
+
+/// Deterministic random stimulus: `length` cycles of `num_inputs` bits.
+std::vector<std::vector<bool>> random_stimulus(Rng& rng, int num_inputs, int length);
+
+}  // namespace turbosyn

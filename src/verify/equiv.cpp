@@ -1,0 +1,133 @@
+#include "verify/equiv.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "base/check.hpp"
+#include "base/rng.hpp"
+#include "bdd/bdd.hpp"
+#include "graph/scc.hpp"
+#include "netlist/blif.hpp"
+#include "sim/simulator.hpp"
+
+namespace turbosyn {
+namespace {
+
+/// BDDs of every PO of a combinational circuit over the given PI variable
+/// assignment (PI name -> BDD variable index).
+std::map<std::string, BddRef> output_bdds(const Circuit& c, BddManager& mgr,
+                                          const std::map<std::string, int>& pi_var) {
+  std::vector<BddRef> node_bdd(static_cast<std::size_t>(c.num_nodes()), 0);
+  const Digraph g = c.to_digraph();
+  for (const NodeId v : topological_order(g)) {
+    if (c.is_pi(v)) {
+      const auto it = pi_var.find(c.name(v));
+      TS_CHECK(it != pi_var.end(), "PI '" << c.name(v) << "' missing from the other circuit");
+      node_bdd[static_cast<std::size_t>(v)] = mgr.var(it->second);
+      continue;
+    }
+    if (c.is_po(v)) {
+      const auto& e = c.edge(c.fanin_edges(v)[0]);
+      TS_CHECK(e.weight == 0, "combinational check requires register-free circuits");
+      node_bdd[static_cast<std::size_t>(v)] = node_bdd[static_cast<std::size_t>(e.from)];
+      continue;
+    }
+    // Gate: Shannon-expand its truth table over the fanin BDDs.
+    std::vector<BddRef> fanins;
+    for (const EdgeId e : c.fanin_edges(v)) {
+      TS_CHECK(c.edge(e).weight == 0, "combinational check requires register-free circuits");
+      fanins.push_back(node_bdd[static_cast<std::size_t>(c.edge(e).from)]);
+    }
+    const TruthTable& f = c.function(v);
+    BddRef acc = mgr.zero();
+    for (std::uint32_t row = 0; row < f.num_bits(); ++row) {
+      if (!f.bit(row)) continue;
+      BddRef term = mgr.one();
+      for (std::size_t i = 0; i < fanins.size(); ++i) {
+        const BddRef lit = ((row >> i) & 1) ? fanins[i] : mgr.bdd_not(fanins[i]);
+        term = mgr.bdd_and(term, lit);
+      }
+      acc = mgr.bdd_or(acc, term);
+    }
+    node_bdd[static_cast<std::size_t>(v)] = acc;
+  }
+  std::map<std::string, BddRef> outputs;
+  for (const NodeId po : c.pos()) {
+    outputs[po_display_name(c, po)] = node_bdd[static_cast<std::size_t>(po)];
+  }
+  return outputs;
+}
+
+/// One satisfying assignment of a non-zero BDD (variables not on the path
+/// default to 0).
+std::uint64_t any_sat(const BddManager& mgr, BddRef f) {
+  std::uint64_t assignment = 0;
+  while (!mgr.is_const(f)) {
+    if (mgr.high(f) != mgr.zero()) {
+      assignment |= std::uint64_t{1} << mgr.var_of(f);
+      f = mgr.high(f);
+    } else {
+      f = mgr.low(f);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace
+
+std::optional<EquivCounterexample> combinational_counterexample(const Circuit& a,
+                                                                const Circuit& b) {
+  TS_CHECK(a.num_pis() == b.num_pis(), "PI count mismatch");
+  std::map<std::string, int> pi_var;
+  for (const NodeId pi : a.pis()) {
+    pi_var.emplace(a.name(pi), static_cast<int>(pi_var.size()));
+  }
+  BddManager mgr(static_cast<int>(pi_var.size()));
+  const auto out_a = output_bdds(a, mgr, pi_var);
+  const auto out_b = output_bdds(b, mgr, pi_var);
+  TS_CHECK(out_a.size() == out_b.size(), "PO count mismatch");
+  for (const auto& [name, fa] : out_a) {
+    const auto it = out_b.find(name);
+    TS_CHECK(it != out_b.end(), "PO '" << name << "' missing from the other circuit");
+    const BddRef miter = mgr.bdd_xor(fa, it->second);
+    if (miter != mgr.zero()) {
+      return EquivCounterexample{any_sat(mgr, miter), name};
+    }
+  }
+  return std::nullopt;
+}
+
+bool combinationally_equivalent(const Circuit& a, const Circuit& b) {
+  return !combinational_counterexample(a, b).has_value();
+}
+
+std::optional<EquivCounterexample> sequential_counterexample(
+    const Circuit& a, const Circuit& b, const SequentialCheckOptions& options) {
+  TS_CHECK(a.num_pis() == b.num_pis(), "PI count mismatch");
+  TS_CHECK(a.num_pos() == b.num_pos(), "PO count mismatch");
+  Rng rng(options.seed);
+  for (int run = 0; run < options.runs; ++run) {
+    const auto stimulus = random_stimulus(rng, a.num_pis(), options.cycles);
+    const auto out_a = simulate_sequence(a, stimulus);
+    const auto out_b = simulate_sequence(b, stimulus);
+    for (int t = options.warmup; t < options.cycles; ++t) {
+      if (out_a[static_cast<std::size_t>(t)] == out_b[static_cast<std::size_t>(t)]) continue;
+      for (std::size_t o = 0; o < out_a[static_cast<std::size_t>(t)].size(); ++o) {
+        if (out_a[static_cast<std::size_t>(t)][o] != out_b[static_cast<std::size_t>(t)][o]) {
+          return EquivCounterexample{static_cast<std::uint64_t>(t),
+                                     po_display_name(a, a.pos()[o])};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool sequentially_equivalent_bounded(const Circuit& a, const Circuit& b,
+                                     const SequentialCheckOptions& options) {
+  return !sequential_counterexample(a, b, options).has_value();
+}
+
+}  // namespace turbosyn

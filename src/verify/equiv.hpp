@@ -1,0 +1,46 @@
+#pragma once
+// Equivalence checking between circuits.
+//
+// - Combinational: formal, via ROBDDs built over the shared PI space (PIs
+//   matched by name, POs by display name). Exact for circuits whose BDDs fit
+//   the node budget — the mapped cones and test circuits here are small.
+// - Sequential: bounded, from the all-zero initial state, by random
+//   co-simulation with an optional warm-up (mapping absorbs registers into
+//   LUTs, which perturbs the initial state as in all retiming literature).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+struct EquivCounterexample {
+  /// PI assignment (combinational) or cycle index (sequential) that differs.
+  std::uint64_t witness = 0;
+  std::string po_name;
+};
+
+/// Formal combinational equivalence. Requirements: every edge weight 0 in
+/// both circuits, same PI name set, same PO display-name set. Returns
+/// nullopt when equivalent, else a counterexample.
+std::optional<EquivCounterexample> combinational_counterexample(const Circuit& a,
+                                                                const Circuit& b);
+bool combinationally_equivalent(const Circuit& a, const Circuit& b);
+
+struct SequentialCheckOptions {
+  int cycles = 256;       // simulated cycles per run
+  int runs = 4;           // independent random stimuli
+  int warmup = 0;         // cycles ignored at the start of each run
+  std::uint64_t seed = 1;
+};
+
+/// Bounded sequential check by co-simulation; nullopt when no difference was
+/// found, else the first differing (cycle, PO).
+std::optional<EquivCounterexample> sequential_counterexample(
+    const Circuit& a, const Circuit& b, const SequentialCheckOptions& options = {});
+bool sequentially_equivalent_bounded(const Circuit& a, const Circuit& b,
+                                     const SequentialCheckOptions& options = {});
+
+}  // namespace turbosyn

@@ -1,0 +1,169 @@
+#include "workloads/generator.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+#include "base/rng.hpp"
+#include "netlist/gates.hpp"
+
+namespace turbosyn {
+namespace {
+
+/// A random truth table that depends on every one of its inputs.
+TruthTable random_dependent_tt(Rng& rng, int arity) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    TruthTable t = TruthTable::constant(arity, false);
+    for (std::uint32_t i = 0; i < t.num_bits(); ++i) {
+      if (rng.next_bool()) t.set_bit(i, true);
+    }
+    bool full_support = true;
+    for (int v = 0; v < arity && full_support; ++v) full_support = t.depends_on(v);
+    if (full_support) return t;
+  }
+  // Overwhelmingly unlikely for arity >= 2; fall back to XOR (full support).
+  return tt_xor(arity);
+}
+
+TruthTable standard_tt(Rng& rng, int arity) {
+  switch (rng.next_below(arity == 3 ? 6 : 5)) {
+    case 0: return tt_and(arity);
+    case 1: return tt_or(arity);
+    case 2: return tt_nand(arity);
+    case 3: return tt_nor(arity);
+    case 4: return tt_xor(arity);
+    default: return tt_mux();
+  }
+}
+
+}  // namespace
+
+Circuit generate_fsm_circuit(const BenchmarkSpec& spec) {
+  TS_CHECK(spec.num_pis >= 1 && spec.num_gates >= 1 && spec.num_pos >= 1,
+           "benchmark spec needs at least one PI, gate and PO");
+  TS_CHECK(spec.max_fanin >= 2 && spec.max_fanin <= 6, "max_fanin must be in [2, 6]");
+  Rng rng(spec.seed);
+  Circuit c;
+
+  std::vector<NodeId> pis;
+  for (int i = 0; i < spec.num_pis; ++i) pis.push_back(c.add_pi(spec.name + "_pi" + std::to_string(i)));
+
+  std::vector<NodeId> gates;
+  for (int i = 0; i < spec.num_gates; ++i) {
+    gates.push_back(c.declare_gate(spec.name + "_g" + std::to_string(i)));
+  }
+
+  for (int i = 0; i < spec.num_gates; ++i) {
+    const int arity = static_cast<int>(rng.next_in(2, spec.max_fanin));
+    const TruthTable func = rng.next_double() < spec.exotic_gate_ratio
+                                ? random_dependent_tt(rng, arity)
+                                : standard_tt(rng, arity);
+    std::vector<Circuit::FaninSpec> fanins;
+    for (int f = 0; f < func.num_vars(); ++f) {
+      if (rng.next_double() < spec.feedback) {
+        // Registered feedback from a bounded window downstream: the loop it
+        // closes runs back up through the local combinational window, so its
+        // delay-to-register ratio stays in the few-LUT-levels regime the
+        // paper's benchmarks exhibit (rather than spanning the whole array).
+        const int span = 3 * spec.locality;
+        const int hi = std::min(spec.num_gates - 1, i + span);
+        const NodeId src = gates[static_cast<std::size_t>(rng.next_in(i, hi))];
+        const int w = rng.next_bool(0.85) ? 1 : 2;
+        fanins.push_back({src, w});
+        continue;
+      }
+      // Combinational fanin: earlier gate from a local window, or a PI.
+      const int window_lo = std::max(0, i - spec.locality);
+      if (i > window_lo && rng.next_bool(0.8)) {
+        const NodeId src =
+            gates[static_cast<std::size_t>(rng.next_in(window_lo, i - 1))];
+        fanins.push_back({src, 0});
+      } else {
+        fanins.push_back({pis[rng.next_below(pis.size())], 0});
+      }
+    }
+    c.finish_gate(gates[static_cast<std::size_t>(i)], func, fanins);
+  }
+
+  for (int i = 0; i < spec.num_pos; ++i) {
+    // Observe late gates (they transitively cover most of the circuit).
+    const int lo = std::max(0, spec.num_gates - 4 * spec.num_pos);
+    const NodeId src = gates[static_cast<std::size_t>(rng.next_in(lo, spec.num_gates - 1))];
+    const int w = rng.next_bool(0.2) ? 1 : 0;
+    c.add_po("$po:" + spec.name + "_po" + std::to_string(i), {src, w});
+  }
+
+  c.validate();
+  return c;
+}
+
+std::vector<BenchmarkSpec> table1_suite() {
+  // Names follow the paper's benchmark set; sizes are in the post-SIS,
+  // post-dmig regime the paper reports (hundreds of gates, tens of FFs).
+  const auto spec = [](const char* name, std::uint64_t seed, int pis, int pos, int gates,
+                       double feedback, int locality, double exotic) {
+    BenchmarkSpec s;
+    s.name = name;
+    s.seed = seed;
+    s.num_pis = pis;
+    s.num_pos = pos;
+    s.num_gates = gates;
+    s.feedback = feedback;
+    s.locality = locality;
+    s.exotic_gate_ratio = exotic;
+    return s;
+  };
+  return {
+      // 12 MCNC FSM stand-ins.
+      spec("bbara", 101, 4, 2, 84, 0.050, 14, 0.30),
+      spec("bbsse", 102, 7, 7, 152, 0.045, 18, 0.30),
+      spec("cse", 103, 7, 7, 239, 0.040, 20, 0.35),
+      spec("dk16", 104, 2, 3, 312, 0.045, 22, 0.30),
+      spec("keyb", 105, 7, 2, 270, 0.040, 20, 0.35),
+      spec("kirkman", 106, 12, 6, 198, 0.045, 18, 0.30),
+      spec("planet", 107, 7, 19, 548, 0.035, 26, 0.30),
+      spec("pma", 108, 8, 8, 287, 0.040, 22, 0.30),
+      spec("s1", 109, 8, 6, 391, 0.040, 24, 0.35),
+      spec("sand", 110, 11, 9, 518, 0.035, 26, 0.30),
+      spec("scf", 111, 27, 56, 761, 0.030, 30, 0.30),
+      spec("styr", 112, 9, 10, 419, 0.040, 24, 0.35),
+      // 4 ISCAS'89 stand-ins.
+      spec("s298", 201, 3, 6, 119, 0.090, 16, 0.25),
+      spec("s400", 202, 3, 6, 162, 0.085, 18, 0.25),
+      spec("s526", 203, 3, 6, 193, 0.090, 18, 0.25),
+      spec("s953", 204, 16, 23, 395, 0.055, 24, 0.30),
+  };
+}
+
+std::vector<BenchmarkSpec> tiny_suite() {
+  std::vector<BenchmarkSpec> specs;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    BenchmarkSpec s;
+    s.name = "tiny" + std::to_string(seed);
+    s.seed = 7000 + seed;
+    s.num_pis = 3;
+    s.num_pos = 2;
+    s.num_gates = static_cast<int>(18 + 7 * seed);
+    s.feedback = 0.10;
+    s.locality = 8;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+std::vector<BenchmarkSpec> scaling_suite() {
+  std::vector<BenchmarkSpec> specs;
+  for (const int gates : {1000, 2000, 4000, 8000, 12000}) {
+    BenchmarkSpec s;
+    s.name = "scale" + std::to_string(gates);
+    s.seed = 9000 + static_cast<std::uint64_t>(gates);
+    s.num_pis = 32;
+    s.num_pos = 32;
+    s.num_gates = gates;
+    s.feedback = 0.035;
+    s.locality = 40;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+}  // namespace turbosyn

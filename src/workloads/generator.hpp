@@ -1,0 +1,50 @@
+#pragma once
+// Synthetic sequential benchmark generator.
+//
+// The paper evaluates on 12 MCNC FSM benchmarks and 4 ISCAS'89 circuits
+// processed through SIS + dmig. Those netlists are not redistributable here,
+// so this generator produces deterministic stand-ins with the same circuit
+// names and comparable gate/FF counts (see DESIGN.md §4): layered random
+// logic clouds over the PIs and registered feedback signals, K-bounded by
+// construction, with every zero-weight edge pointing forward (no
+// combinational loops) and all loops closed through registered feedback
+// edges — the structural regime that drives label computation, cut width
+// and decomposability.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+struct BenchmarkSpec {
+  std::string name;
+  std::uint64_t seed = 1;
+  int num_pis = 8;
+  int num_pos = 8;
+  int num_gates = 200;
+  /// Probability that a fanin is a registered feedback edge; calibrates the
+  /// FF count (expected FFs ~ feedback * total fanins).
+  double feedback = 0.05;
+  int max_fanin = 4;           // gates use 2..max_fanin inputs
+  int locality = 24;           // combinational fanins come from this window
+  double exotic_gate_ratio = 0.3;  // fraction of gates with random truth tables
+};
+
+/// Deterministically generates the circuit for a spec (same spec => same
+/// circuit on every platform).
+Circuit generate_fsm_circuit(const BenchmarkSpec& spec);
+
+/// The 16-circuit suite standing in for the paper's Table 1 benchmarks
+/// (12 MCNC FSM + 4 ISCAS'89 names).
+std::vector<BenchmarkSpec> table1_suite();
+
+/// Smaller specs for fast unit/property tests.
+std::vector<BenchmarkSpec> tiny_suite();
+
+/// Scaled specs for the paper's ">10^4 gates in reasonable time" claim.
+std::vector<BenchmarkSpec> scaling_suite();
+
+}  // namespace turbosyn

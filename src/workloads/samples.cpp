@@ -1,0 +1,220 @@
+#include "workloads/samples.hpp"
+
+#include "base/check.hpp"
+#include "netlist/gates.hpp"
+
+namespace turbosyn {
+
+std::string counter3_blif() {
+  // q(t+1) = q(t) + en, a 3-bit ripple-carry counter.
+  return R"(.model counter3
+.inputs en
+.outputs q0 q1 q2
+.latch n0 q0 0
+.latch n1 q1 0
+.latch n2 q2 0
+# n0 = q0 XOR en
+.names en q0 n0
+01 1
+10 1
+# n1 = q1 XOR (en AND q0)
+.names en q0 q1 n1
+110 1
+001 1
+011 1
+101 1
+# n2 = q2 XOR (en AND q0 AND q1)
+.names en q0 q1 q2 n2
+1110 1
+0001 1
+1001 1
+0101 1
+1101 1
+0011 1
+1011 1
+0111 1
+.end
+)";
+}
+
+std::string pattern_fsm_blif() {
+  // Mealy detector for the serial pattern 1011 (overlapping), states encoded
+  // as (s1 s0): S0=00, S1=01, S2=10, S3=11.
+  return R"(.model pattern1011
+.inputs x
+.outputs z
+.latch ns0 s0 0
+.latch ns1 s1 0
+# ns0 = x (S1 or S3 is entered exactly on a 1)
+.names x ns0
+1 1
+# ns1 = (S1 and !x) or (S2 and x) or (S3 and !x)
+.names x s0 s1 ns1
+010 1
+101 1
+011 1
+# z = S3 and x
+.names x s0 s1 z
+111 1
+.end
+)";
+}
+
+Circuit figure1_circuit() {
+  // Registered loop g2 ->(1 FF)-> g1 -> g2 computing
+  //   g1 = s XOR (a AND b),  g2 = g1 XOR (c AND d),  s = g2 delayed by 1.
+  // At K=3 the loop function s^(a&b)^(c&d) spans 5 inputs, so plain mapping
+  // needs two LUTs on the loop (MDR ratio 2); Roth–Karp decomposition pulls
+  // (a AND b) and (c AND d) into encoder LUTs off the loop, reaching ratio 1.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId d0 = c.add_pi("c");
+  const NodeId d1 = c.add_pi("d");
+  const NodeId g1 = c.declare_gate("g1");
+  const NodeId g2 = c.declare_gate("g2");
+  // f(s, x, y) = s XOR (x AND y) over variable order (s, x, y).
+  TruthTable xor_and = TruthTable::var(3, 0) ^ (TruthTable::var(3, 1) & TruthTable::var(3, 2));
+  {
+    const Circuit::FaninSpec fanins[3] = {{g2, 1}, {a, 0}, {b, 0}};
+    c.finish_gate(g1, xor_and, fanins);
+  }
+  {
+    const Circuit::FaninSpec fanins[3] = {{g1, 0}, {d0, 0}, {d1, 0}};
+    c.finish_gate(g2, xor_and, fanins);
+  }
+  c.add_po("$po:out", {g2, 0});
+  c.validate();
+  return c;
+}
+
+Circuit ring_circuit(int stages, int registers) {
+  TS_CHECK(stages >= 1 && registers >= 1, "ring needs at least one stage and one register");
+  Circuit c;
+  const NodeId en = c.add_pi("en");
+  std::vector<NodeId> ring;
+  for (int i = 0; i < stages; ++i) ring.push_back(c.declare_gate("r" + std::to_string(i)));
+  for (int i = 0; i < stages; ++i) {
+    const NodeId prev = ring[static_cast<std::size_t>((i + stages - 1) % stages)];
+    // Spread the registers evenly: edge i gets
+    // floor((i+1)*R/S) - floor(i*R/S), which sums to R around the loop.
+    const int w = static_cast<int>((static_cast<std::int64_t>(i + 1) * registers) / stages -
+                                   (static_cast<std::int64_t>(i) * registers) / stages);
+    const Circuit::FaninSpec fanins[2] = {{prev, w}, {en, 0}};
+    c.finish_gate(ring[static_cast<std::size_t>(i)], tt_xor(2), fanins);
+  }
+  c.add_po("$po:q", {ring[0], 0});
+  c.validate();
+  return c;
+}
+
+Circuit lfsr_circuit(int bits, std::span<const int> taps) {
+  TS_CHECK(bits >= 2, "LFSR needs at least two bits");
+  std::vector<bool> is_tap(static_cast<std::size_t>(bits), false);
+  for (const int t : taps) {
+    TS_CHECK(t >= 1 && t < bits, "tap position out of range");
+    is_tap[static_cast<std::size_t>(t)] = true;
+  }
+  Circuit c;
+  const NodeId in = c.add_pi("in");
+  // g_i computes the next value of bit i; the registered signal (g_i, 1) is
+  // the bit itself.
+  std::vector<NodeId> g;
+  for (int i = 0; i < bits; ++i) g.push_back(c.declare_gate("b" + std::to_string(i)));
+  const NodeId msb = g[static_cast<std::size_t>(bits - 1)];
+  {
+    // b0' = in XOR msb (feedback entry point).
+    const Circuit::FaninSpec f[2] = {{in, 0}, {msb, 1}};
+    c.finish_gate(g[0], tt_xor(2), f);
+  }
+  for (int i = 1; i < bits; ++i) {
+    if (is_tap[static_cast<std::size_t>(i)]) {
+      const Circuit::FaninSpec f[2] = {{g[static_cast<std::size_t>(i - 1)], 1}, {msb, 1}};
+      c.finish_gate(g[static_cast<std::size_t>(i)], tt_xor(2), f);
+    } else {
+      const Circuit::FaninSpec f[1] = {{g[static_cast<std::size_t>(i - 1)], 1}};
+      c.finish_gate(g[static_cast<std::size_t>(i)], tt_buf(), f);
+    }
+  }
+  c.add_po("$po:out", {msb, 1});
+  c.validate();
+  return c;
+}
+
+std::string traffic_light_blif() {
+  // Moore controller: 4 states (NS-green, NS-yellow, EW-green, EW-yellow)
+  // advancing when the 1-bit dwell timer is set and `en` is high.
+  return R"(.model traffic
+.inputs en
+.outputs ns_go ew_go
+.latch nt0 t0 0
+.latch ns0 s0 0
+.latch ns1 s1 0
+# timer toggles while enabled
+.names en t0 nt0
+10 1
+01 1
+# advance = en AND t0
+.names en t0 adv
+11 1
+# state counter: (s1 s0) + adv
+.names s0 adv ns0
+10 1
+01 1
+.names s1 s0 adv ns1
+100 1
+101 1
+110 1
+011 1
+# Moore outputs
+.names s1 s0 ns_go
+00 1
+.names s1 s0 ew_go
+10 1
+.end
+)";
+}
+
+std::string gray_counter_blif() {
+  // Binary counter internally; outputs are the Gray encoding q ^ (q >> 1).
+  return R"(.model gray4
+.inputs en
+.outputs g0 g1 g2 g3
+.latch n0 q0 0
+.latch n1 q1 0
+.latch n2 q2 0
+.latch n3 q3 0
+.names en q0 n0
+01 1
+10 1
+.names en q0 q1 n1
+110 1
+0-1 1
+-01 1
+.names en q0 q1 q2 n2
+1110 1
+0--1 1
+-0-1 1
+--01 1
+.names en q0 q1 q2 q3 n3
+11110 1
+0---1 1
+-0--1 1
+--0-1 1
+---01 1
+.names q0 q1 g0
+10 1
+01 1
+.names q1 q2 g1
+10 1
+01 1
+.names q2 q3 g2
+10 1
+01 1
+.names q3 g3
+1 1
+.end
+)";
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,38 @@
+#pragma once
+// Small hand-written circuits (BLIF text and builders) used by tests,
+// examples and documentation.
+
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+/// A 3-bit synchronous counter with enable, written in BLIF.
+std::string counter3_blif();
+
+/// A 4-state Mealy FSM (serial 1011 pattern detector), written in BLIF.
+std::string pattern_fsm_blif();
+
+/// The paper's Figure 1 situation: a registered loop whose plain mapping
+/// cannot reach MDR ratio 1 at K=3, but whose loop function decomposes so
+/// TurboSYN can. Returns the circuit (built programmatically).
+Circuit figure1_circuit();
+
+/// A ring of `stages` unit-delay gates with `registers` FFs spread on the
+/// loop plus an enable input: MDR ratio = stages / registers before mapping.
+Circuit ring_circuit(int stages, int registers);
+
+/// A Galois LFSR over `bits` registers with taps at the given positions
+/// (positions in [1, bits)): the classic shift-register workload where every
+/// loop already has ratio <= 2.
+Circuit lfsr_circuit(int bits, std::span<const int> taps);
+
+/// A 2-street traffic-light controller FSM (BLIF): Moore machine with a
+/// timer chain — a typical MCNC-FSM-class netlist.
+std::string traffic_light_blif();
+
+/// A 4-bit Gray-code counter with enable (BLIF).
+std::string gray_counter_blif();
+
+}  // namespace turbosyn

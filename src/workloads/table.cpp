@@ -1,0 +1,58 @@
+#include "workloads/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "base/check.hpp"
+
+namespace turbosyn {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  return s.find_first_not_of("0123456789.+-/ex") == std::string::npos;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  TS_CHECK(cells.size() == headers_.size(),
+           "row has " << cells.size() << " cells, table has " << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) width[i] = std::max(width[i], row[i].size());
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << "  ";
+      if (looks_numeric(row[i]) && i > 0) {
+        os << std::setw(static_cast<int>(width[i])) << std::right << row[i];
+      } else {
+        os << std::setw(static_cast<int>(width[i])) << std::left << row[i];
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  os << std::string(total >= 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,28 @@
+#pragma once
+// Fixed-width text tables for the benchmark binaries (the Table 1 /
+// experiment reports).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace turbosyn {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with column-aligned cells, a header rule, and right-aligned
+  /// numeric-looking cells.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (for ratio columns).
+std::string format_double(double value, int precision = 2);
+
+}  // namespace turbosyn

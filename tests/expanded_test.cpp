@@ -1,0 +1,162 @@
+// Dedicated coverage of the expanded circuit E_v and its partial flow
+// network: register-count bookkeeping, mandatory/allowed classification,
+// frontier handling, node budgets and the low-cost (sharing-aware) cut rule.
+
+#include "core/expanded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/check.hpp"
+#include "netlist/gates.hpp"
+#include "workloads/samples.hpp"
+
+namespace turbosyn {
+namespace {
+
+std::vector<int> base_labels(const Circuit& c) {
+  std::vector<int> labels(static_cast<std::size_t>(c.num_nodes()), 1);
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (c.is_source(v)) labels[static_cast<std::size_t>(v)] = 0;
+  }
+  return labels;
+}
+
+TEST(Expanded, TrivialFaninCutAtHeightLPlusOne) {
+  // With all fanins at eff+1 <= H, the fanin cut is found immediately.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const Circuit::FaninSpec f[2] = {{a, 0}, {b, 1}};
+  const NodeId g = c.add_gate("g", tt_and(2), f);
+  c.add_po("$po:o", {g, 0});
+  const auto labels = base_labels(c);
+  ExpandedNetwork net(c, labels, 1, g, 1, ExpandedOptions{});
+  const auto cut = net.find_cut(2);
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(cut->size(), 2u);
+  EXPECT_EQ((*cut)[0], (SeqCutNode{a, 0}));
+  EXPECT_EQ((*cut)[1], (SeqCutNode{b, 1}));
+  EXPECT_EQ(net.cut_function(*cut), tt_and(2));
+}
+
+TEST(Expanded, MandatoryPiBlocksTheCut) {
+  // Height limit below every PI copy's requirement: no cut exists.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const Circuit::FaninSpec f[1] = {{a, 0}};
+  const NodeId g = c.add_gate("g", tt_not(), f);
+  c.add_po("$po:o", {g, 0});
+  const auto labels = base_labels(c);
+  // H = 0: (a,0) needs eff+1 = 1 <= 0 -> mandatory -> uncuttable path.
+  ExpandedNetwork net(c, labels, 1, g, 0, ExpandedOptions{});
+  EXPECT_FALSE(net.find_cut(4).has_value());
+}
+
+TEST(Expanded, RegisteredPiCopyBecomesAllowed) {
+  // Same shape but the edge carries a register: eff(a,1) = -phi, so the copy
+  // is allowed even at H = 0.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const Circuit::FaninSpec f[1] = {{a, 1}};
+  const NodeId g = c.add_gate("g", tt_not(), f);
+  c.add_po("$po:o", {g, 0});
+  const auto labels = base_labels(c);
+  ExpandedNetwork net(c, labels, 1, g, 0, ExpandedOptions{});
+  const auto cut = net.find_cut(4);
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ((*cut)[0], (SeqCutNode{a, 1}));
+}
+
+TEST(Expanded, LoopUnrollsWithIncreasingRegisterCounts) {
+  const Circuit c = figure1_circuit();
+  const NodeId g2 = c.find("g2");
+  std::vector<int> labels(static_cast<std::size_t>(c.num_nodes()), 2);
+  for (const NodeId pi : c.pis()) labels[static_cast<std::size_t>(pi)] = 0;
+  // At H = 2 the zero-register copy of g1 (eff+1 = 3) is mandatory, so any
+  // cut through the loop uses copies behind at least one register.
+  ExpandedNetwork net(c, labels, 1, g2, 2, ExpandedOptions{});
+  EXPECT_GE(net.num_expanded_nodes(), 6);
+  const auto cut = net.find_cut(15);
+  ASSERT_TRUE(cut.has_value());
+  for (const SeqCutNode& n : *cut) {
+    if (n.node == g2 || n.node == c.find("g1")) EXPECT_GE(n.w, 1);
+  }
+}
+
+TEST(Expanded, NodeBudgetMakesQueryUnviable) {
+  const Circuit c = figure1_circuit();
+  const NodeId g2 = c.find("g2");
+  std::vector<int> labels(static_cast<std::size_t>(c.num_nodes()), 2);
+  for (const NodeId pi : c.pis()) labels[static_cast<std::size_t>(pi)] = 0;
+  ExpandedOptions opt;
+  opt.node_budget = 2;
+  ExpandedNetwork net(c, labels, 1, g2, 5, opt);
+  EXPECT_FALSE(net.viable());
+  EXPECT_FALSE(net.find_cut(15).has_value());
+}
+
+TEST(Expanded, LowCostCutPrefersSharedSignals) {
+  // Diamond: root over u (from a,b) and v (from a,b): min cuts are {u,v} and
+  // {a,b}; marking {a,b} as shared must steer the choice there.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const Circuit::FaninSpec f[2] = {{a, 0}, {b, 0}};
+  const NodeId u = c.add_gate("u", tt_and(2), f);
+  const NodeId v = c.add_gate("v", tt_or(2), f);
+  const Circuit::FaninSpec fr[2] = {{u, 0}, {v, 0}};
+  const NodeId r = c.add_gate("r", tt_xor(2), fr);
+  c.add_po("$po:o", {r, 0});
+  std::vector<int> labels(static_cast<std::size_t>(c.num_nodes()), 0);
+  labels[static_cast<std::size_t>(u)] = 1;
+  labels[static_cast<std::size_t>(v)] = 1;
+  labels[static_cast<std::size_t>(r)] = 2;
+
+  const auto prefer_pis = [&](const SeqCutNode& n) { return c.is_pi(n.node); };
+  ExpandedNetwork net(c, labels, 1, r, 2, ExpandedOptions{});
+  const auto cut = net.find_low_cost_cut(2, prefer_pis);
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(*cut, (std::vector<SeqCutNode>{{a, 0}, {b, 0}}));
+
+  const auto prefer_gates = [&](const SeqCutNode& n) { return c.is_gate(n.node); };
+  ExpandedNetwork net2(c, labels, 1, r, 2, ExpandedOptions{});
+  const auto cut2 = net2.find_low_cost_cut(2, prefer_gates);
+  ASSERT_TRUE(cut2.has_value());
+  EXPECT_EQ(*cut2, (std::vector<SeqCutNode>{{u, 0}, {v, 0}}));
+}
+
+TEST(Expanded, LowCostNeverExceedsMinCutSize) {
+  const Circuit c = lfsr_circuit(6, std::vector<int>{2, 4});
+  std::vector<int> labels(static_cast<std::size_t>(c.num_nodes()), 1);
+  for (const NodeId pi : c.pis()) labels[static_cast<std::size_t>(pi)] = 0;
+  for (NodeId g = 0; g < c.num_nodes(); ++g) {
+    if (!c.is_gate(g) || c.fanin_edges(g).empty()) continue;
+    ExpandedNetwork plain(c, labels, 2, g, 1, ExpandedOptions{});
+    const auto min_cut = plain.find_cut(6);
+    ExpandedNetwork weighted(c, labels, 2, g, 1, ExpandedOptions{});
+    const auto lc = weighted.find_low_cost_cut(6, [](const SeqCutNode&) { return false; });
+    ASSERT_EQ(min_cut.has_value(), lc.has_value());
+    if (min_cut) EXPECT_EQ(min_cut->size(), lc->size());
+  }
+}
+
+TEST(Expanded, CutFunctionComposesAcrossRegisters) {
+  // Two buffers with a register between them: the cut {(a,1)} computes BUF.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const Circuit::FaninSpec f1[1] = {{a, 1}};
+  const NodeId g1 = c.add_gate("g1", tt_not(), f1);
+  const Circuit::FaninSpec f2[1] = {{g1, 0}};
+  const NodeId g2 = c.add_gate("g2", tt_not(), f2);
+  c.add_po("$po:o", {g2, 0});
+  const auto labels = base_labels(c);
+  ExpandedNetwork net(c, labels, 1, g2, 2, ExpandedOptions{});
+  const auto cut = net.find_cut(2);
+  ASSERT_TRUE(cut.has_value());
+  if (cut->size() == 1 && (*cut)[0].node == a) {
+    EXPECT_EQ(net.cut_function(*cut), tt_buf());  // NOT of NOT
+  }
+}
+
+}  // namespace
+}  // namespace turbosyn

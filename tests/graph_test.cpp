@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "base/check.hpp"
+#include "graph/bellman_ford.hpp"
+#include "graph/digraph.hpp"
+#include "graph/max_flow.hpp"
+#include "graph/scc.hpp"
+
+namespace turbosyn {
+namespace {
+
+Digraph chain(int n) {
+  Digraph g;
+  g.add_nodes(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+TEST(Digraph, AdjacencyBookkeeping) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const EdgeId e = g.add_edge(a, b, 3);
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge(e).from, a);
+  EXPECT_EQ(g.edge(e).to, b);
+  EXPECT_EQ(g.weight(e), 3);
+  EXPECT_EQ(g.fanout_count(a), 1);
+  EXPECT_EQ(g.fanin_count(b), 1);
+  EXPECT_THROW(g.add_edge(a, 5), Error);
+}
+
+TEST(Scc, ChainHasSingletonComponentsInTopoOrder) {
+  const Digraph g = chain(5);
+  const SccDecomposition scc = strongly_connected_components(g);
+  ASSERT_EQ(scc.components.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(scc.component_of[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Scc, DetectsCycleComponent) {
+  Digraph g;
+  g.add_nodes(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);  // cycle {1,2}
+  g.add_edge(2, 3);
+  const SccDecomposition scc = strongly_connected_components(g);
+  ASSERT_EQ(scc.components.size(), 3u);
+  EXPECT_EQ(scc.component_of[1], scc.component_of[2]);
+  // Topological: 0 before {1,2} before 3.
+  EXPECT_LT(scc.component_of[0], scc.component_of[1]);
+  EXPECT_LT(scc.component_of[2], scc.component_of[3]);
+}
+
+TEST(Scc, SkipEdgePredicateBreaksCycles) {
+  Digraph g;
+  g.add_nodes(2);
+  g.add_edge(0, 1, 0);
+  const EdgeId back = g.add_edge(1, 0, 1);
+  const SccDecomposition with_all = strongly_connected_components(g);
+  EXPECT_EQ(with_all.components.size(), 1u);
+  const SccDecomposition without =
+      strongly_connected_components(g, [&](EdgeId e) { return e == back; });
+  EXPECT_EQ(without.components.size(), 2u);
+}
+
+TEST(Topo, OrdersRespectEdges) {
+  Digraph g;
+  g.add_nodes(4);
+  g.add_edge(2, 0);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const std::vector<NodeId> order = topological_order(g);
+  std::vector<int> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  EXPECT_LT(pos[2], pos[0]);
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Topo, ThrowsOnCycle) {
+  Digraph g;
+  g.add_nodes(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW((void)topological_order(g), Error);
+}
+
+TEST(BellmanFord, NoPositiveCycleOnDag) {
+  const Digraph g = chain(4);
+  const auto result = find_positive_cycle(g, [](EdgeId) { return 100; });
+  EXPECT_FALSE(result.found);
+}
+
+TEST(BellmanFord, FindsPositiveCycleAndItsEdges) {
+  Digraph g;
+  g.add_nodes(3);
+  g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(1, 2);
+  const EdgeId e2 = g.add_edge(2, 1);
+  const auto result = find_positive_cycle(g, [&](EdgeId e) { return e == e1 ? 2 : -1; });
+  ASSERT_TRUE(result.found);
+  // The cycle 1 -> 2 -> 1 has cost 2 - 1 = 1 > 0.
+  ASSERT_EQ(result.edges.size(), 2u);
+  EXPECT_TRUE((result.edges[0] == e1 && result.edges[1] == e2) ||
+              (result.edges[0] == e2 && result.edges[1] == e1));
+}
+
+TEST(BellmanFord, ZeroCostCycleIsNotPositive) {
+  Digraph g;
+  g.add_nodes(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const auto result = find_positive_cycle(g, [](EdgeId) { return 0; });
+  EXPECT_FALSE(result.found);
+}
+
+TEST(MaxFlow, SimpleBipartite) {
+  MaxFlow f(4);
+  // 0 -> {1,2} -> 3 with unit middle capacities.
+  f.add_arc(0, 1, 5);
+  f.add_arc(0, 2, 5);
+  f.add_arc(1, 3, 1);
+  f.add_arc(2, 3, 1);
+  EXPECT_EQ(f.compute(0, 3), 2);
+}
+
+TEST(MaxFlow, RespectsLimitWithEarlyExit) {
+  MaxFlow f(2);
+  for (int i = 0; i < 10; ++i) f.add_arc(0, 1, 1);
+  EXPECT_GT(f.compute(0, 1, 3), 3);  // stops early, reports "exceeds limit"
+}
+
+TEST(MaxFlow, MinCutSourceSide) {
+  MaxFlow f(4);
+  f.add_arc(0, 1, 10);
+  f.add_arc(1, 2, 1);  // bottleneck
+  f.add_arc(2, 3, 10);
+  EXPECT_EQ(f.compute(0, 3), 1);
+  const auto side = f.min_cut_source_side();
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(MaxFlow, NodeSplitCutIdentifiesNodes) {
+  // Diamond: s -> a -> {b, c} -> d -> t, node capacities 1 via splitting:
+  // min node cut should be {a} or {d} with size 1.
+  MaxFlow f;
+  const int s = f.add_node();
+  const int t = f.add_node();
+  const int a_in = f.add_node(), a_out = f.add_node();
+  const int b_in = f.add_node(), b_out = f.add_node();
+  const int c_in = f.add_node(), c_out = f.add_node();
+  const int d_in = f.add_node(), d_out = f.add_node();
+  f.add_arc(a_in, a_out, 1);
+  f.add_arc(b_in, b_out, 1);
+  f.add_arc(c_in, c_out, 1);
+  f.add_arc(d_in, d_out, 1);
+  f.add_arc(s, a_in, MaxFlow::kInfinity);
+  f.add_arc(a_out, b_in, MaxFlow::kInfinity);
+  f.add_arc(a_out, c_in, MaxFlow::kInfinity);
+  f.add_arc(b_out, d_in, MaxFlow::kInfinity);
+  f.add_arc(c_out, d_in, MaxFlow::kInfinity);
+  f.add_arc(d_out, t, MaxFlow::kInfinity);
+  EXPECT_EQ(f.compute(s, t), 1);
+}
+
+}  // namespace
+}  // namespace turbosyn

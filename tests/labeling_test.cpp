@@ -1,0 +1,217 @@
+// Unit tests of the label computation (TurboMap/TurboSYN core) and the
+// expanded-circuit machinery, on circuits small enough to reason about by
+// hand — plus property tests against the exact MDR of the input.
+
+#include <gtest/gtest.h>
+
+#include "base/check.hpp"
+#include "core/expanded.hpp"
+#include "core/labeling.hpp"
+#include "core/mapgen.hpp"
+#include "netlist/gates.hpp"
+#include "retime/cycle_ratio.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/samples.hpp"
+
+namespace turbosyn {
+namespace {
+
+LabelOptions turbomap_options(int k) {
+  LabelOptions lo;
+  lo.k = k;
+  return lo;
+}
+
+TEST(Expanded, PathsCarryRegisterCounts) {
+  // Ring of 3 gates, one register; expanding from r0 must produce copies
+  // r0^0, r2^0 ... and eventually r0^1 (one lap).
+  const Circuit c = ring_circuit(3, 1);
+  const NodeId r0 = c.find("r0");
+  std::vector<int> labels(static_cast<std::size_t>(c.num_nodes()), 1);
+  for (const NodeId pi : c.pis()) labels[static_cast<std::size_t>(pi)] = 0;
+  ExpandedNetwork net(c, labels, 3, r0, 1, ExpandedOptions{});
+  EXPECT_TRUE(net.viable());
+  EXPECT_GE(net.num_expanded_nodes(), 4);
+  const auto cut = net.find_cut(5);
+  ASSERT_TRUE(cut.has_value());
+  // The cut covers the enable input and the loop signal at some register depth.
+  bool loop_signal = false;
+  for (const SeqCutNode& n : *cut) {
+    if (!c.is_pi(n.node)) {
+      EXPECT_GE(n.w, 1);
+      loop_signal = true;
+    }
+  }
+  EXPECT_TRUE(loop_signal);
+}
+
+TEST(Expanded, CutFunctionMatchesHandComputation) {
+  // figure1: cut {g2^1, a, b, c, d} of E_g2 computes s ^ (a&b) ^ (c&d).
+  const Circuit c = figure1_circuit();
+  const NodeId g2 = c.find("g2");
+  std::vector<int> labels(static_cast<std::size_t>(c.num_nodes()), 2);
+  for (const NodeId pi : c.pis()) labels[static_cast<std::size_t>(pi)] = 0;
+  ExpandedNetwork net(c, labels, 1, g2, 2, ExpandedOptions{});
+  const auto cut = net.find_cut(15);
+  ASSERT_TRUE(cut.has_value());
+  ASSERT_EQ(cut->size(), 5u);
+  const TruthTable f = net.cut_function(*cut);
+  // Identify variable indices by cut node identity.
+  int s_var = -1;
+  for (std::size_t i = 0; i < cut->size(); ++i) {
+    if ((*cut)[i].node == g2) {
+      EXPECT_EQ((*cut)[i].w, 1);
+      s_var = static_cast<int>(i);
+    }
+  }
+  ASSERT_NE(s_var, -1);
+  // Flipping s always flips f (it enters through XOR).
+  EXPECT_EQ(f.cofactor(s_var, false), ~f.cofactor(s_var, true));
+  EXPECT_EQ(f.count_ones(), f.num_bits() / 2);
+}
+
+TEST(Labeling, SingleLutLoopConvergesAtRatio1) {
+  // One XOR gate with a self-loop register: a single LUT, ratio 1.
+  Circuit c;
+  const NodeId en = c.add_pi("en");
+  const NodeId g = c.declare_gate("g");
+  const Circuit::FaninSpec f[2] = {{g, 1}, {en, 0}};
+  c.finish_gate(g, tt_xor(2), f);
+  c.add_po("$po:q", {g, 0});
+  const LabelResult r = compute_labels(c, 1, turbomap_options(4));
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.labels[static_cast<std::size_t>(g)], 1);
+}
+
+TEST(Labeling, RingFeasibilityTracksLutCapacity) {
+  // Ring with a *distinct* enable per stage (the shared-enable ring of
+  // ring_circuit collapses under XOR cancellation): covering two stages
+  // needs 3 distinct inputs, so ratio 1 is feasible at K=3 but not at K=2.
+  Circuit c;
+  std::vector<NodeId> en;
+  for (int i = 0; i < 4; ++i) en.push_back(c.add_pi("en" + std::to_string(i)));
+  std::vector<NodeId> ring;
+  for (int i = 0; i < 4; ++i) ring.push_back(c.declare_gate("r" + std::to_string(i)));
+  for (int i = 0; i < 4; ++i) {
+    const int w = (i % 2 == 0) ? 1 : 0;  // 2 registers on the 4-stage loop
+    const Circuit::FaninSpec f[2] = {{ring[static_cast<std::size_t>((i + 3) % 4)], w},
+                                     {en[static_cast<std::size_t>(i)], 0}};
+    c.finish_gate(ring[static_cast<std::size_t>(i)], tt_xor(2), f);
+  }
+  c.add_po("$po:q", {ring[0], 0});
+  c.validate();
+  EXPECT_TRUE(compute_labels(c, 1, turbomap_options(3)).feasible);
+  EXPECT_FALSE(compute_labels(c, 1, turbomap_options(2)).feasible);
+  EXPECT_TRUE(compute_labels(c, 2, turbomap_options(2)).feasible);
+}
+
+TEST(Labeling, FeasibilityIsMonotoneInPhiAndK) {
+  for (const auto& spec : tiny_suite()) {
+    const Circuit c = generate_fsm_circuit(spec);
+    bool prev = false;
+    for (int phi = 1; phi <= 6; ++phi) {
+      const bool feasible = compute_labels(c, phi, turbomap_options(5)).feasible;
+      EXPECT_TRUE(!prev || feasible) << spec.name << " phi=" << phi;  // monotone
+      prev = feasible;
+    }
+    // Larger K never hurts.
+    for (int phi = 1; phi <= 3; ++phi) {
+      const bool k4 = compute_labels(c, phi, turbomap_options(4)).feasible;
+      const bool k6 = compute_labels(c, phi, turbomap_options(6)).feasible;
+      EXPECT_TRUE(!k4 || k6) << spec.name << " phi=" << phi;
+    }
+  }
+}
+
+TEST(Labeling, IdentityMappingRatioIsAlwaysFeasible) {
+  for (const auto& spec : tiny_suite()) {
+    const Circuit c = generate_fsm_circuit(spec);
+    const int ub = static_cast<int>(std::max<std::int64_t>(1, circuit_mdr(c).ratio.ceil()));
+    EXPECT_TRUE(compute_labels(c, ub, turbomap_options(5)).feasible) << spec.name;
+  }
+}
+
+TEST(Labeling, DecompositionOnlyAddsFeasibility) {
+  for (const auto& spec : tiny_suite()) {
+    const Circuit c = generate_fsm_circuit(spec);
+    for (int phi = 1; phi <= 4; ++phi) {
+      LabelOptions plain = turbomap_options(5);
+      LabelOptions syn = plain;
+      syn.enable_decomposition = true;
+      const bool tm = compute_labels(c, phi, plain).feasible;
+      const bool ts = compute_labels(c, phi, syn).feasible;
+      EXPECT_TRUE(!tm || ts) << spec.name << " phi=" << phi;
+    }
+  }
+}
+
+TEST(Labeling, ConvergedLabelsSatisfyLocalEquations) {
+  const Circuit c = generate_fsm_circuit(tiny_suite()[2]);
+  LabelOptions lo = turbomap_options(5);
+  int phi = 1;
+  LabelResult r = compute_labels(c, phi, lo);
+  while (!r.feasible) r = compute_labels(c, ++phi, lo);
+  LabelStats stats;
+  std::vector<int> labels = r.labels;
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (!c.is_gate(v) || c.fanin_edges(v).empty()) continue;
+    // Re-running the update at the fixpoint must not change any label.
+    EXPECT_EQ(label_update(c, labels, phi, v, lo, stats), r.labels[static_cast<std::size_t>(v)])
+        << c.name(v);
+  }
+}
+
+TEST(Labeling, RealizationsExistAtConvergedLabels) {
+  const Circuit c = generate_fsm_circuit(tiny_suite()[4]);
+  LabelOptions lo = turbomap_options(5);
+  lo.enable_decomposition = true;
+  int phi = 1;
+  LabelResult r = compute_labels(c, phi, lo);
+  while (!r.feasible) r = compute_labels(c, ++phi, lo);
+  LabelStats stats;
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (!c.is_gate(v) || c.fanin_edges(v).empty()) continue;
+    const auto real = realize_node(c, r.labels, phi, v,
+                                   r.labels[static_cast<std::size_t>(v)], lo, stats);
+    ASSERT_TRUE(real.has_value()) << c.name(v);
+    for (const SeqCutNode& in : real->cut) {
+      // Height constraint: eff(in) + 1 <= l(v).
+      EXPECT_LE(r.labels[static_cast<std::size_t>(in.node)] - phi * in.w + 1,
+                r.labels[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(Labeling, MappedMdrNeverExceedsPhiAcrossSuite) {
+  for (const auto& spec : tiny_suite()) {
+    const Circuit c = generate_fsm_circuit(spec);
+    LabelOptions lo = turbomap_options(5);
+    lo.enable_decomposition = true;
+    int phi = 1;
+    LabelResult r = compute_labels(c, phi, lo);
+    while (!r.feasible) r = compute_labels(c, ++phi, lo);
+    LabelStats stats;
+    MapGenOptions mopts;
+    const Circuit mapped = generate_sequential_mapping(c, r, phi, lo, mopts, stats);
+    EXPECT_LE(circuit_mdr(mapped).ratio, Rational(phi)) << spec.name;
+  }
+}
+
+TEST(Labeling, PoLabelsComputedForClockPeriodMode) {
+  const Circuit c = ring_circuit(4, 2);
+  const LabelResult r = compute_labels(c, 2, turbomap_options(5));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.max_po_label, 1);
+}
+
+TEST(Labeling, RejectsUnboundedCircuit) {
+  Circuit c;
+  std::vector<Circuit::FaninSpec> wide;
+  for (int i = 0; i < 6; ++i) wide.push_back({c.add_pi("i" + std::to_string(i)), 0});
+  const NodeId g = c.add_gate("g", tt_and(6), wide);
+  c.add_po("$po:o", {g, 0});
+  EXPECT_THROW((void)compute_labels(c, 2, turbomap_options(4)), Error);
+}
+
+}  // namespace
+}  // namespace turbosyn
