@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_main.dir/ablation_main.cpp.o"
+  "CMakeFiles/ablation_main.dir/ablation_main.cpp.o.d"
+  "ablation_main"
+  "ablation_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

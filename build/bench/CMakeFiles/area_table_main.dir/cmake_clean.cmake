@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_table_main.dir/area_table_main.cpp.o"
+  "CMakeFiles/area_table_main.dir/area_table_main.cpp.o.d"
+  "area_table_main"
+  "area_table_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_table_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

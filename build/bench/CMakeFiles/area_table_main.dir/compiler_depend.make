@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for area_table_main.
+# This may be replaced when dependencies are built.

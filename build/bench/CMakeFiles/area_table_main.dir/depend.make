@@ -1,0 +1,2 @@
+# Empty dependencies file for area_table_main.
+# This may be replaced when dependencies are built.

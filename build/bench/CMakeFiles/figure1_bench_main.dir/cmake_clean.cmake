@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_bench_main.dir/figure1_bench_main.cpp.o"
+  "CMakeFiles/figure1_bench_main.dir/figure1_bench_main.cpp.o.d"
+  "figure1_bench_main"
+  "figure1_bench_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_bench_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

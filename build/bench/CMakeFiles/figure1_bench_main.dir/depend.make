@@ -1,0 +1,2 @@
+# Empty dependencies file for figure1_bench_main.
+# This may be replaced when dependencies are built.

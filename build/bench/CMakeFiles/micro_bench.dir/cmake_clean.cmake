@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bench.dir/micro_bench.cpp.o"
+  "CMakeFiles/micro_bench.dir/micro_bench.cpp.o.d"
+  "micro_bench"
+  "micro_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_speedup_main.dir/pld_speedup_main.cpp.o"
+  "CMakeFiles/pld_speedup_main.dir/pld_speedup_main.cpp.o.d"
+  "pld_speedup_main"
+  "pld_speedup_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_speedup_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

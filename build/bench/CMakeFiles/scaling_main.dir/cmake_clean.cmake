@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_main.dir/scaling_main.cpp.o"
+  "CMakeFiles/scaling_main.dir/scaling_main.cpp.o.d"
+  "scaling_main"
+  "scaling_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

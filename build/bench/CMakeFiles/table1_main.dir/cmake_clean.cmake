@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_main.dir/table1_main.cpp.o"
+  "CMakeFiles/table1_main.dir/table1_main.cpp.o.d"
+  "table1_main"
+  "table1_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blif_flow.dir/blif_flow.cpp.o"
+  "CMakeFiles/blif_flow.dir/blif_flow.cpp.o.d"
+  "blif_flow"
+  "blif_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blif_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_mappers.dir/compare_mappers.cpp.o"
+  "CMakeFiles/compare_mappers.dir/compare_mappers.cpp.o.d"
+  "compare_mappers"
+  "compare_mappers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_mappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1.dir/figure1.cpp.o"
+  "CMakeFiles/figure1.dir/figure1.cpp.o.d"
+  "figure1"
+  "figure1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_optimization.dir/fsm_optimization.cpp.o"
+  "CMakeFiles/fsm_optimization.dir/fsm_optimization.cpp.o.d"
+  "fsm_optimization"
+  "fsm_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

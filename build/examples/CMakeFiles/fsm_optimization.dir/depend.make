@@ -1,0 +1,2 @@
+# Empty dependencies file for fsm_optimization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_explorer.dir/pipeline_explorer.cpp.o"
+  "CMakeFiles/pipeline_explorer.dir/pipeline_explorer.cpp.o.d"
+  "pipeline_explorer"
+  "pipeline_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

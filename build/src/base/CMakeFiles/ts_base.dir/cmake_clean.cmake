@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_base.dir/logging.cpp.o"
+  "CMakeFiles/ts_base.dir/logging.cpp.o.d"
+  "CMakeFiles/ts_base.dir/rational.cpp.o"
+  "CMakeFiles/ts_base.dir/rational.cpp.o.d"
+  "CMakeFiles/ts_base.dir/rng.cpp.o"
+  "CMakeFiles/ts_base.dir/rng.cpp.o.d"
+  "CMakeFiles/ts_base.dir/truth_table.cpp.o"
+  "CMakeFiles/ts_base.dir/truth_table.cpp.o.d"
+  "libts_base.a"
+  "libts_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

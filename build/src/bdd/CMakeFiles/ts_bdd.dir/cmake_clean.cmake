@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/ts_bdd.dir/bdd.cpp.o.d"
+  "libts_bdd.a"
+  "libts_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

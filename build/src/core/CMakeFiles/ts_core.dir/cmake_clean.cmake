@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_core.dir/expanded.cpp.o"
+  "CMakeFiles/ts_core.dir/expanded.cpp.o.d"
+  "CMakeFiles/ts_core.dir/flows.cpp.o"
+  "CMakeFiles/ts_core.dir/flows.cpp.o.d"
+  "CMakeFiles/ts_core.dir/labeling.cpp.o"
+  "CMakeFiles/ts_core.dir/labeling.cpp.o.d"
+  "CMakeFiles/ts_core.dir/mapgen.cpp.o"
+  "CMakeFiles/ts_core.dir/mapgen.cpp.o.d"
+  "libts_core.a"
+  "libts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_decomp.dir/gate_decomp.cpp.o"
+  "CMakeFiles/ts_decomp.dir/gate_decomp.cpp.o.d"
+  "CMakeFiles/ts_decomp.dir/roth_karp.cpp.o"
+  "CMakeFiles/ts_decomp.dir/roth_karp.cpp.o.d"
+  "libts_decomp.a"
+  "libts_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bellman_ford.cpp" "src/graph/CMakeFiles/ts_graph.dir/bellman_ford.cpp.o" "gcc" "src/graph/CMakeFiles/ts_graph.dir/bellman_ford.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/ts_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/ts_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/max_flow.cpp" "src/graph/CMakeFiles/ts_graph.dir/max_flow.cpp.o" "gcc" "src/graph/CMakeFiles/ts_graph.dir/max_flow.cpp.o.d"
+  "/root/repo/src/graph/scc.cpp" "src/graph/CMakeFiles/ts_graph.dir/scc.cpp.o" "gcc" "src/graph/CMakeFiles/ts_graph.dir/scc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ts_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

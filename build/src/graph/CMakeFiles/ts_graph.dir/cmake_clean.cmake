@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_graph.dir/bellman_ford.cpp.o"
+  "CMakeFiles/ts_graph.dir/bellman_ford.cpp.o.d"
+  "CMakeFiles/ts_graph.dir/digraph.cpp.o"
+  "CMakeFiles/ts_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/ts_graph.dir/max_flow.cpp.o"
+  "CMakeFiles/ts_graph.dir/max_flow.cpp.o.d"
+  "CMakeFiles/ts_graph.dir/scc.cpp.o"
+  "CMakeFiles/ts_graph.dir/scc.cpp.o.d"
+  "libts_graph.a"
+  "libts_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_mapping.dir/cone_cut.cpp.o"
+  "CMakeFiles/ts_mapping.dir/cone_cut.cpp.o.d"
+  "CMakeFiles/ts_mapping.dir/dedupe.cpp.o"
+  "CMakeFiles/ts_mapping.dir/dedupe.cpp.o.d"
+  "CMakeFiles/ts_mapping.dir/flowmap.cpp.o"
+  "CMakeFiles/ts_mapping.dir/flowmap.cpp.o.d"
+  "CMakeFiles/ts_mapping.dir/pack.cpp.o"
+  "CMakeFiles/ts_mapping.dir/pack.cpp.o.d"
+  "CMakeFiles/ts_mapping.dir/seq_split.cpp.o"
+  "CMakeFiles/ts_mapping.dir/seq_split.cpp.o.d"
+  "libts_mapping.a"
+  "libts_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

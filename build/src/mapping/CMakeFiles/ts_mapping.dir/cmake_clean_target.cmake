@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libts_mapping.a"
+)

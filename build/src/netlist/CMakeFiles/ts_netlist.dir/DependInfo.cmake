@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/blif.cpp" "src/netlist/CMakeFiles/ts_netlist.dir/blif.cpp.o" "gcc" "src/netlist/CMakeFiles/ts_netlist.dir/blif.cpp.o.d"
+  "/root/repo/src/netlist/circuit.cpp" "src/netlist/CMakeFiles/ts_netlist.dir/circuit.cpp.o" "gcc" "src/netlist/CMakeFiles/ts_netlist.dir/circuit.cpp.o.d"
+  "/root/repo/src/netlist/dot.cpp" "src/netlist/CMakeFiles/ts_netlist.dir/dot.cpp.o" "gcc" "src/netlist/CMakeFiles/ts_netlist.dir/dot.cpp.o.d"
+  "/root/repo/src/netlist/gates.cpp" "src/netlist/CMakeFiles/ts_netlist.dir/gates.cpp.o" "gcc" "src/netlist/CMakeFiles/ts_netlist.dir/gates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ts_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ts_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_netlist.dir/blif.cpp.o"
+  "CMakeFiles/ts_netlist.dir/blif.cpp.o.d"
+  "CMakeFiles/ts_netlist.dir/circuit.cpp.o"
+  "CMakeFiles/ts_netlist.dir/circuit.cpp.o.d"
+  "CMakeFiles/ts_netlist.dir/dot.cpp.o"
+  "CMakeFiles/ts_netlist.dir/dot.cpp.o.d"
+  "CMakeFiles/ts_netlist.dir/gates.cpp.o"
+  "CMakeFiles/ts_netlist.dir/gates.cpp.o.d"
+  "libts_netlist.a"
+  "libts_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_retime.dir/cycle_ratio.cpp.o"
+  "CMakeFiles/ts_retime.dir/cycle_ratio.cpp.o.d"
+  "CMakeFiles/ts_retime.dir/howard.cpp.o"
+  "CMakeFiles/ts_retime.dir/howard.cpp.o.d"
+  "CMakeFiles/ts_retime.dir/pipeline.cpp.o"
+  "CMakeFiles/ts_retime.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ts_retime.dir/retiming.cpp.o"
+  "CMakeFiles/ts_retime.dir/retiming.cpp.o.d"
+  "libts_retime.a"
+  "libts_retime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_retime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

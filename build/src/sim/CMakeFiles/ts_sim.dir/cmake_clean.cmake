@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_sim.dir/cone.cpp.o"
+  "CMakeFiles/ts_sim.dir/cone.cpp.o.d"
+  "CMakeFiles/ts_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ts_sim.dir/simulator.cpp.o.d"
+  "libts_sim.a"
+  "libts_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

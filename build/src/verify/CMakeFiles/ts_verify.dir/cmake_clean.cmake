@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_verify.dir/equiv.cpp.o"
+  "CMakeFiles/ts_verify.dir/equiv.cpp.o.d"
+  "libts_verify.a"
+  "libts_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/generator.cpp" "src/workloads/CMakeFiles/ts_workloads.dir/generator.cpp.o" "gcc" "src/workloads/CMakeFiles/ts_workloads.dir/generator.cpp.o.d"
+  "/root/repo/src/workloads/samples.cpp" "src/workloads/CMakeFiles/ts_workloads.dir/samples.cpp.o" "gcc" "src/workloads/CMakeFiles/ts_workloads.dir/samples.cpp.o.d"
+  "/root/repo/src/workloads/table.cpp" "src/workloads/CMakeFiles/ts_workloads.dir/table.cpp.o" "gcc" "src/workloads/CMakeFiles/ts_workloads.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/ts_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ts_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ts_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_workloads.dir/generator.cpp.o"
+  "CMakeFiles/ts_workloads.dir/generator.cpp.o.d"
+  "CMakeFiles/ts_workloads.dir/samples.cpp.o"
+  "CMakeFiles/ts_workloads.dir/samples.cpp.o.d"
+  "CMakeFiles/ts_workloads.dir/table.cpp.o"
+  "CMakeFiles/ts_workloads.dir/table.cpp.o.d"
+  "libts_workloads.a"
+  "libts_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

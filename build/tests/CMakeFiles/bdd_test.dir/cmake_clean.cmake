@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdd_test.dir/bdd_test.cpp.o"
+  "CMakeFiles/bdd_test.dir/bdd_test.cpp.o.d"
+  "bdd_test"
+  "bdd_test.pdb"
+  "bdd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expanded_test.dir/expanded_test.cpp.o"
+  "CMakeFiles/expanded_test.dir/expanded_test.cpp.o.d"
+  "expanded_test"
+  "expanded_test.pdb"
+  "expanded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expanded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flows_test.dir/flows_test.cpp.o"
+  "CMakeFiles/flows_test.dir/flows_test.cpp.o.d"
+  "flows_test"
+  "flows_test.pdb"
+  "flows_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flows_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howard_test.dir/howard_test.cpp.o"
+  "CMakeFiles/howard_test.dir/howard_test.cpp.o.d"
+  "howard_test"
+  "howard_test.pdb"
+  "howard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

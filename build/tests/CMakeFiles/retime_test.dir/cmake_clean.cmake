@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retime_test.dir/retime_test.cpp.o"
+  "CMakeFiles/retime_test.dir/retime_test.cpp.o.d"
+  "retime_test"
+  "retime_test.pdb"
+  "retime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
