@@ -9,6 +9,7 @@
 //
 // Usage: ablation_main [--quick]
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -29,8 +30,10 @@ struct Config {
 int main(int argc, char** argv) {
   using namespace turbosyn;
   bool full = false;
+  int threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--full") full = true;
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
   }
   std::vector<BenchmarkSpec> suite = table1_suite();
   suite.resize(full ? 6 : 3);  // ablations multiply the cost per circuit
@@ -38,6 +41,7 @@ int main(int argc, char** argv) {
   std::vector<Config> configs;
   {
     Config base{"base (extra=2, bdd, span=3, pack)", FlowOptions{}};
+    base.options.num_threads = threads;
     configs.push_back(base);
     Config e0 = base;
     e0.name = "expansion extra=0";

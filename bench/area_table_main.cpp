@@ -8,6 +8,7 @@
 // Usage: area_table_main [--quick]
 
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -20,15 +21,18 @@ int main(int argc, char** argv) {
   using namespace turbosyn;
   bool quick = false;
   bool full = false;
+  int threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") quick = true;
     if (std::string(argv[i]) == "--full") full = true;
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
   }
   std::vector<BenchmarkSpec> suite = table1_suite();
   if (!full) suite.resize(10);  // the no-relax rerun doubles TurboSYN cost
   if (quick) suite.resize(6);
 
   FlowOptions opt;
+  opt.num_threads = threads;
   FlowOptions no_relax = opt;
   no_relax.label_relaxation = false;
 

@@ -4,19 +4,26 @@
 // AND terms into encoder LUTs off the loop and reaches ratio 1. The bench
 // also sweeps ring circuits where plain TurboMap already collapses the loop.
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/flows.hpp"
 #include "retime/cycle_ratio.hpp"
 #include "workloads/samples.hpp"
 #include "workloads/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace turbosyn;
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
+  }
 
   {
     const Circuit c = figure1_circuit();
     FlowOptions opt;
+    opt.num_threads = threads;
     opt.k = 3;
     const FlowResult tm = run_turbomap(c, opt);
     const FlowResult ts = run_turbosyn(c, opt);
@@ -31,6 +38,7 @@ int main() {
   for (const auto& [stages, regs] : {std::pair{4, 2}, {6, 2}, {8, 2}, {9, 3}, {12, 3}}) {
     const Circuit c = ring_circuit(stages, regs);
     FlowOptions opt;
+    opt.num_threads = threads;
     const FlowResult tm = run_turbomap(c, opt);
     const FlowResult ts = run_turbosyn(c, opt);
     table.add_row({std::to_string(stages) + "/" + std::to_string(regs),

@@ -7,9 +7,10 @@
 // and once with the n^2 criterion. The per-circuit speedup in label sweeps
 // and wall-clock time reproduces the claim's regime.
 //
-// Usage: pld_speedup_main [--quick]
+// Usage: pld_speedup_main [--quick] [--threads N]
 
 #include <chrono>
+#include <cstdlib>
 #include <cmath>
 #include <iostream>
 #include <string>
@@ -28,12 +29,13 @@ struct Probe {
   bool feasible = false;
 };
 
-Probe run_probe(const turbosyn::Circuit& c, int phi, bool use_pld,
+Probe run_probe(const turbosyn::Circuit& c, int phi, bool use_pld, int threads,
                 std::int64_t sweep_budget = 0) {
   using Clock = std::chrono::steady_clock;
   turbosyn::LabelOptions lo;
   lo.k = 5;
   lo.use_pld = use_pld;
+  lo.num_threads = threads;
   lo.sweep_budget = sweep_budget;
   const auto start = Clock::now();
   const turbosyn::LabelResult r = turbosyn::compute_labels(c, phi, lo);
@@ -49,13 +51,16 @@ Probe run_probe(const turbosyn::Circuit& c, int phi, bool use_pld,
 int main(int argc, char** argv) {
   using namespace turbosyn;
   bool quick = false;
+  int threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") quick = true;
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
   }
   std::vector<BenchmarkSpec> suite = table1_suite();
   if (quick) suite.resize(6);
 
   FlowOptions opt;
+  opt.num_threads = threads;
   TextTable table({"circuit", "phi*", "PLD sweeps", "PLD s", "n^2 sweeps", "n^2 s",
                    "speedup"});
   double log_speedup = 0.0;
@@ -67,12 +72,12 @@ int main(int argc, char** argv) {
       std::cerr << "[pld] " << spec.name << " skipped (phi* = 1, no infeasible probe)\n";
       continue;
     }
-    const Probe with_pld = run_probe(c, tm.phi - 1, /*use_pld=*/true);
+    const Probe with_pld = run_probe(c, tm.phi - 1, /*use_pld=*/true, threads);
     // The n^2 baseline is cut off at 200x the PLD sweep count so large
     // circuits finish; a truncated run makes the reported speedup a lower
     // bound (marked with ">").
     const std::int64_t budget = 200 * std::max<std::int64_t>(1, with_pld.sweeps);
-    const Probe without = run_probe(c, tm.phi - 1, /*use_pld=*/false, budget);
+    const Probe without = run_probe(c, tm.phi - 1, /*use_pld=*/false, threads, budget);
     const bool truncated = without.sweeps >= budget;
     if (!truncated && with_pld.feasible != without.feasible) {
       std::cerr << "[pld] WARNING: criteria disagree on " << spec.name << '\n';

@@ -4,8 +4,10 @@
 // Runs TurboMap and TurboSYN over circuits from 1k to 12k gates and reports
 // wall-clock time, the found ratio and the label-computation volume.
 //
-// Usage: scaling_main [--quick]   (--quick stops at 4k gates)
+// Usage: scaling_main [--quick] [--threads N]   (--quick stops at 4k gates;
+//        --threads bounds the label engine, 0 = all cores, 1 = sequential)
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -18,9 +20,11 @@ int main(int argc, char** argv) {
   using namespace turbosyn;
   bool quick = false;
   bool full = false;
+  int threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") quick = true;
     if (std::string(argv[i]) == "--full") full = true;
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
   }
   std::vector<BenchmarkSpec> suite = scaling_suite();
   if (quick) suite.resize(3);
@@ -29,6 +33,7 @@ int main(int argc, char** argv) {
   const int ts_gate_limit = full ? 1 << 30 : 4000;
 
   FlowOptions opt;
+  opt.num_threads = threads;
   TextTable table({"circuit", "GATE", "FF", "TM phi", "TM s", "TS phi", "TS s", "TS sweeps"});
   for (const BenchmarkSpec& spec : suite) {
     const Circuit c = generate_fsm_circuit(spec);

@@ -9,6 +9,7 @@
 // Usage: table1_main [--quick]   (--quick runs the first 6 circuits only)
 
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -27,14 +28,17 @@ double phi_of(const turbosyn::FlowResult& r) { return static_cast<double>(r.phi)
 int main(int argc, char** argv) {
   using namespace turbosyn;
   bool quick = false;
+  int threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") quick = true;
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
   }
 
   std::vector<BenchmarkSpec> suite = table1_suite();
   if (quick) suite.resize(6);
 
   FlowOptions opt;  // K = 5, PLD on, as in the paper
+  opt.num_threads = threads;
   TextTable table({"circuit", "GATE", "FF", "FS-s phi", "FS-s s", "TM phi", "TM s", "TS phi",
                    "TS s"});
 

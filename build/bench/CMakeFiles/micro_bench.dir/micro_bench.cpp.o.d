@@ -191,7 +191,8 @@ bench/CMakeFiles/micro_bench.dir/micro_bench.cpp.o: \
  /root/repo/src/base/truth_table.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/core/expanded.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/optional /root/repo/src/netlist/circuit.hpp \
- /root/repo/src/graph/digraph.hpp /root/repo/src/core/labeling.hpp \
- /root/repo/src/decomp/roth_karp.hpp /root/repo/src/graph/max_flow.hpp \
- /root/repo/src/sim/simulator.hpp /root/repo/src/workloads/generator.hpp
+ /usr/include/c++/12/optional /root/repo/src/graph/max_flow.hpp \
+ /root/repo/src/netlist/circuit.hpp /root/repo/src/graph/digraph.hpp \
+ /root/repo/src/core/labeling.hpp /root/repo/src/decomp/roth_karp.hpp \
+ /root/repo/src/graph/scc.hpp /root/repo/src/sim/simulator.hpp \
+ /root/repo/src/workloads/generator.hpp

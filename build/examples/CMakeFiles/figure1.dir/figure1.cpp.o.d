@@ -155,29 +155,32 @@ examples/CMakeFiles/figure1.dir/figure1.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /root/repo/src/core/flows.hpp \
  /root/repo/src/base/rational.hpp /root/repo/src/core/labeling.hpp \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/expanded.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/base/truth_table.hpp /root/repo/src/netlist/circuit.hpp \
+ /root/repo/src/base/truth_table.hpp /root/repo/src/graph/max_flow.hpp \
+ /usr/include/c++/12/limits /root/repo/src/netlist/circuit.hpp \
  /root/repo/src/graph/digraph.hpp /root/repo/src/decomp/roth_karp.hpp \
- /root/repo/src/core/mapgen.hpp /root/repo/src/retime/pipeline.hpp \
- /root/repo/src/netlist/blif.hpp /root/repo/src/retime/cycle_ratio.hpp \
+ /root/repo/src/graph/scc.hpp /root/repo/src/core/mapgen.hpp \
+ /root/repo/src/retime/pipeline.hpp /root/repo/src/netlist/blif.hpp \
+ /root/repo/src/retime/cycle_ratio.hpp \
  /root/repo/src/workloads/samples.hpp

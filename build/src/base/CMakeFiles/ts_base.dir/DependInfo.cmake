@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/base/logging.cpp" "src/base/CMakeFiles/ts_base.dir/logging.cpp.o" "gcc" "src/base/CMakeFiles/ts_base.dir/logging.cpp.o.d"
   "/root/repo/src/base/rational.cpp" "src/base/CMakeFiles/ts_base.dir/rational.cpp.o" "gcc" "src/base/CMakeFiles/ts_base.dir/rational.cpp.o.d"
   "/root/repo/src/base/rng.cpp" "src/base/CMakeFiles/ts_base.dir/rng.cpp.o" "gcc" "src/base/CMakeFiles/ts_base.dir/rng.cpp.o.d"
+  "/root/repo/src/base/thread_pool.cpp" "src/base/CMakeFiles/ts_base.dir/thread_pool.cpp.o" "gcc" "src/base/CMakeFiles/ts_base.dir/thread_pool.cpp.o.d"
   "/root/repo/src/base/truth_table.cpp" "src/base/CMakeFiles/ts_base.dir/truth_table.cpp.o" "gcc" "src/base/CMakeFiles/ts_base.dir/truth_table.cpp.o.d"
   )
 

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ts_base.dir/rational.cpp.o.d"
   "CMakeFiles/ts_base.dir/rng.cpp.o"
   "CMakeFiles/ts_base.dir/rng.cpp.o.d"
+  "CMakeFiles/ts_base.dir/thread_pool.cpp.o"
+  "CMakeFiles/ts_base.dir/thread_pool.cpp.o.d"
   "CMakeFiles/ts_base.dir/truth_table.cpp.o"
   "CMakeFiles/ts_base.dir/truth_table.cpp.o.d"
   "libts_base.a"

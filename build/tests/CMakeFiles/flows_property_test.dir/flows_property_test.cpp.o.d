@@ -296,8 +296,9 @@ tests/CMakeFiles/flows_property_test.dir/flows_property_test.cpp.o: \
  /root/repo/src/base/rng.hpp /root/repo/src/core/flows.hpp \
  /root/repo/src/base/rational.hpp /root/repo/src/core/labeling.hpp \
  /root/repo/src/core/expanded.hpp /usr/include/c++/12/span \
- /root/repo/src/base/truth_table.hpp /root/repo/src/netlist/circuit.hpp \
- /root/repo/src/graph/digraph.hpp /root/repo/src/decomp/roth_karp.hpp \
+ /root/repo/src/base/truth_table.hpp /root/repo/src/graph/max_flow.hpp \
+ /root/repo/src/netlist/circuit.hpp /root/repo/src/graph/digraph.hpp \
+ /root/repo/src/decomp/roth_karp.hpp /root/repo/src/graph/scc.hpp \
  /root/repo/src/core/mapgen.hpp /root/repo/src/retime/pipeline.hpp \
  /root/repo/src/retime/cycle_ratio.hpp /root/repo/src/sim/simulator.hpp \
  /root/repo/src/verify/equiv.hpp /root/repo/src/workloads/generator.hpp

@@ -295,8 +295,9 @@ tests/CMakeFiles/labeling_test.dir/labeling_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/base/check.hpp /root/repo/src/core/expanded.hpp \
  /usr/include/c++/12/span /root/repo/src/base/truth_table.hpp \
- /root/repo/src/netlist/circuit.hpp /root/repo/src/graph/digraph.hpp \
- /root/repo/src/core/labeling.hpp /root/repo/src/decomp/roth_karp.hpp \
+ /root/repo/src/graph/max_flow.hpp /root/repo/src/netlist/circuit.hpp \
+ /root/repo/src/graph/digraph.hpp /root/repo/src/core/labeling.hpp \
+ /root/repo/src/decomp/roth_karp.hpp /root/repo/src/graph/scc.hpp \
  /root/repo/src/core/mapgen.hpp /root/repo/src/netlist/gates.hpp \
  /root/repo/src/retime/cycle_ratio.hpp /root/repo/src/base/rational.hpp \
  /root/repo/src/workloads/generator.hpp \

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/thread_pool_test.cpp" "tests/CMakeFiles/thread_pool_test.dir/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/thread_pool_test.dir/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ts_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/ts_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/ts_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/retime/CMakeFiles/ts_retime.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/ts_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/ts_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/ts_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ts_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ts_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

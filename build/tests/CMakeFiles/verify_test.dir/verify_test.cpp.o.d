@@ -298,7 +298,8 @@ tests/CMakeFiles/verify_test.dir/verify_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/base/check.hpp /root/repo/src/core/flows.hpp \
  /root/repo/src/base/rational.hpp /root/repo/src/core/labeling.hpp \
- /root/repo/src/core/expanded.hpp /root/repo/src/decomp/roth_karp.hpp \
+ /root/repo/src/core/expanded.hpp /root/repo/src/graph/max_flow.hpp \
+ /root/repo/src/decomp/roth_karp.hpp /root/repo/src/graph/scc.hpp \
  /root/repo/src/core/mapgen.hpp /root/repo/src/retime/pipeline.hpp \
  /root/repo/src/mapping/flowmap.hpp /root/repo/src/mapping/seq_split.hpp \
  /root/repo/src/netlist/blif.hpp /root/repo/src/netlist/gates.hpp \

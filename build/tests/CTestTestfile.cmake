@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/truth_table_test[1]_include.cmake")
+include("/root/repo/build/tests/thread_pool_test[1]_include.cmake")
 include("/root/repo/build/tests/graph_test[1]_include.cmake")
 include("/root/repo/build/tests/flows_test[1]_include.cmake")
 include("/root/repo/build/tests/base_test[1]_include.cmake")

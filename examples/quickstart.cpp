@@ -1,20 +1,26 @@
 // Quickstart: parse a BLIF FSM, run the full TurboSYN flow, inspect the
 // result, and write the mapped network back out as BLIF.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--threads N]   (0 = all cores, 1 = sequential)
 //
 // The circuit is a 3-bit counter with enable (embedded as a string); the
 // same code works for any SIS-style BLIF file via read_blif_file().
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/flows.hpp"
 #include "netlist/blif.hpp"
 #include "retime/cycle_ratio.hpp"
 #include "workloads/samples.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace turbosyn;
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
+  }
 
   // 1. Load a sequential circuit (latches become edge weights of the
   //    retiming graph).
@@ -27,6 +33,7 @@ int main() {
   //    with sequential functional decomposition).
   FlowOptions options;
   options.k = 4;
+  options.num_threads = threads;  // 0 = use every core for the label engine
   const FlowResult result = run_turbosyn(counter, options);
 
   std::cout << "TurboSYN result:\n";

@@ -1,0 +1,138 @@
+#include "base/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace turbosyn {
+
+ThreadPool::ThreadPool(int num_workers) {
+  if (num_workers <= 0) {
+    // At least one worker even on a single-core host, so that callers asking
+    // for concurrency exercise the same code paths everywhere.
+    num_workers = std::max(1, static_cast<int>(std::thread::hardware_concurrency()) - 1);
+  }
+  threads_.reserve(static_cast<std::size_t>(num_workers));
+  for (int id = 0; id < num_workers; ++id) {
+    threads_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop(int id) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || (job_ != nullptr && job_seq_ != seen); });
+    if (stop_) return;
+    seen = job_seq_;
+    Job* job = job_;
+    if (id >= job->num_ranges - 1) continue;  // not a participant of this job
+    // Register before releasing the lock: the caller keeps the job (and the
+    // range buffer) alive until active_workers drops back to zero.
+    ++job->active_workers;
+    lock.unlock();
+    const std::size_t completed = run_ranges(*job, id);
+    lock.lock();
+    job->remaining -= completed;
+    --job->active_workers;
+    if (job->remaining == 0 && job->active_workers == 0) done_cv_.notify_all();
+  }
+}
+
+std::size_t ThreadPool::run_ranges(Job& job, int lane) {
+  const auto& fn = *job.fn;
+  std::size_t completed = 0;
+  const auto drain = [&](Range& r) {
+    for (;;) {
+      const std::size_t i = r.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= r.end) break;
+      try {
+        fn(i, lane);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!job.error) job.error = std::current_exception();
+      }
+      ++completed;
+    }
+  };
+  drain(job.ranges[static_cast<std::size_t>(lane)]);
+  for (;;) {  // steal from the victim with the most remaining work
+    int victim = -1;
+    std::size_t most_left = 0;
+    for (int r = 0; r < job.num_ranges; ++r) {
+      const Range& range = job.ranges[static_cast<std::size_t>(r)];
+      const std::size_t next = range.next.load(std::memory_order_relaxed);
+      const std::size_t left = next < range.end ? range.end - next : 0;
+      if (left > most_left) {
+        most_left = left;
+        victim = r;
+      }
+    }
+    if (victim < 0) break;
+    drain(job.ranges[static_cast<std::size_t>(victim)]);
+  }
+  return completed;
+}
+
+void ThreadPool::for_each(std::size_t n,
+                          const std::function<void(std::size_t, int)>& fn, int max_workers) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> call_lock(call_mutex_);
+  int workers = max_workers <= 0 ? num_workers() : std::min(max_workers, num_workers());
+  workers = static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(workers), n - 1));
+  const int caller_lane = workers;  // caller takes the lane after the workers
+  if (workers == 0) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, caller_lane);
+    return;
+  }
+
+  const int participants = workers + 1;
+  Job job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (participants > ranges_capacity_) {
+      ranges_ = std::make_unique<Range[]>(static_cast<std::size_t>(participants));
+      ranges_capacity_ = participants;
+    }
+    for (int p = 0; p < participants; ++p) {
+      Range& r = ranges_[static_cast<std::size_t>(p)];
+      r.next.store(n * static_cast<std::size_t>(p) / static_cast<std::size_t>(participants),
+                   std::memory_order_relaxed);
+      r.end = n * static_cast<std::size_t>(p + 1) / static_cast<std::size_t>(participants);
+    }
+    job.fn = &fn;
+    job.ranges = ranges_.get();
+    job.num_ranges = participants;
+    job.remaining = n;
+    job_ = &job;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+
+  const std::size_t completed = run_ranges(job, caller_lane);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job.remaining -= completed;
+    done_cv_.wait(lock, [&] { return job.remaining == 0 && job.active_workers == 0; });
+    job_ = nullptr;
+    error = job.error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace turbosyn

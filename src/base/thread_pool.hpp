@@ -1,0 +1,92 @@
+#pragma once
+// Work-stealing thread pool for data-parallel loops.
+//
+// The pool targets the label-computation hot path: many independent,
+// similarly-expensive items (one cut test per gate) dispatched every sweep.
+// for_each() partitions the item range into one contiguous chunk per
+// participant; each chunk is drained through an atomic cursor, and a
+// participant that exhausts its own chunk steals from the chunk with the
+// most remaining work. Claiming an item is one relaxed fetch_add, so the
+// scheme is decentralized like a deque-based stealing pool but needs no
+// per-task allocation or locking.
+//
+// Workers are parked on a condition variable between jobs; the calling
+// thread always participates, so a pool of W workers runs W+1 lanes.
+// for_each() calls are serialized (nested/concurrent calls from inside a
+// worker would deadlock and are not supported).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace turbosyn {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads (0 = hardware concurrency - 1 but
+  /// at least 1, so that the participating caller brings the total to the
+  /// core count).
+  explicit ThreadPool(int num_workers = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs fn(item, lane) for every item in [0, n), blocking until all items
+  /// completed. `lane` is the index of the executing participant — unique
+  /// among concurrent executors and always < num_workers() + 1, so callers
+  /// can index per-lane scratch arrays with it. The calling thread
+  /// participates (its lane is the highest in use). `max_workers` (0 = all)
+  /// bounds how many pool workers join in. The first exception thrown by an
+  /// item is rethrown here after every item finished.
+  void for_each(std::size_t n, const std::function<void(std::size_t item, int lane)>& fn,
+                int max_workers = 0);
+
+  /// Process-wide shared pool, created on first use and sized so that the
+  /// caller plus the workers match the hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  struct alignas(64) Range {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+  };
+
+  /// One for_each() invocation; lives on the caller's stack. The caller does
+  /// not return until remaining == 0 and active_workers == 0, so workers that
+  /// registered under the mutex may use the job without further locking.
+  struct Job {
+    const std::function<void(std::size_t, int)>* fn = nullptr;
+    Range* ranges = nullptr;
+    int num_ranges = 0;
+    std::size_t remaining = 0;  // items not yet completed
+    int active_workers = 0;     // workers currently inside run_ranges()
+    std::exception_ptr error;
+  };
+
+  void worker_loop(int id);
+  /// Drains own range, then steals; returns the number of items completed.
+  std::size_t run_ranges(Job& job, int lane);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: a new job was published
+  std::condition_variable done_cv_;  // caller: the job may have completed
+  std::uint64_t job_seq_ = 0;
+  Job* job_ = nullptr;               // guarded by mutex_
+  std::unique_ptr<Range[]> ranges_;  // reused chunk cursors (capacity below)
+  int ranges_capacity_ = 0;
+  bool stop_ = false;
+
+  std::mutex call_mutex_;  // serializes for_each()
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace turbosyn

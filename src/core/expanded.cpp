@@ -1,10 +1,9 @@
 #include "core/expanded.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <unordered_map>
 
 #include "base/check.hpp"
-#include "graph/max_flow.hpp"
 
 namespace turbosyn {
 namespace {
@@ -14,17 +13,37 @@ std::uint64_t pack(SeqCutNode id) {
          static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.w));
 }
 
+std::uint64_t hash_key(std::uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdULL;
+  key ^= key >> 33;
+  return key;
+}
+
 }  // namespace
 
 ExpandedNetwork::ExpandedNetwork(const Circuit& c, std::span<const int> labels, int phi,
-                                 NodeId root, int height_limit, const ExpandedOptions& options)
-    : circuit_(c),
-      labels_(labels),
-      phi_(phi),
-      root_(root),
-      height_limit_(height_limit),
-      options_(options) {
+                                 NodeId root, int height_limit, const ExpandedOptions& options) {
+  build(c, labels, phi, root, height_limit, options);
+}
+
+void ExpandedNetwork::build(const Circuit& c, std::span<const int> labels, int phi, NodeId root,
+                            int height_limit, const ExpandedOptions& options) {
   TS_CHECK(phi >= 1, "target ratio must be at least 1");
+  circuit_ = &c;
+  labels_ = labels;
+  phi_ = phi;
+  root_ = root;
+  height_limit_ = height_limit;
+  options_ = options;
+  viable_ = true;
+  num_nodes_ = 0;
+  // O(1) index clear; on epoch wrap-around the stale stamps must be wiped.
+  if (++index_epoch_ == 0) {
+    index_epoch_ = 1;
+    std::fill(index_slots_.begin(), index_slots_.end(), IndexSlot{});
+  }
+  index_size_ = 0;
   expand();
 }
 
@@ -36,53 +55,93 @@ bool ExpandedNetwork::allowed(SeqCutNode id) const {
   return eff + 1 <= height_limit_;
 }
 
-int ExpandedNetwork::intern(SeqCutNode id) {
-  const auto [it, inserted] = index_.emplace(pack(id), static_cast<int>(nodes_.size()));
-  if (inserted) {
-    ExpNode n;
-    n.id = id;
-    n.allowed = allowed(id);
-    nodes_.push_back(std::move(n));
+int ExpandedNetwork::find_index(std::uint64_t key) const {
+  if (index_slots_.empty()) return -1;
+  const std::size_t mask = index_slots_.size() - 1;
+  for (std::size_t i = hash_key(key) & mask;; i = (i + 1) & mask) {
+    const IndexSlot& slot = index_slots_[i];
+    if (slot.epoch != index_epoch_) return -1;
+    if (slot.key == key) return slot.value;
   }
-  return it->second;
+}
+
+void ExpandedNetwork::index_grow() {
+  const std::size_t new_size = index_slots_.empty() ? 256 : index_slots_.size() * 2;
+  std::vector<IndexSlot> old;
+  old.swap(index_slots_);
+  index_slots_.assign(new_size, IndexSlot{});
+  const std::size_t mask = new_size - 1;
+  for (const IndexSlot& slot : old) {
+    if (slot.epoch != index_epoch_) continue;
+    std::size_t i = hash_key(slot.key) & mask;
+    while (index_slots_[i].epoch == index_epoch_) i = (i + 1) & mask;
+    index_slots_[i] = slot;
+    index_slots_[i].epoch = index_epoch_;
+  }
+}
+
+int ExpandedNetwork::intern(SeqCutNode id) {
+  if (index_size_ * 10 >= index_slots_.size() * 7) index_grow();
+  const std::uint64_t key = pack(id);
+  const std::size_t mask = index_slots_.size() - 1;
+  std::size_t i = hash_key(key) & mask;
+  while (index_slots_[i].epoch == index_epoch_) {
+    if (index_slots_[i].key == key) return index_slots_[i].value;
+    i = (i + 1) & mask;
+  }
+  const int value = static_cast<int>(num_nodes_);
+  index_slots_[i] = IndexSlot{key, value, index_epoch_};
+  ++index_size_;
+  if (num_nodes_ == nodes_.size()) {
+    nodes_.emplace_back();
+  }
+  ExpNode& n = nodes_[num_nodes_];
+  n.id = id;
+  n.allowed = allowed(id);
+  n.expanded = false;
+  n.fanins.clear();
+  ++num_nodes_;
+  return value;
 }
 
 void ExpandedNetwork::expand() {
   // BFS from the root. slack[i] = number of allowed nodes on the best path
   // from the root to node i (the root itself is always interior). Mandatory
   // nodes always expand; allowed nodes expand while slack <= extra_levels.
+  const Circuit& circuit = *circuit_;
   const int root_idx = intern(SeqCutNode{root_, 0});
-  std::vector<int> slack(1, 0);
-  std::deque<int> queue{root_idx};
-  while (!queue.empty()) {
-    const int i = queue.front();
-    queue.pop_front();
+  slack_.clear();
+  slack_.push_back(0);
+  bfs_queue_.clear();
+  bfs_queue_.push_back(root_idx);
+  for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const int i = bfs_queue_[head];
     // Copy the fields used below: intern() may reallocate nodes_.
     const SeqCutNode id = nodes_[static_cast<std::size_t>(i)].id;
     const bool node_allowed = nodes_[static_cast<std::size_t>(i)].allowed;
     const bool is_root = (i == root_idx);
-    const int my_slack = slack[static_cast<std::size_t>(i)];
+    const int my_slack = slack_[static_cast<std::size_t>(i)];
     const bool should_expand = is_root || !node_allowed || my_slack <= options_.extra_levels;
     if (!should_expand || nodes_[static_cast<std::size_t>(i)].expanded) continue;
-    if (circuit_.is_pi(id.node)) continue;  // sources have no fanins
+    if (circuit.is_pi(id.node)) continue;  // sources have no fanins
     nodes_[static_cast<std::size_t>(i)].expanded = true;
     const int child_slack = my_slack + ((node_allowed && !is_root) ? 1 : 0);
-    for (const EdgeId e : circuit_.fanin_edges(id.node)) {
-      const auto& edge = circuit_.edge(e);
+    for (const EdgeId e : circuit.fanin_edges(id.node)) {
+      const auto& edge = circuit.edge(e);
       const SeqCutNode child{edge.from, id.w + edge.weight};
-      const std::size_t before = nodes_.size();
+      const std::size_t before = num_nodes_;
       const int j = intern(child);
-      if (nodes_.size() > before) {
-        slack.push_back(child_slack + (nodes_[static_cast<std::size_t>(j)].allowed ? 1 : 0));
-        queue.push_back(j);
+      if (num_nodes_ > before) {
+        slack_.push_back(child_slack + (nodes_[static_cast<std::size_t>(j)].allowed ? 1 : 0));
+        bfs_queue_.push_back(j);
       } else if (child_slack + (nodes_[static_cast<std::size_t>(j)].allowed ? 1 : 0) <
-                 slack[static_cast<std::size_t>(j)]) {
-        slack[static_cast<std::size_t>(j)] =
+                 slack_[static_cast<std::size_t>(j)]) {
+        slack_[static_cast<std::size_t>(j)] =
             child_slack + (nodes_[static_cast<std::size_t>(j)].allowed ? 1 : 0);
-        queue.push_back(j);  // better slack may unlock expansion
+        bfs_queue_.push_back(j);  // better slack may unlock expansion
       }
       nodes_[static_cast<std::size_t>(i)].fanins.push_back(j);
-      if (static_cast<int>(nodes_.size()) > options_.node_budget) {
+      if (static_cast<int>(num_nodes_) > options_.node_budget) {
         viable_ = false;
         return;
       }
@@ -94,43 +153,44 @@ std::optional<std::vector<SeqCutNode>> ExpandedNetwork::find_cut_impl(
     std::int64_t value_limit, const std::function<std::int64_t(const ExpNode&)>& capacity_of) {
   if (!viable_) return std::nullopt;
 
-  MaxFlow flow;
-  const int source = flow.add_node();
-  const int sink = flow.add_node();
-  std::vector<int> in_id(nodes_.size());
-  std::vector<int> out_id(nodes_.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  flow_.reset();
+  const int source = flow_.add_node();
+  const int sink = flow_.add_node();
+  in_id_.resize(num_nodes_);
+  out_id_.resize(num_nodes_);
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
     if (nodes_[i].id.node == root_ && nodes_[i].id.w == 0) {
-      in_id[i] = out_id[i] = sink;
+      in_id_[i] = out_id_[i] = sink;
       continue;
     }
-    in_id[i] = flow.add_node();
-    out_id[i] = flow.add_node();
-    flow.add_arc(in_id[i], out_id[i],
-                 nodes_[i].allowed ? capacity_of(nodes_[i]) : MaxFlow::kInfinity);
+    in_id_[i] = flow_.add_node();
+    out_id_[i] = flow_.add_node();
+    flow_.add_arc(in_id_[i], out_id_[i],
+                  nodes_[i].allowed ? capacity_of(nodes_[i]) : MaxFlow::kInfinity);
   }
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
     const ExpNode& n = nodes_[i];
     if (n.expanded && !n.fanins.empty()) {
       for (const int j : n.fanins) {
-        flow.add_arc(out_id[static_cast<std::size_t>(j)], in_id[i], MaxFlow::kInfinity);
+        flow_.add_arc(out_id_[static_cast<std::size_t>(j)], in_id_[i], MaxFlow::kInfinity);
       }
     } else if (n.expanded) {
       // Constant gate: no PI dependence, free inside the LUT — no flow demand.
     } else {
       // PI copy or unexpanded frontier: feeds from the flow source.
-      flow.add_arc(source, in_id[i], MaxFlow::kInfinity);
+      flow_.add_arc(source, in_id_[i], MaxFlow::kInfinity);
     }
   }
 
-  const std::int64_t value = flow.compute(source, sink, value_limit);
+  const std::int64_t value = flow_.compute(source, sink, value_limit);
   if (value > value_limit) return std::nullopt;
 
-  const std::vector<bool> side = flow.min_cut_source_side();
+  flow_.min_cut_source_side(cut_side_);
   std::vector<SeqCutNode> cut;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (in_id[i] == sink || !nodes_[i].allowed) continue;
-    if (side[static_cast<std::size_t>(in_id[i])] && !side[static_cast<std::size_t>(out_id[i])]) {
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    if (in_id_[i] == sink || !nodes_[i].allowed) continue;
+    if (cut_side_[static_cast<std::size_t>(in_id_[i])] &&
+        !cut_side_[static_cast<std::size_t>(out_id_[i])]) {
       cut.push_back(nodes_[i].id);
     }
   }
@@ -167,7 +227,7 @@ TruthTable ExpandedNetwork::cut_function(std::span<const SeqCutNode> cut) const 
   auto eval = [&](auto&& self, const ExpNode& n) -> const TruthTable& {
     const auto it = memo.find(pack(n.id));
     if (it != memo.end()) return it->second;
-    TS_CHECK(circuit_.is_gate(n.id.node) && n.expanded,
+    TS_CHECK(circuit_->is_gate(n.id.node) && n.expanded,
              "cut does not cover every path to the root");
     std::vector<TruthTable> inputs;
     inputs.reserve(n.fanins.size());
@@ -175,13 +235,13 @@ TruthTable ExpandedNetwork::cut_function(std::span<const SeqCutNode> cut) const 
       inputs.push_back(self(self, nodes_[static_cast<std::size_t>(j)]));
     }
     TruthTable result = inputs.empty()
-                            ? circuit_.function(n.id.node).remap(arity, {})
-                            : compose(circuit_.function(n.id.node), inputs);
+                            ? circuit_->function(n.id.node).remap(arity, {})
+                            : compose(circuit_->function(n.id.node), inputs);
     return memo.emplace(pack(n.id), std::move(result)).first->second;
   };
-  const auto root_it = index_.find(pack(SeqCutNode{root_, 0}));
-  TS_ASSERT(root_it != index_.end());
-  return eval(eval, nodes_[static_cast<std::size_t>(root_it->second)]);
+  const int root_idx = find_index(pack(SeqCutNode{root_, 0}));
+  TS_ASSERT(root_idx >= 0);
+  return eval(eval, nodes_[static_cast<std::size_t>(root_idx)]);
 }
 
 }  // namespace turbosyn

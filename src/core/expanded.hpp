@@ -16,15 +16,22 @@
 // continues `extra_levels` past the first allowed frontier to catch
 // reconvergent cuts; remaining frontier nodes hang off the source. A node
 // budget keeps degenerate cases bounded (treated conservatively as "no cut").
+//
+// One ExpandedNetwork instance is rebuildable: build() re-targets it to a
+// new (root, height) query while keeping every internal buffer — the node
+// store, the open-addressing (node, w) index, the BFS worklist and the whole
+// Dinic state — so the label computation's per-gate cut test allocates
+// nothing in steady state. CutScratch bundles one such instance as the
+// per-thread arena of the parallel label engine.
 
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "base/truth_table.hpp"
+#include "graph/max_flow.hpp"
 #include "netlist/circuit.hpp"
 
 namespace turbosyn {
@@ -47,10 +54,19 @@ struct ExpandedOptions {
 /// The partial flow network of E_v for one (root, height-limit) query.
 class ExpandedNetwork {
  public:
+  /// Empty network; call build() before querying. Reusing one instance
+  /// across queries retains all internal buffers.
+  ExpandedNetwork() = default;
+
   /// labels: current node label lower bounds; sources (PIs/constants) must
   /// be 0 there. phi >= 1.
   ExpandedNetwork(const Circuit& c, std::span<const int> labels, int phi, NodeId root,
                   int height_limit, const ExpandedOptions& options);
+
+  /// Re-targets this network to a new query, reusing all internal storage.
+  /// Results of previous queries (cuts, functions) must not be used after.
+  void build(const Circuit& c, std::span<const int> labels, int phi, NodeId root,
+             int height_limit, const ExpandedOptions& options);
 
   /// False when no cut at this height can exist at all (a source copy was
   /// mandatory, or the node budget was exhausted).
@@ -72,7 +88,7 @@ class ExpandedNetwork {
   /// The cut must separate the root in E_v (as returned by find_cut).
   TruthTable cut_function(std::span<const SeqCutNode> cut) const;
 
-  int num_expanded_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_expanded_nodes() const { return static_cast<int>(num_nodes_); }
 
  private:
   struct ExpNode {
@@ -83,6 +99,8 @@ class ExpandedNetwork {
   };
 
   int intern(SeqCutNode id);
+  int find_index(std::uint64_t key) const;  // -1 if absent
+  void index_grow();
   bool allowed(SeqCutNode id) const;
   void expand();
   /// Shared flow construction: per-node capacities from `capacity_of`,
@@ -90,16 +108,44 @@ class ExpandedNetwork {
   std::optional<std::vector<SeqCutNode>> find_cut_impl(
       std::int64_t value_limit, const std::function<std::int64_t(const ExpNode&)>& capacity_of);
 
-  const Circuit& circuit_;
+  const Circuit* circuit_ = nullptr;
   std::span<const int> labels_;
-  int phi_;
-  NodeId root_;
-  int height_limit_;
+  int phi_ = 1;
+  NodeId root_ = kNoNode;
+  int height_limit_ = 0;
   ExpandedOptions options_;
   bool viable_ = true;
 
+  // Node store: slots [0, num_nodes_) are live for the current query; the
+  // vector is never shrunk, so per-node fanin arrays keep their capacity.
   std::vector<ExpNode> nodes_;
-  std::unordered_map<std::uint64_t, int> index_;  // packed (node, w) -> index
+  std::size_t num_nodes_ = 0;
+
+  // Open-addressing packed-(node, w) -> index map with O(1) epoch clearing.
+  struct IndexSlot {
+    std::uint64_t key = 0;
+    int value = 0;
+    std::uint32_t epoch = 0;
+  };
+  std::vector<IndexSlot> index_slots_;
+  std::uint32_t index_epoch_ = 0;
+  std::size_t index_size_ = 0;  // live entries this epoch
+
+  // Reused expansion worklist and flow-network buffers.
+  std::vector<int> slack_;
+  std::vector<int> bfs_queue_;
+  MaxFlow flow_;
+  std::vector<int> in_id_;
+  std::vector<int> out_id_;
+  std::vector<bool> cut_side_;
+};
+
+/// Per-thread scratch arena for the label-computation hot path: a reusable
+/// ExpandedNetwork (node store, hash index, worklists, Dinic state). Thread
+/// one through label_update()/realize_node() to make repeated cut tests
+/// allocation-free; each concurrent thread needs its own instance.
+struct CutScratch {
+  ExpandedNetwork net;
 };
 
 }  // namespace turbosyn

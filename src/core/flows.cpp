@@ -48,15 +48,42 @@ void finalize(FlowResult& result, const FlowOptions& options, Circuit mapped) {
 }
 
 /// Binary search for the smallest phi in [1, ub] whose label computation is
-/// feasible; writes the winning labels. `ub` must be feasible.
+/// feasible; writes the winning labels. `ub` must be feasible. One
+/// LabelEngine serves every probe, so all of them share the decomposition
+/// cache and each warm-starts from the nearest previously feasible probe.
+/// `known_ub` (optional): a LabelResult already proven feasible at phi == ub;
+/// the search then starts from it and never re-probes ub.
 int search_min_ratio(const Circuit& c, int ub, const LabelOptions& lopts, LabelResult& best,
-                     LabelStats& stats) {
+                     LabelStats& stats, const LabelResult* known_ub = nullptr) {
+  LabelEngine engine(c, lopts);
   int lo = 1;
   int hi = ub;
   bool have_best = false;
+  if (known_ub != nullptr) {
+    best = *known_ub;
+    have_best = true;
+    hi = ub - 1;
+    // Descending scan instead of bisection. Feasibility is monotone in phi,
+    // so both find the same minimum; but each feasible probe warm-starts
+    // from the previous one (a few sweeps), while every infeasible probe
+    // must run to a divergence certificate — the dominant cost, especially
+    // with decomposition, where the isolation early-exit is unsound and
+    // disabled. Scanning downward pays for exactly one infeasible probe;
+    // bisection would hit about half of log2(ub) of them.
+    while (hi >= lo) {
+      LabelResult r = engine.compute(hi);
+      accumulate(stats, r.stats);
+      TS_DEBUG("phi=" << hi << (r.feasible ? " feasible" : " infeasible") << " sweeps="
+                      << r.stats.sweeps);
+      if (!r.feasible) break;
+      best = std::move(r);
+      --hi;
+    }
+    return hi + 1;
+  }
   while (lo <= hi) {
     const int mid = lo + (hi - lo) / 2;
-    LabelResult r = compute_labels(c, mid, lopts);
+    LabelResult r = engine.compute(mid);
     accumulate(stats, r.stats);
     TS_DEBUG("phi=" << mid << (r.feasible ? " feasible" : " infeasible") << " sweeps="
                     << r.stats.sweeps);
@@ -72,12 +99,15 @@ int search_min_ratio(const Circuit& c, int ub, const LabelOptions& lopts, LabelR
   return hi + 1;
 }
 
-FlowResult run_mdr_flow(const Circuit& c, const FlowOptions& options, bool decompose, int ub) {
+FlowResult run_mdr_flow(const Circuit& c, const FlowOptions& options, bool decompose, int ub,
+                        const LabelResult* known_ub = nullptr,
+                        LabelResult* out_labels = nullptr) {
   const auto start = Clock::now();
   FlowResult result;
   const LabelOptions lopts = options.label_options(decompose);
   LabelResult labels;
-  result.phi = search_min_ratio(c, ub, lopts, labels, result.stats);
+  result.phi = search_min_ratio(c, ub, lopts, labels, result.stats, known_ub);
+  if (out_labels != nullptr) *out_labels = labels;
   MapGenOptions mopts;
   mopts.label_relaxation = options.label_relaxation;
   mopts.low_cost_cuts = options.low_cost_cuts;
@@ -105,6 +135,7 @@ LabelOptions FlowOptions::label_options(bool enable_decomposition) const {
   l.height_span = height_span;
   l.use_pld = use_pld;
   l.use_bdd = use_bdd;
+  l.num_threads = num_threads;
   l.expansion = expansion;
   return l;
 }
@@ -116,8 +147,13 @@ FlowResult run_turbomap(const Circuit& c, const FlowOptions& options) {
 FlowResult run_turbosyn(const Circuit& c, const FlowOptions& options) {
   const auto start = Clock::now();
   // Step 1 of the paper's pseudo-code: TurboMap provides the upper bound UB.
-  FlowResult ub_run = run_turbomap(c, options);
-  FlowResult result = run_mdr_flow(c, options, /*decompose=*/true, ub_run.phi);
+  // Its labels at UB prove UB feasible for the decomposition search too
+  // (every plain K-cut is a valid realization there), so the search below
+  // starts from them instead of re-probing phi == UB.
+  LabelResult ub_labels;
+  FlowResult ub_run = run_mdr_flow(c, options, /*decompose=*/false, identity_mapping_ub(c),
+                                   /*known_ub=*/nullptr, &ub_labels);
+  FlowResult result = run_mdr_flow(c, options, /*decompose=*/true, ub_run.phi, &ub_labels);
   accumulate(result.stats, ub_run.stats);
   result.seconds = seconds_since(start);
   return result;
@@ -153,13 +189,14 @@ FlowResult run_turbomap_period(const Circuit& c, const FlowOptions& options) {
   // Upper bound: the unmapped circuit's clock period (identity mapping,
   // no retiming) is always achievable.
   int ub = static_cast<int>(std::max<std::int64_t>(1, circuit_clock_period(c)));
+  LabelEngine engine(c, lopts);
   LabelResult best;
   bool have_best = false;
   int lo = 1;
   int hi = ub;
   while (lo <= hi) {
     const int mid = lo + (hi - lo) / 2;
-    LabelResult r = compute_labels(c, mid, lopts);
+    LabelResult r = engine.compute(mid);
     accumulate(result.stats, r.stats);
     if (r.feasible && r.max_po_label <= mid) {
       best = std::move(r);

@@ -35,6 +35,7 @@ struct FlowOptions {
   bool dedupe = true;            // structural LUT deduplication
   bool pack = true;              // mpack/flowpack-style packing
   bool pipeline = true;          // post-process with pipelining + retiming
+  int num_threads = 0;           // label engine: 0 = hardware, 1 = sequential
   ExpandedOptions expansion;
 
   LabelOptions label_options(bool enable_decomposition) const;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <thread>
 
 #include "base/check.hpp"
+#include "base/thread_pool.hpp"
 #include "graph/scc.hpp"
 
 namespace turbosyn {
@@ -29,7 +31,9 @@ DecompOptions decomp_options(const LabelOptions& options) {
 }
 
 /// Signature of one decomposition attempt: the cut, the inputs' effective
-/// labels and the target height fully determine the (deterministic) outcome.
+/// labels, and the target height fully determine the (deterministic) outcome
+/// of decompose_for_label, so verdicts memoized under this key stay valid
+/// across sweeps and across phi probes of the same engine.
 std::uint64_t attempt_signature(std::span<const SeqCutNode> cut, std::span<const int> eff,
                                 int height) {
   std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(height);
@@ -45,13 +49,19 @@ std::uint64_t attempt_signature(std::span<const SeqCutNode> cut, std::span<const
 }
 
 /// Tries resynthesis at min-cut heights `height`, height-1, ... Returns the
-/// realization on success.
+/// realization on success. With `existence_only`, a memoized success returns
+/// an empty realization without re-running the decomposition: the label
+/// iteration only needs the verdict, and mapping generation (which needs the
+/// LUTs) always runs with existence_only = false.
 std::optional<NodeRealization> try_decomposition(const Circuit& c, std::span<const int> labels,
                                                  int phi, NodeId v, int height,
                                                  const LabelOptions& options, LabelStats& stats,
-                                                 DecompCache* cache) {
+                                                 DecompCache* cache, CutScratch* scratch,
+                                                 bool existence_only = false) {
+  CutScratch local;
+  ExpandedNetwork& net = (scratch != nullptr ? *scratch : local).net;
   for (int h = 0; h < options.height_span; ++h) {
-    ExpandedNetwork net(c, labels, phi, v, height - h, options.expansion);
+    net.build(c, labels, phi, v, height - h, options.expansion);
     const auto cut = net.find_cut(options.cmax);
     if (!cut) break;  // stricter heights only widen the min-cut further
     std::vector<int> eff(cut->size());
@@ -63,8 +73,9 @@ std::optional<NodeRealization> try_decomposition(const Circuit& c, std::span<con
     if (cache != nullptr) {
       memo = &cache->per_node[static_cast<std::size_t>(v)];
       key = attempt_signature(*cut, eff, height);
-      if (const auto it = memo->find(key); it != memo->end() && !it->second) {
-        continue;  // this exact attempt already failed
+      if (const auto it = memo->find(key); it != memo->end()) {
+        if (!it->second) continue;  // this exact attempt already failed
+        if (existence_only) return NodeRealization{};
       }
     }
     ++stats.decomp_attempts;
@@ -88,8 +99,11 @@ std::optional<NodeRealization> realize_node(const Circuit& c, std::span<const in
                                             int phi, NodeId v, int height,
                                             const LabelOptions& options, LabelStats& stats,
                                             DecompCache* cache,
-                                            const std::function<bool(const SeqCutNode&)>* shared) {
-  ExpandedNetwork net(c, labels, phi, v, height, options.expansion);
+                                            const std::function<bool(const SeqCutNode&)>* shared,
+                                            CutScratch* scratch) {
+  CutScratch local;
+  ExpandedNetwork& net = (scratch != nullptr ? *scratch : local).net;
+  net.build(c, labels, phi, v, height, options.expansion);
   ++stats.cut_tests;
   if (auto cut = shared != nullptr ? net.find_low_cost_cut(options.k, *shared)
                                    : net.find_cut(options.k)) {
@@ -99,13 +113,14 @@ std::optional<NodeRealization> realize_node(const Circuit& c, std::span<const in
     return r;
   }
   if (options.enable_decomposition) {
-    return try_decomposition(c, labels, phi, v, height, options, stats, cache);
+    return try_decomposition(c, labels, phi, v, height, options, stats, cache, scratch);
   }
   return std::nullopt;
 }
 
-int label_update(const Circuit& c, std::vector<int>& labels, int phi, NodeId v,
-                 const LabelOptions& options, LabelStats& stats, DecompCache* cache) {
+int label_update(const Circuit& c, std::span<const int> labels, int phi, NodeId v,
+                 const LabelOptions& options, LabelStats& stats, DecompCache* cache,
+                 CutScratch* scratch) {
   ++stats.node_updates;
   const std::int64_t big_l = fanin_bound(c, labels, phi, v);
   const int current = labels[static_cast<std::size_t>(v)];
@@ -115,11 +130,15 @@ int label_update(const Circuit& c, std::vector<int>& labels, int phi, NodeId v,
 
   // Existence-only variant of realize_node: skip LUT function extraction
   // (mapping generation recomputes it once, at the final labels).
-  ExpandedNetwork net(c, labels, phi, v, target, options.expansion);
+  CutScratch local;
+  ExpandedNetwork& net = (scratch != nullptr ? *scratch : local).net;
+  net.build(c, labels, phi, v, target, options.expansion);
   ++stats.cut_tests;
   if (net.find_cut(options.k).has_value()) return std::max(current, target);
   if (options.enable_decomposition &&
-      try_decomposition(c, labels, phi, v, target, options, stats, cache).has_value()) {
+      try_decomposition(c, labels, phi, v, target, options, stats, cache, scratch,
+                        /*existence_only=*/true)
+          .has_value()) {
     return std::max(current, target);
   }
   return std::max(current, target + 1);
@@ -191,100 +210,370 @@ bool scc_isolated(const Circuit& c, std::span<const int> labels, int phi,
 
 }  // namespace
 
-LabelResult compute_labels(const Circuit& c, int phi, const LabelOptions& options) {
-  TS_CHECK(phi >= 1, "target ratio must be >= 1");
+LabelEngine::LabelEngine(const Circuit& c, const LabelOptions& options)
+    : c_(c), options_(options) {
   TS_CHECK(c.is_k_bounded(options.k), "label computation requires a k-bounded circuit");
-
-  LabelResult result;
-  result.labels.assign(static_cast<std::size_t>(c.num_nodes()), 0);
-  for (NodeId v = 0; v < c.num_nodes(); ++v) {
-    if (c.is_gate(v) && !c.fanin_edges(v).empty()) result.labels[static_cast<std::size_t>(v)] = 1;
-  }
+  const std::size_t n = static_cast<std::size_t>(c.num_nodes());
+  cache_.per_node.resize(n);
 
   const Digraph g = c.to_digraph();
-  const SccDecomposition scc = strongly_connected_components(g);
-  DecompCache cache;
-  cache.per_node.resize(static_cast<std::size_t>(c.num_nodes()));
+  scc_ = strongly_connected_components(g);
 
   // Sweep order: zero-weight topological position. Updates then propagate
   // through a whole combinational stretch in a single sweep, so each sweep
   // advances label information by one register lap around a loop.
-  std::vector<int> topo_pos(static_cast<std::size_t>(c.num_nodes()), 0);
+  topo_pos_.assign(n, 0);
+  std::vector<int> level(n, 0);  // zero-weight longest-path depth
   {
     const std::vector<NodeId> order =
         topological_order(g, [&](EdgeId e) { return g.edge(e).weight > 0; });
     for (std::size_t i = 0; i < order.size(); ++i) {
-      topo_pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+      topo_pos_[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+    }
+    for (const NodeId v : order) {
+      for (const EdgeId e : c.fanin_edges(v)) {
+        const auto& edge = c.edge(e);
+        if (edge.weight == 0) {
+          level[static_cast<std::size_t>(v)] =
+              std::max(level[static_cast<std::size_t>(v)],
+                       level[static_cast<std::size_t>(edge.from)] + 1);
+        }
+      }
     }
   }
 
-  for (std::size_t comp = 0; comp < scc.components.size(); ++comp) {
-    // Collect the updatable gates of this SCC.
-    std::vector<NodeId> gates;
-    for (const NodeId v : scc.components[comp]) {
-      if (c.is_gate(v) && !c.fanin_edges(v).empty()) gates.push_back(v);
+  // Per-component plans. Gates of one zero-weight level never depend on each
+  // other through a zero-weight edge, so they form the parallel batches;
+  // levels run in ascending order, which preserves the sequential engine's
+  // within-sweep propagation along combinational stretches.
+  const int num_comps = static_cast<int>(scc_.components.size());
+  plans_.resize(static_cast<std::size_t>(num_comps));
+  for (int comp = 0; comp < num_comps; ++comp) {
+    CompPlan& plan = plans_[static_cast<std::size_t>(comp)];
+    for (const NodeId v : scc_.components[static_cast<std::size_t>(comp)]) {
+      if (c.is_gate(v) && !c.fanin_edges(v).empty()) plan.gates.push_back(v);
     }
-    if (gates.empty()) continue;
-    std::sort(gates.begin(), gates.end(), [&](NodeId a, NodeId b) {
-      return topo_pos[static_cast<std::size_t>(a)] < topo_pos[static_cast<std::size_t>(b)];
+    std::sort(plan.gates.begin(), plan.gates.end(), [&](NodeId a, NodeId b) {
+      return topo_pos_[static_cast<std::size_t>(a)] < topo_pos_[static_cast<std::size_t>(b)];
     });
-    // PLD: the theorem's 6n bound with n = SCC size. Without PLD: the prior
-    // criterion of n^2 iterations with n = circuit size (paper Section 4).
-    const std::int64_t n = static_cast<std::int64_t>(gates.size());
-    const std::int64_t total = std::max<std::int64_t>(2, c.num_gates());
-    std::int64_t cap = options.use_pld ? 6 * n + 2 : total * total;
-    if (options.sweep_budget > 0) cap = std::min(cap, options.sweep_budget);
+    plan.batch_gates = plan.gates;
+    std::sort(plan.batch_gates.begin(), plan.batch_gates.end(), [&](NodeId a, NodeId b) {
+      const int la = level[static_cast<std::size_t>(a)];
+      const int lb = level[static_cast<std::size_t>(b)];
+      if (la != lb) return la < lb;
+      return topo_pos_[static_cast<std::size_t>(a)] < topo_pos_[static_cast<std::size_t>(b)];
+    });
+    for (std::size_t i = 0; i < plan.batch_gates.size();) {
+      std::size_t j = i + 1;
+      const int li = level[static_cast<std::size_t>(plan.batch_gates[i])];
+      while (j < plan.batch_gates.size() &&
+             level[static_cast<std::size_t>(plan.batch_gates[j])] == li) {
+        ++j;
+      }
+      plan.batches.push_back(Batch{static_cast<int>(i), static_cast<int>(j)});
+      i = j;
+    }
+  }
 
-    bool isolated_last_sweep = false;
-    for (std::int64_t sweep = 0;; ++sweep) {
-      ++result.stats.sweeps;
-      bool changed = false;
-      for (const NodeId v : gates) {
-        const int updated = label_update(c, result.labels, phi, v, options, result.stats, &cache);
-        if (updated > result.labels[static_cast<std::size_t>(v)]) {
-          result.labels[static_cast<std::size_t>(v)] = updated;
-          changed = true;
+  // Condensation wavefronts by longest-path depth: every condensation edge
+  // strictly increases depth, so components of one wave share no path and
+  // all their external fanins converged in earlier waves. Component indices
+  // are topologically ordered, so one ascending pass computes the depths.
+  std::vector<int> depth(static_cast<std::size_t>(num_comps), 0);
+  int max_depth = 0;
+  for (int comp = 0; comp < num_comps; ++comp) {
+    for (const NodeId v : scc_.components[static_cast<std::size_t>(comp)]) {
+      for (const EdgeId e : c.fanin_edges(v)) {
+        const int cu = scc_.component_of[static_cast<std::size_t>(c.edge(e).from)];
+        if (cu != comp) {
+          depth[static_cast<std::size_t>(comp)] =
+              std::max(depth[static_cast<std::size_t>(comp)],
+                       depth[static_cast<std::size_t>(cu)] + 1);
         }
       }
-      if (!changed) break;  // SCC converged
-      if (options.use_pld) {
-        // Any feasible fixpoint satisfies l(v) <= sum of delays <= #gates
-        // (labels are maxima of path delay minus phi*registers), so a label
-        // beyond that certifies divergence regardless of the iteration cap.
-        // Kept inside the PLD package so the no-PLD mode stays a faithful
-        // n^2-criterion baseline for the ablation benchmark.
-        for (const NodeId v : gates) {
-          if (result.labels[static_cast<std::size_t>(v)] > c.num_gates() + 1) {
-            return result;
-          }
+    }
+    max_depth = std::max(max_depth, depth[static_cast<std::size_t>(comp)]);
+  }
+  waves_.assign(static_cast<std::size_t>(max_depth) + 1, {});
+  for (int comp = 0; comp < num_comps; ++comp) {
+    if (!plans_[static_cast<std::size_t>(comp)].gates.empty()) {
+      waves_[static_cast<std::size_t>(depth[static_cast<std::size_t>(comp)])].push_back(comp);
+    }
+  }
+  std::erase_if(waves_, [](const std::vector<int>& w) { return w.empty(); });
+
+  // Effective concurrency and per-lane arenas. num_threads == 1 never touches
+  // the pool (and is the byte-exact legacy sweep order).
+  if (options_.num_threads == 1) {
+    threads_ = 1;
+    caller_lane_ = 0;
+    scratch_.resize(1);
+    lane_stats_.resize(1);
+  } else {
+    ThreadPool& pool = ThreadPool::global();
+    const int lanes = pool.num_workers() + 1;
+    // num_threads == 0 targets the hardware concurrency (so a single-core
+    // host defaults to the sequential path even though the pool always keeps
+    // one worker); an explicit count is honored up to the pool's lanes.
+    const int requested = options_.num_threads <= 0
+                              ? static_cast<int>(std::thread::hardware_concurrency())
+                              : options_.num_threads;
+    threads_ = std::max(1, std::min(requested, lanes));
+    caller_lane_ = std::min(threads_ - 1, pool.num_workers());
+    scratch_.resize(static_cast<std::size_t>(lanes));
+    lane_stats_.resize(static_cast<std::size_t>(lanes));
+  }
+}
+
+void LabelEngine::merge_worker_stats(LabelStats& into) {
+  for (LabelStats& s : lane_stats_) {
+    into.sweeps += s.sweeps;
+    into.node_updates += s.node_updates;
+    into.cut_tests += s.cut_tests;
+    into.decomp_attempts += s.decomp_attempts;
+    into.decomp_successes += s.decomp_successes;
+    s = LabelStats{};
+  }
+}
+
+bool LabelEngine::process_comp_sequential(int comp, int phi, std::vector<int>& labels,
+                                          LabelStats& stats, CutScratch& scratch,
+                                          std::int64_t sweep_budget) {
+  const CompPlan& plan = plans_[static_cast<std::size_t>(comp)];
+  // PLD: the theorem's 6n bound with n = SCC size. Without PLD: the prior
+  // criterion of n^2 iterations with n = circuit size (paper Section 4).
+  const std::int64_t n = static_cast<std::int64_t>(plan.gates.size());
+  const std::int64_t total = std::max<std::int64_t>(2, c_.num_gates());
+  std::int64_t cap = options_.use_pld ? 6 * n + 2 : total * total;
+  if (sweep_budget > 0) cap = std::min(cap, sweep_budget);
+
+  bool isolated_last_sweep = false;
+  for (std::int64_t sweep = 0;; ++sweep) {
+    ++stats.sweeps;
+    bool changed = false;
+    for (const NodeId v : plan.gates) {
+      const int updated = label_update(c_, labels, phi, v, options_, stats, &cache_, &scratch);
+      if (updated > labels[static_cast<std::size_t>(v)]) {
+        labels[static_cast<std::size_t>(v)] = updated;
+        changed = true;
+      }
+    }
+    if (!changed) return true;  // SCC converged
+    if (options_.use_pld) {
+      // Any feasible fixpoint satisfies l(v) <= sum of delays <= #gates
+      // (labels are maxima of path delay minus phi*registers), so a label
+      // beyond that certifies divergence regardless of the iteration cap.
+      // Kept inside the PLD package so the no-PLD mode stays a faithful
+      // n^2-criterion baseline for the ablation benchmark.
+      for (const NodeId v : plan.gates) {
+        if (labels[static_cast<std::size_t>(v)] > c_.num_gates() + 1) return false;
+      }
+      // Early exit: the SCC keeps changing while totally isolated from its
+      // support in the predecessor graph on two consecutive sweeps. (A
+      // single isolated snapshot can be the just-reached fixpoint, so one
+      // more changing sweep is required to certify divergence; the 6n cap
+      // below is the theorem's unconditional guarantee.) The theorem's
+      // premise — an ungrounded, still-changing SCC must rise forever —
+      // holds for the plain K-cut update only: resynthesis can absorb a
+      // rising support later (try_decomposition succeeds where the cut test
+      // failed), so a feasible TurboSYN SCC may look isolated transiently
+      // (observed on bbsse at phi=2). With decomposition the 6n cap decides.
+      if (!options_.enable_decomposition) {
+        const bool isolated =
+            scc_isolated(c_, labels, phi, scc_.components[static_cast<std::size_t>(comp)],
+                         scc_.component_of, comp);
+        if (isolated && isolated_last_sweep) return false;  // positive loop
+        isolated_last_sweep = isolated;
+      }
+    }
+    if (sweep + 1 >= cap) return false;  // stopping criterion reached
+  }
+}
+
+bool LabelEngine::process_comp_parallel(int comp, int phi, LabelResult& result) {
+  const CompPlan& plan = plans_[static_cast<std::size_t>(comp)];
+  std::vector<int>& labels = result.labels;
+  const std::int64_t n = static_cast<std::int64_t>(plan.gates.size());
+  const std::int64_t total = std::max<std::int64_t>(2, c_.num_gates());
+  const std::int64_t criterion_cap = options_.use_pld ? 6 * n + 2 : total * total;
+  const bool budget_binds =
+      options_.sweep_budget > 0 && options_.sweep_budget < criterion_cap;
+  const std::int64_t cap = budget_binds ? options_.sweep_budget : criterion_cap;
+
+  ThreadPool& pool = ThreadPool::global();
+  // One level batch: compute every update against the batch-start snapshot
+  // (Jacobi), then apply. The trajectory is therefore independent of thread
+  // count and work-stealing order; the snapshot semantics are kept even for
+  // batches run inline.
+  const auto run_batch = [&](const Batch& b) {
+    const std::size_t bn = static_cast<std::size_t>(b.end - b.begin);
+    if (batch_result_.size() < bn) batch_result_.resize(bn);
+    if (bn < 2 || threads_ == 1) {
+      for (std::size_t i = 0; i < bn; ++i) {
+        batch_result_[i] = label_update(
+            c_, labels, phi, plan.batch_gates[static_cast<std::size_t>(b.begin) + i], options_,
+            lane_stats_[static_cast<std::size_t>(caller_lane_)], &cache_,
+            &scratch_[static_cast<std::size_t>(caller_lane_)]);
+      }
+    } else {
+      pool.for_each(
+          bn,
+          [&](std::size_t i, int lane) {
+            batch_result_[i] = label_update(
+                c_, labels, phi, plan.batch_gates[static_cast<std::size_t>(b.begin) + i],
+                options_, lane_stats_[static_cast<std::size_t>(lane)], &cache_,
+                &scratch_[static_cast<std::size_t>(lane)]);
+          },
+          threads_ - 1);
+    }
+    bool changed = false;
+    for (std::size_t i = 0; i < bn; ++i) {
+      const NodeId v = plan.batch_gates[static_cast<std::size_t>(b.begin) + i];
+      if (batch_result_[i] > labels[static_cast<std::size_t>(v)]) {
+        labels[static_cast<std::size_t>(v)] = batch_result_[i];
+        changed = true;
+      }
+    }
+    return changed;
+  };
+
+  bool isolated_last_sweep = false;
+  bool isolated_twice = false;
+  bool converged = false;
+  bool diverged = false;
+  for (std::int64_t sweep = 0; sweep < cap; ++sweep) {
+    ++lane_stats_[static_cast<std::size_t>(caller_lane_)].sweeps;
+    bool changed = false;
+    for (const Batch& b : plan.batches) {
+      if (run_batch(b)) changed = true;
+    }
+    if (!changed) {
+      converged = true;
+      break;
+    }
+    if (options_.use_pld) {
+      // The divergence certificate is a property of the current labels, not
+      // of the sweep order, so it applies verbatim to the batched trajectory.
+      for (const NodeId v : plan.gates) {
+        if (labels[static_cast<std::size_t>(v)] > c_.num_gates() + 1) {
+          diverged = true;
+          break;
         }
-        // Early exit: the SCC keeps changing while totally isolated from its
-        // support in the predecessor graph on two consecutive sweeps. (A
-        // single isolated snapshot can be the just-reached fixpoint, so one
-        // more changing sweep is required to certify divergence; the 6n cap
-        // below is the theorem's unconditional guarantee.)
-        const bool isolated = scc_isolated(c, result.labels, phi, scc.components[comp],
-                                           scc.component_of, static_cast<int>(comp));
+      }
+      if (diverged) break;
+      // Isolation is only a divergence signal for the plain K-cut update
+      // (see process_comp_sequential); with decomposition the cap decides.
+      if (!options_.enable_decomposition) {
+        const bool isolated =
+            scc_isolated(c_, labels, phi, scc_.components[static_cast<std::size_t>(comp)],
+                         scc_.component_of, comp);
         if (isolated && isolated_last_sweep) {
-          return result;  // positive loop: infeasible at this phi
+          isolated_twice = true;
+          break;
         }
         isolated_last_sweep = isolated;
       }
-      if (sweep + 1 >= cap) {
-        return result;  // stopping criterion reached without convergence
+    }
+  }
+  merge_worker_stats(result.stats);
+
+  if (converged) return true;
+  if (diverged) return false;
+  if (budget_binds && !isolated_twice) return false;  // sweep budget exhausted
+  if (!options_.use_pld) return false;  // the n^2 bound holds for any fair sweep order
+  // The 6n cap and the isolation criterion are proven for the sequential
+  // sweep order; re-run that exact order from the current labels (valid
+  // lower bounds, so the least fixpoint is unchanged) to settle the verdict.
+  // Feasible components re-converge here in a few sweeps.
+  return process_comp_sequential(comp, phi, labels, result.stats,
+                                 scratch_[static_cast<std::size_t>(caller_lane_)],
+                                 options_.sweep_budget);
+}
+
+LabelResult LabelEngine::compute(int phi) {
+  TS_CHECK(phi >= 1, "target ratio must be >= 1");
+
+  LabelResult result;
+  // Warm start: labels are antitone in phi, so the converged labels of the
+  // nearest previously feasible phi' >= phi are valid lower bounds for this
+  // probe and the monotone iteration reaches the same least fixpoint. That
+  // argument needs a monotone update, which only the plain K-cut update is:
+  // with decomposition, raising one label can turn a neighbouring node's
+  // resynthesis from success into failure, so the iteration is trajectory
+  // sensitive and can settle on a different (still valid) fixpoint than a
+  // cold start would. Different fixpoints pick different cuts, and mapped
+  // results must be reproducible run to run — so decomposition probes always
+  // start cold. They still share the decomposition memo: its verdicts are
+  // pure functions of (cut, effective labels, height), independent of phi
+  // and of the label trajectory.
+  const bool warm_ok = !options_.enable_decomposition;
+  if (const auto it = warm_.lower_bound(phi); warm_ok && it != warm_.end()) {
+    result.labels = it->second;
+  } else {
+    result.labels.assign(static_cast<std::size_t>(c_.num_nodes()), 0);
+    for (NodeId v = 0; v < c_.num_nodes(); ++v) {
+      if (c_.is_gate(v) && !c_.fanin_edges(v).empty()) {
+        result.labels[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
+
+  if (threads_ == 1) {
+    for (int comp = 0; comp < static_cast<int>(scc_.components.size()); ++comp) {
+      if (plans_[static_cast<std::size_t>(comp)].gates.empty()) continue;
+      if (!process_comp_sequential(comp, phi, result.labels, result.stats, scratch_[0],
+                                   options_.sweep_budget)) {
+        return result;
+      }
+    }
+  } else {
+    ThreadPool& pool = ThreadPool::global();
+    for (const std::vector<int>& wave : waves_) {
+      if (wave.size() == 1) {
+        if (!process_comp_parallel(wave[0], phi, result)) return result;
+        continue;
+      }
+      // Components of one wavefront are mutually independent (no condensation
+      // path connects them), so each runs the sequential inner order on its
+      // own lane: its PLD criteria apply verbatim, every write targets its
+      // own component's labels, and every external read is a frozen earlier
+      // wave. The whole wave runs to completion before feasibility is
+      // checked — no cross-thread aborts, so the outcome is deterministic.
+      std::vector<char> comp_feasible(wave.size(), 1);
+      pool.for_each(
+          wave.size(),
+          [&](std::size_t i, int lane) {
+            comp_feasible[i] =
+                process_comp_sequential(wave[i], phi, result.labels,
+                                        lane_stats_[static_cast<std::size_t>(lane)],
+                                        scratch_[static_cast<std::size_t>(lane)],
+                                        options_.sweep_budget)
+                    ? 1
+                    : 0;
+          },
+          threads_ - 1);
+      merge_worker_stats(result.stats);
+      for (const char ok : comp_feasible) {
+        if (!ok) return result;
       }
     }
   }
 
   // All SCCs converged: feasible. POs get L(po) for the clock-period check.
   result.feasible = true;
-  for (const NodeId po : c.pos()) {
-    const std::int64_t l = fanin_bound(c, result.labels, phi, po);
+  for (const NodeId po : c_.pos()) {
+    const std::int64_t l = fanin_bound(c_, result.labels, phi, po);
     result.labels[static_cast<std::size_t>(po)] = static_cast<int>(std::max<std::int64_t>(0, l));
     result.max_po_label =
         std::max(result.max_po_label, result.labels[static_cast<std::size_t>(po)]);
   }
+  if (warm_ok) warm_[phi] = result.labels;
   return result;
+}
+
+LabelResult compute_labels(const Circuit& c, int phi, const LabelOptions& options) {
+  LabelEngine engine(c, options);
+  return engine.compute(phi);
 }
 
 }  // namespace turbosyn

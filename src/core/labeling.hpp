@@ -17,12 +17,25 @@
 // and declare a positive loop as soon as the SCC is totally isolated from
 // the PIs in it; detection is guaranteed within 6n sweeps for an SCC of n
 // nodes (vs the previous n^2 bound, kept for the ablation benchmark).
+//
+// LabelEngine is the production entry point: one engine amortizes the graph
+// analysis (SCCs, condensation wavefronts, zero-weight levels), shares the
+// decomposition cache across probes, warm-starts each probe from the nearest
+// previously feasible phi, and runs label updates in parallel (independent
+// SCCs of a condensation wavefront concurrently; within an SCC, the gates of
+// one zero-weight topological level as a batch). Updates are computed against
+// the batch-start label snapshot and applied afterwards, so the iteration is
+// race-free and its trajectory is identical for every thread count > 1;
+// because labels form a monotone lower-bound iteration with a unique least
+// fixpoint, converged labels are identical to the sequential engine's.
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "core/expanded.hpp"
 #include "decomp/roth_karp.hpp"
+#include "graph/scc.hpp"
 #include "netlist/circuit.hpp"
 
 namespace turbosyn {
@@ -38,6 +51,9 @@ struct LabelOptions {
   /// by the PLD ablation bench to bound the n^2 baseline's runtime; when the
   /// cap fires the result is reported as infeasible.
   std::int64_t sweep_budget = 0;
+  /// Concurrency of the label engine: 0 = hardware concurrency, 1 = the
+  /// sequential legacy sweep order, N > 1 = at most N concurrent updates.
+  int num_threads = 0;
   ExpandedOptions expansion;
 };
 
@@ -64,14 +80,64 @@ struct DecompCache {
   std::vector<std::unordered_map<std::uint64_t, bool>> per_node;
 };
 
-/// Runs the label computation for target ratio phi (>= 1).
+/// Incremental, parallel label computation for a fixed circuit and options.
+/// Construction precomputes the SCC condensation, its wavefronts and the
+/// zero-weight level batches; compute() may then be called for any sequence
+/// of target ratios. All probes of one engine share the decomposition cache,
+/// and each probe warm-starts from the converged labels of the nearest
+/// previously feasible phi >= the probe (labels are antitone in phi, so
+/// those labels are valid lower bounds that shortcut the iteration).
+class LabelEngine {
+ public:
+  LabelEngine(const Circuit& c, const LabelOptions& options);
+
+  /// Runs the label computation for target ratio phi (>= 1). For a fixed
+  /// engine and phi the result is deterministic, and converged labels are
+  /// identical for every num_threads setting.
+  LabelResult compute(int phi);
+
+ private:
+  struct Batch {
+    int begin = 0;  // range into CompPlan::batch_gates
+    int end = 0;
+  };
+  struct CompPlan {
+    std::vector<NodeId> gates;        // updatable gates, zero-weight topo order
+    std::vector<NodeId> batch_gates;  // same gates, (level, topo position) order
+    std::vector<Batch> batches;       // one per zero-weight level
+  };
+
+  bool process_comp_sequential(int comp, int phi, std::vector<int>& labels, LabelStats& stats,
+                               CutScratch& scratch, std::int64_t sweep_budget);
+  bool process_comp_parallel(int comp, int phi, LabelResult& result);
+  void merge_worker_stats(LabelStats& into);
+
+  const Circuit& c_;
+  LabelOptions options_;
+  int threads_ = 1;       // effective participant count (workers + caller)
+  int caller_lane_ = 0;   // scratch slot the calling thread uses
+  DecompCache cache_;
+  SccDecomposition scc_;
+  std::vector<int> topo_pos_;
+  std::vector<CompPlan> plans_;          // indexed by component
+  std::vector<std::vector<int>> waves_;  // gate-bearing components per wavefront
+  std::vector<CutScratch> scratch_;      // one per pool lane
+  std::vector<LabelStats> lane_stats_;
+  std::vector<int> batch_result_;        // Jacobi buffer for one level batch
+  std::map<int, std::vector<int>> warm_;  // feasible phi -> converged labels
+};
+
+/// Runs the label computation for target ratio phi (>= 1). One-shot
+/// convenience wrapper over LabelEngine.
 LabelResult compute_labels(const Circuit& c, int phi, const LabelOptions& options);
 
 /// Single label update for node v given current lower bounds (exposed for
-/// tests). Returns the new label (never below labels[v]). `cache` (optional)
-/// memoizes decomposition outcomes across calls.
-int label_update(const Circuit& c, std::vector<int>& labels, int phi, NodeId v,
-                 const LabelOptions& options, LabelStats& stats, DecompCache* cache = nullptr);
+/// tests). Returns the new label (never below labels[v]); does not modify
+/// `labels`. `cache` (optional) memoizes decomposition outcomes across
+/// calls; `scratch` (optional) reuses cut-test buffers across calls.
+int label_update(const Circuit& c, std::span<const int> labels, int phi, NodeId v,
+                 const LabelOptions& options, LabelStats& stats, DecompCache* cache = nullptr,
+                 CutScratch* scratch = nullptr);
 
 /// The realization the label computation justifies for a node at its final
 /// label: either a plain K-cut of E_v, or a decomposition over a wide cut.
@@ -93,6 +159,7 @@ struct NodeRealization {
 std::optional<NodeRealization> realize_node(
     const Circuit& c, std::span<const int> labels, int phi, NodeId v, int height,
     const LabelOptions& options, LabelStats& stats, DecompCache* cache = nullptr,
-    const std::function<bool(const SeqCutNode&)>* shared = nullptr);
+    const std::function<bool(const SeqCutNode&)>* shared = nullptr,
+    CutScratch* scratch = nullptr);
 
 }  // namespace turbosyn

@@ -91,7 +91,7 @@ class Generator {
     };
     auto real = realize_node(c_, labels_.labels, phi_, v,
                              labels_.labels[static_cast<std::size_t>(v)], lopts_, stats_,
-                             nullptr, opts_.low_cost_cuts ? &shared : nullptr);
+                             nullptr, opts_.low_cost_cuts ? &shared : nullptr, &scratch_);
     TS_CHECK(real.has_value(), "converged labels must be realizable at node '" << c_.name(v)
                                                                                << "'");
     return std::move(*real);
@@ -156,7 +156,8 @@ class Generator {
         if (it == allowed.end()) continue;  // only POs use it (no cut uses)
         const int a = it->second;
         if (a <= chosen_.at(v).height) continue;
-        if (auto real = realize_node(c_, labels_.labels, phi_, v, a, plain, stats_)) {
+        if (auto real = realize_node(c_, labels_.labels, phi_, v, a, plain, stats_, nullptr,
+                                     nullptr, &scratch_)) {
           install(v, std::move(*real), a);
         }
       }
@@ -266,6 +267,8 @@ class Generator {
   const LabelOptions& lopts_;
   const MapGenOptions& opts_;
   LabelStats& stats_;
+
+  CutScratch scratch_;  // reused cut-test buffers across realizations
 
   std::unordered_map<NodeId, Chosen> chosen_;
   std::unordered_set<NodeId> pending_;

@@ -80,9 +80,24 @@ std::int64_t MaxFlow::compute(int source, int sink, std::int64_t limit) {
   return flow;
 }
 
+void MaxFlow::reset() {
+  arcs_.clear();
+  head_.clear();
+  level_.clear();
+  iter_.clear();
+  source_ = -1;
+  sink_ = -1;
+}
+
 std::vector<bool> MaxFlow::min_cut_source_side() const {
+  std::vector<bool> side;
+  min_cut_source_side(side);
+  return side;
+}
+
+void MaxFlow::min_cut_source_side(std::vector<bool>& side) const {
   TS_CHECK(source_ != -1, "min_cut_source_side requires a prior compute()");
-  std::vector<bool> side(head_.size(), false);
+  side.assign(head_.size(), false);
   std::deque<int> queue;
   side[static_cast<std::size_t>(source_)] = true;
   queue.push_back(source_);
@@ -97,7 +112,6 @@ std::vector<bool> MaxFlow::min_cut_source_side() const {
       }
     }
   }
-  return side;
 }
 
 }  // namespace turbosyn

@@ -27,12 +27,19 @@ class MaxFlow {
 
   /// Runs Dinic from source to sink. Stops early (returning a value > limit)
   /// once the flow strictly exceeds `limit`; pass kInfinity for an exact
-  /// max-flow. Can be called once per instance.
+  /// max-flow. Can be called once per instance (or once per reset()).
   std::int64_t compute(int source, int sink, std::int64_t limit = kInfinity);
+
+  /// Clears the network (nodes, arcs, flow state) but keeps every buffer's
+  /// capacity, so a reused instance reaches a zero-allocation steady state.
+  void reset();
 
   /// After compute() terminated below its limit: nodes reachable from the
   /// source in the residual graph (the source side of a minimum cut).
   std::vector<bool> min_cut_source_side() const;
+  /// Same, writing into a caller-owned buffer (resized to num_nodes()) so hot
+  /// loops can reuse its storage.
+  void min_cut_source_side(std::vector<bool>& side) const;
 
  private:
   struct Arc {

@@ -10,6 +10,7 @@
 
 #include "base/rng.hpp"
 #include "core/flows.hpp"
+#include "netlist/blif.hpp"
 #include "retime/cycle_ratio.hpp"
 #include "retime/retiming.hpp"
 #include "sim/simulator.hpp"
@@ -132,6 +133,25 @@ TEST(Flows, PldOffGivesSameAnswerAsPldOn) {
     EXPECT_EQ(a.phi, b.phi);
     // PLD must never need more sweeps than the n^2 criterion.
     EXPECT_LE(a.stats.sweeps, b.stats.sweeps);
+  }
+}
+
+// The whole flow — ratio search, warm-started probes and mapping generation —
+// must produce the same mapped network whether the label engine runs
+// sequentially or in parallel.
+TEST(Flows, ParallelFlowMatchesSequentialFlow) {
+  for (int i = 0; i < 3; ++i) {
+    const Circuit c = generate_fsm_circuit(tiny_suite()[static_cast<std::size_t>(i)]);
+    FlowOptions seq;
+    seq.k = 4;
+    seq.num_threads = 1;
+    FlowOptions par = seq;
+    par.num_threads = 4;
+    const FlowResult a = run_turbosyn(c, seq);
+    const FlowResult b = run_turbosyn(c, par);
+    EXPECT_EQ(a.phi, b.phi) << i;
+    EXPECT_EQ(a.luts, b.luts) << i;
+    EXPECT_EQ(write_blif_string(a.mapped), write_blif_string(b.mapped)) << i;
   }
 }
 

@@ -204,6 +204,105 @@ TEST(Labeling, PoLabelsComputedForClockPeriodMode) {
   EXPECT_GE(r.max_po_label, 1);
 }
 
+// The parallel engine batches updates but computes the same least fixpoint:
+// labels, feasibility and PO labels must match the sequential legacy order
+// bit for bit, for any thread count, with and without decomposition.
+TEST(Labeling, ParallelMatchesSequentialAcrossSuite) {
+  for (const bool decompose : {false, true}) {
+    for (const auto& spec : tiny_suite()) {
+      const Circuit c = generate_fsm_circuit(spec);
+      for (int phi = 1; phi <= 3; ++phi) {
+        LabelOptions seq = turbomap_options(5);
+        seq.enable_decomposition = decompose;
+        seq.num_threads = 1;
+        const LabelResult a = compute_labels(c, phi, seq);
+        for (const int threads : {4, 0}) {
+          LabelOptions par = seq;
+          par.num_threads = threads;
+          const LabelResult b = compute_labels(c, phi, par);
+          ASSERT_EQ(a.feasible, b.feasible)
+              << spec.name << " phi=" << phi << " threads=" << threads;
+          if (a.feasible) {
+            EXPECT_EQ(a.labels, b.labels)
+                << spec.name << " phi=" << phi << " threads=" << threads;
+            EXPECT_EQ(a.max_po_label, b.max_po_label) << spec.name << " phi=" << phi;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Warm starts reuse the converged labels of a higher feasible phi as the
+// initial lower bounds of a lower probe; the least fixpoint is unchanged, so
+// an engine probing downwards must reproduce every cold one-shot result.
+TEST(Labeling, WarmStartedEngineMatchesColdComputation) {
+  for (const auto& spec : tiny_suite()) {
+    const Circuit c = generate_fsm_circuit(spec);
+    LabelOptions lo = turbomap_options(5);
+    LabelEngine engine(c, lo);
+    for (int phi = 6; phi >= 1; --phi) {  // descending: every probe warm-starts
+      const LabelResult warm = engine.compute(phi);
+      const LabelResult cold = compute_labels(c, phi, lo);
+      ASSERT_EQ(warm.feasible, cold.feasible) << spec.name << " phi=" << phi;
+      if (cold.feasible) {
+        EXPECT_EQ(warm.labels, cold.labels) << spec.name << " phi=" << phi;
+        EXPECT_EQ(warm.max_po_label, cold.max_po_label) << spec.name << " phi=" << phi;
+      }
+    }
+  }
+}
+
+// The decomposition update is not monotone, so warm starts could converge on
+// a different (still valid) fixpoint than a cold run — which would make
+// TurboSYN results depend on probe history, and on tiny_suite()[3] picks
+// feedback cuts whose zero-initialized transient never dies out. The engine
+// therefore runs decomposition probes cold; a descending scan (the shape
+// search_min_ratio uses with a known UB) must reproduce cold results.
+TEST(Labeling, DecompositionProbesIgnoreWarmStartsAndMatchCold) {
+  for (const auto& spec : tiny_suite()) {
+    const Circuit c = generate_fsm_circuit(spec);
+    LabelOptions lo = turbomap_options(5);
+    lo.enable_decomposition = true;
+    LabelEngine engine(c, lo);
+    for (int phi = 4; phi >= 2; --phi) {
+      const LabelResult warm = engine.compute(phi);
+      const LabelResult cold = compute_labels(c, phi, lo);
+      ASSERT_EQ(warm.feasible, cold.feasible) << spec.name << " phi=" << phi;
+      if (cold.feasible) {
+        EXPECT_EQ(warm.labels, cold.labels) << spec.name << " phi=" << phi;
+      }
+    }
+  }
+}
+
+// Probing up and down in arbitrary order (as run_turbomap_period's search
+// does) must also stay consistent with cold runs.
+TEST(Labeling, EngineIsConsistentUnderArbitraryProbeOrder) {
+  const Circuit c = generate_fsm_circuit(tiny_suite()[1]);
+  LabelOptions lo = turbomap_options(5);
+  LabelEngine engine(c, lo);
+  for (const int phi : {3, 1, 5, 2, 4, 1, 3}) {
+    const LabelResult warm = engine.compute(phi);
+    const LabelResult cold = compute_labels(c, phi, lo);
+    ASSERT_EQ(warm.feasible, cold.feasible) << "phi=" << phi;
+    if (cold.feasible) EXPECT_EQ(warm.labels, cold.labels) << "phi=" << phi;
+  }
+}
+
+// Scratch arenas only recycle buffers; repeated computations through the same
+// engine (hence the same arenas) must be byte-identical.
+TEST(Labeling, ScratchReuseIsDeterministic) {
+  const Circuit c = generate_fsm_circuit(tiny_suite()[3]);
+  LabelOptions lo = turbomap_options(5);
+  lo.enable_decomposition = true;
+  LabelEngine engine(c, lo);
+  const LabelResult first = engine.compute(2);
+  const LabelResult second = engine.compute(2);
+  ASSERT_EQ(first.feasible, second.feasible);
+  EXPECT_EQ(first.labels, second.labels);
+}
+
 TEST(Labeling, RejectsUnboundedCircuit) {
   Circuit c;
   std::vector<Circuit::FaninSpec> wide;
