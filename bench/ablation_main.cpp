@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "base/budget_cli.hpp"
 #include "core/flows.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/table.hpp"
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
   {
     Config base{"base (extra=2, bdd, span=3, pack)", FlowOptions{}};
     base.options.num_threads = threads;
+    base.options.budget = budget_from_cli(argc, argv);
     configs.push_back(base);
     Config e0 = base;
     e0.name = "expansion extra=0";

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "base/budget_cli.hpp"
 #include "core/flows.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/table.hpp"
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
 
   FlowOptions opt;
   opt.num_threads = threads;
+  opt.budget = budget_from_cli(argc, argv);
   FlowOptions no_relax = opt;
   no_relax.label_relaxation = false;
 

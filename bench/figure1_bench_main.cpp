@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "base/budget_cli.hpp"
 #include "core/flows.hpp"
 #include "retime/cycle_ratio.hpp"
 #include "workloads/samples.hpp"
@@ -19,11 +20,13 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
   }
+  const RunBudget budget = budget_from_cli(argc, argv);
 
   {
     const Circuit c = figure1_circuit();
     FlowOptions opt;
     opt.num_threads = threads;
+    opt.budget = budget;
     opt.k = 3;
     const FlowResult tm = run_turbomap(c, opt);
     const FlowResult ts = run_turbosyn(c, opt);
@@ -39,6 +42,7 @@ int main(int argc, char** argv) {
     const Circuit c = ring_circuit(stages, regs);
     FlowOptions opt;
     opt.num_threads = threads;
+    opt.budget = budget;
     const FlowResult tm = run_turbomap(c, opt);
     const FlowResult ts = run_turbosyn(c, opt);
     table.add_row({std::to_string(stages) + "/" + std::to_string(regs),

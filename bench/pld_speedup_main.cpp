@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "base/budget_cli.hpp"
 #include "core/flows.hpp"
 #include "core/labeling.hpp"
 #include "workloads/generator.hpp"
@@ -27,22 +28,25 @@ struct Probe {
   double seconds = 0.0;
   std::int64_t sweeps = 0;
   bool feasible = false;
+  turbosyn::Status status = turbosyn::Status::kOk;
 };
 
 Probe run_probe(const turbosyn::Circuit& c, int phi, bool use_pld, int threads,
-                std::int64_t sweep_budget = 0) {
+                const turbosyn::RunBudget& budget, std::int64_t sweep_budget = 0) {
   using Clock = std::chrono::steady_clock;
   turbosyn::LabelOptions lo;
   lo.k = 5;
   lo.use_pld = use_pld;
   lo.num_threads = threads;
   lo.sweep_budget = sweep_budget;
+  lo.budget = budget;
   const auto start = Clock::now();
   const turbosyn::LabelResult r = turbosyn::compute_labels(c, phi, lo);
   Probe p;
   p.seconds = std::chrono::duration<double>(Clock::now() - start).count();
   p.sweeps = r.stats.sweeps;
   p.feasible = r.feasible;
+  p.status = r.status;
   return p;
 }
 
@@ -61,6 +65,7 @@ int main(int argc, char** argv) {
 
   FlowOptions opt;
   opt.num_threads = threads;
+  opt.budget = budget_from_cli(argc, argv);
   TextTable table({"circuit", "phi*", "PLD sweeps", "PLD s", "n^2 sweeps", "n^2 s",
                    "speedup"});
   double log_speedup = 0.0;
@@ -72,13 +77,17 @@ int main(int argc, char** argv) {
       std::cerr << "[pld] " << spec.name << " skipped (phi* = 1, no infeasible probe)\n";
       continue;
     }
-    const Probe with_pld = run_probe(c, tm.phi - 1, /*use_pld=*/true, threads);
+    const Probe with_pld = run_probe(c, tm.phi - 1, /*use_pld=*/true, threads, opt.budget);
     // The n^2 baseline is cut off at 200x the PLD sweep count so large
     // circuits finish; a truncated run makes the reported speedup a lower
     // bound (marked with ">").
     const std::int64_t budget = 200 * std::max<std::int64_t>(1, with_pld.sweeps);
-    const Probe without = run_probe(c, tm.phi - 1, /*use_pld=*/false, threads, budget);
-    const bool truncated = without.sweeps >= budget;
+    const Probe without =
+        run_probe(c, tm.phi - 1, /*use_pld=*/false, threads, opt.budget, budget);
+    // The label engine distinguishes a sweep-budget stop (kDegraded: no
+    // infeasibility certificate) from a genuine divergence certificate (kOk),
+    // so truncation is read off the status instead of the sweep count.
+    const bool truncated = without.status == Status::kDegraded;
     if (!truncated && with_pld.feasible != without.feasible) {
       std::cerr << "[pld] WARNING: criteria disagree on " << spec.name << '\n';
     }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "base/budget_cli.hpp"
 #include "core/flows.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/table.hpp"
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
 
   FlowOptions opt;
   opt.num_threads = threads;
+  opt.budget = budget_from_cli(argc, argv);
   TextTable table({"circuit", "GATE", "FF", "TM phi", "TM s", "TS phi", "TS s", "TS sweeps"});
   for (const BenchmarkSpec& spec : suite) {
     const Circuit c = generate_fsm_circuit(spec);

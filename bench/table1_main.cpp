@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "base/budget_cli.hpp"
 #include "core/flows.hpp"
 #include "netlist/circuit.hpp"
 #include "workloads/generator.hpp"
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
 
   FlowOptions opt;  // K = 5, PLD on, as in the paper
   opt.num_threads = threads;
+  opt.budget = budget_from_cli(argc, argv);
   TextTable table({"circuit", "GATE", "FF", "FS-s phi", "FS-s s", "TM phi", "TM s", "TS phi",
                    "TS s"});
 

@@ -1,16 +1,20 @@
 // Command-line synthesis flow over BLIF files:
 //
 //   $ ./blif_flow input.blif output.blif [K] [turbosyn|turbomap|flowsyn_s]
+//               [--deadline-ms N] [--bdd-node-budget N] ...  (run budgets)
 //
 // Reads a SIS-style BLIF netlist, decomposes wide gates to make it
 // K-bounded, runs the selected flow, reports the metrics and writes the
 // mapped LUT network as BLIF. With no arguments it demonstrates the flow on
-// the embedded pattern-detector FSM.
+// the embedded pattern-detector FSM. Ctrl-C cancels cooperatively: the flow
+// returns its best-so-far mapping instead of aborting.
 
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "base/budget_cli.hpp"
 #include "base/check.hpp"
 #include "core/flows.hpp"
 #include "decomp/gate_decomp.hpp"
@@ -21,9 +25,21 @@
 int main(int argc, char** argv) {
   using namespace turbosyn;
   try {
-    Circuit input = argc > 1 ? read_blif_file(argv[1]) : read_blif_string(pattern_fsm_blif());
-    const int k = argc > 3 ? std::stoi(argv[3]) : 5;
-    const std::string flow = argc > 4 ? argv[4] : "turbosyn";
+    // Budget flags ("--flag value") may appear anywhere; everything else is
+    // positional.
+    std::vector<std::string> pos;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        if (i + 1 < argc) ++i;  // skip the flag's value
+        continue;
+      }
+      pos.push_back(a);
+    }
+    Circuit input =
+        !pos.empty() ? read_blif_file(pos[0]) : read_blif_string(pattern_fsm_blif());
+    const int k = pos.size() > 2 ? std::stoi(pos[2]) : 5;
+    const std::string flow = pos.size() > 3 ? pos[3] : "turbosyn";
 
     if (!input.is_k_bounded(k)) {
       std::cout << "decomposing gates wider than " << k << " inputs\n";
@@ -35,6 +51,7 @@ int main(int argc, char** argv) {
 
     FlowOptions options;
     options.k = k;
+    options.budget = budget_from_cli(argc, argv);
     FlowResult result;
     if (flow == "turbomap") {
       result = run_turbomap(input, options);
@@ -45,11 +62,19 @@ int main(int argc, char** argv) {
     }
     std::cout << flow << ": phi = " << result.phi << ", exact MDR = " << result.exact_mdr
               << ", " << result.luts << " LUTs, " << result.ffs << " FFs, period "
-              << result.period << " after pipelining, " << result.seconds << " s\n";
+              << result.period << " after pipelining, " << result.seconds << " s, status "
+              << status_name(result.status) << '\n';
+    if (result.timed_out) {
+      std::cout << "note: run stopped early; the mapping above is the best found so far\n";
+    }
+    if (!result.degraded_nodes.empty()) {
+      std::cout << "note: " << result.degraded_nodes.size()
+                << " node(s) degraded to plain K-cut labels under resource ceilings\n";
+    }
 
-    if (argc > 2) {
-      write_blif_file(result.mapped, argv[2], "mapped");
-      std::cout << "wrote " << argv[2] << '\n';
+    if (pos.size() > 1) {
+      write_blif_file(result.mapped, pos[1], "mapped");
+      std::cout << "wrote " << pos[1] << '\n';
     } else {
       std::cout << write_blif_string(result.mapped, "mapped");
     }

@@ -2,6 +2,7 @@
 // result, and write the mapped network back out as BLIF.
 //
 //   $ ./quickstart [--threads N]   (0 = all cores, 1 = sequential)
+//                  [--deadline-ms N] [--bdd-node-budget N] ...  (run budgets)
 //
 // The circuit is a 3-bit counter with enable (embedded as a string); the
 // same code works for any SIS-style BLIF file via read_blif_file().
@@ -10,6 +11,7 @@
 #include <iostream>
 #include <string>
 
+#include "base/budget_cli.hpp"
 #include "core/flows.hpp"
 #include "netlist/blif.hpp"
 #include "retime/cycle_ratio.hpp"
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
   }
+  const RunBudget budget = budget_from_cli(argc, argv);
 
   // 1. Load a sequential circuit (latches become edge weights of the
   //    retiming graph).
@@ -34,9 +37,12 @@ int main(int argc, char** argv) {
   FlowOptions options;
   options.k = 4;
   options.num_threads = threads;  // 0 = use every core for the label engine
+  options.budget = budget;        // unlimited unless budget flags were given
   const FlowResult result = run_turbosyn(counter, options);
 
   std::cout << "TurboSYN result:\n";
+  std::cout << "  status                 = " << status_name(result.status)
+            << (result.timed_out ? " (stopped early; best-so-far result)" : "") << '\n';
   std::cout << "  minimum ratio phi      = " << result.phi << '\n';
   std::cout << "  exact MDR of mapping   = " << result.exact_mdr << '\n';
   std::cout << "  LUTs / FFs             = " << result.luts << " / " << result.ffs << '\n';

@@ -1,0 +1,88 @@
+#include "base/run_budget.hpp"
+
+#include <csignal>
+
+namespace turbosyn {
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kDegraded:
+      return "degraded";
+    case Status::kInvalidInput:
+      return "invalid_input";
+    case Status::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+Status combine_status(Status a, Status b) {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+}
+
+CancelToken& global_cancel_token() {
+  static CancelToken token;
+  return token;
+}
+
+namespace {
+
+extern "C" void sigint_cancel_handler(int sig) {
+  global_cancel_token().cancel();
+  // A second SIGINT falls through to the default disposition (terminate),
+  // so a stuck run can still be killed from the keyboard.
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+void install_sigint_cancellation() { std::signal(SIGINT, sigint_cancel_handler); }
+
+RunBudget::State& RunBudget::mutable_state() {
+  if (!state_) state_ = std::make_shared<State>();
+  return *state_;
+}
+
+void RunBudget::set_deadline_after(std::chrono::milliseconds ms) {
+  State& s = mutable_state();
+  s.has_deadline = true;
+  s.deadline = std::chrono::steady_clock::now() + ms;
+}
+
+void RunBudget::set_cancel_token(const CancelToken* token) { mutable_state().cancel = token; }
+
+void RunBudget::set_bdd_node_budget(std::size_t nodes) { mutable_state().bdd_nodes = nodes; }
+
+void RunBudget::set_decomp_attempt_budget(std::int64_t attempts) {
+  mutable_state().decomp_attempts = attempts;
+}
+
+void RunBudget::set_flow_augment_budget(std::int64_t augmentations) {
+  mutable_state().flow_augments = augmentations;
+}
+
+Status RunBudget::check() const {
+  const State* s = state_.get();
+  if (s == nullptr) return Status::kOk;
+  if (s->cancel != nullptr && s->cancel->cancelled()) return Status::kCancelled;
+  if (s->has_deadline) {
+    if (s->deadline_hit.load(std::memory_order_relaxed)) return Status::kDeadlineExceeded;
+    if (std::chrono::steady_clock::now() >= s->deadline) {
+      s->deadline_hit.store(true, std::memory_order_relaxed);
+      return Status::kDeadlineExceeded;
+    }
+  }
+  return Status::kOk;
+}
+
+bool RunBudget::try_consume_decomp_attempt() const {
+  const State* s = state_.get();
+  if (s == nullptr || s->decomp_attempts <= 0) return true;
+  return s->decomp_attempts_used.fetch_add(1, std::memory_order_relaxed) < s->decomp_attempts;
+}
+
+}  // namespace turbosyn

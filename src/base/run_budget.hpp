@@ -1,0 +1,124 @@
+#pragma once
+// Run budgets and cooperative cancellation for the solver stack.
+//
+// A RunBudget bundles a wall-clock deadline, a cancellation token and a set
+// of resource ceilings (BDD nodes per decomposition attempt, decomposition
+// attempts per run, flow augmentations per cut test). Solvers poll check()
+// at natural boundaries (sweeps, probes, batch items) and wind down
+// gracefully instead of throwing; resource ceilings degrade the affected
+// node to its plain K-cut label, which is always a sound fallback because
+// decomposition is strictly label-improving.
+//
+// A default-constructed RunBudget is unlimited and costs one pointer
+// comparison per check, so budget-free runs stay bit-identical to the
+// pre-budget code. Copies of a RunBudget share state (the deadline latch and
+// the attempt counter are common to every holder), so passing budgets by
+// value through option structs keeps one logical budget per run.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace turbosyn {
+
+/// Outcome classification carried by LabelResult / FlowResult. Severity is
+/// ordered: combine_status() keeps the worse of two outcomes.
+enum class Status : std::uint8_t {
+  kOk = 0,             // exact result, no budget interfered
+  kDegraded,           // a resource ceiling altered the computation (result
+                       // is valid but possibly weaker, and an "infeasible"
+                       // verdict is no longer a certificate)
+  kInvalidInput,       // the input was rejected up front
+  kDeadlineExceeded,   // the wall-clock deadline fired; result is best-so-far
+  kCancelled,          // the cancellation token fired; result is best-so-far
+};
+
+const char* status_name(Status s);
+
+/// The worse of two outcomes (Cancelled > DeadlineExceeded > InvalidInput >
+/// Degraded > Ok).
+Status combine_status(Status a, Status b);
+
+/// Cooperative cancellation flag. cancel() is async-signal-safe (a lock-free
+/// atomic store), so it may be called from a SIGINT handler; workers observe
+/// it through RunBudget::check() between tasks and at sweep boundaries.
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept { return flag_.load(std::memory_order_relaxed); }
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "CancelToken::cancel must stay async-signal-safe");
+
+/// Process-wide token, the conventional target for SIGINT.
+CancelToken& global_cancel_token();
+
+/// Installs a SIGINT handler that cancels global_cancel_token(). Budgets
+/// wired to that token then drain cooperatively; a second SIGINT restores
+/// the default handler, so it terminates the process as usual.
+void install_sigint_cancellation();
+
+class RunBudget {
+ public:
+  /// Unlimited: every check is kOk, every ceiling is off.
+  RunBudget() = default;
+
+  /// Wall-clock deadline, measured from now. Once exceeded the verdict is
+  /// latched, so clocks are no longer read and all threads agree.
+  void set_deadline_after(std::chrono::milliseconds ms);
+  void set_deadline_after_ms(std::int64_t ms) { set_deadline_after(std::chrono::milliseconds(ms)); }
+
+  /// Token polled by check(); the token is not owned and must outlive runs.
+  void set_cancel_token(const CancelToken* token);
+
+  /// Per-attempt BDD node ceiling for decomposition (0 = library default).
+  void set_bdd_node_budget(std::size_t nodes);
+
+  /// Total decomposition attempts per run (0 = unlimited); consumed via
+  /// try_consume_decomp_attempt().
+  void set_decomp_attempt_budget(std::int64_t attempts);
+
+  /// Max augmenting paths per flow-based cut test (0 = unlimited). A test
+  /// that hits the ceiling conservatively reports "no cut".
+  void set_flow_augment_budget(std::int64_t augmentations);
+
+  /// True iff any knob is configured; the fast "no budget" test.
+  bool limited() const { return state_ != nullptr; }
+
+  std::size_t bdd_node_budget() const { return state_ ? state_->bdd_nodes : 0; }
+  std::int64_t flow_augment_budget() const { return state_ ? state_->flow_augments : 0; }
+
+  /// Cooperative poll: kCancelled, kDeadlineExceeded, or kOk. Cheap enough
+  /// for per-item use (two relaxed loads; a clock read only until the
+  /// deadline verdict latches).
+  Status check() const;
+  bool interrupted() const { return state_ != nullptr && check() != Status::kOk; }
+
+  /// Claims one decomposition attempt; false once the ceiling is spent
+  /// (callers then fall back to the plain K-cut label for that node).
+  bool try_consume_decomp_attempt() const;
+
+ private:
+  struct State {
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    mutable std::atomic<bool> deadline_hit{false};
+    const CancelToken* cancel = nullptr;
+    std::size_t bdd_nodes = 0;
+    std::int64_t flow_augments = 0;
+    std::int64_t decomp_attempts = 0;
+    mutable std::atomic<std::int64_t> decomp_attempts_used{0};
+  };
+
+  State& mutable_state();
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace turbosyn

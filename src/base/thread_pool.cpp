@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/check.hpp"
+#include "base/run_budget.hpp"
 
 namespace turbosyn {
 
@@ -60,11 +61,15 @@ std::size_t ThreadPool::run_ranges(Job& job, int lane) {
     for (;;) {
       const std::size_t i = r.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= r.end) break;
-      try {
-        fn(i, lane);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (!job.error) job.error = std::current_exception();
+      // Cooperative cancellation: a fired interrupt skips the work but still
+      // claims and counts the item, so the job drains deterministically.
+      if (job.interrupt == nullptr || !job.interrupt->interrupted()) {
+        try {
+          fn(i, lane);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (!job.error) job.error = std::current_exception();
+        }
       }
       ++completed;
     }
@@ -89,14 +94,18 @@ std::size_t ThreadPool::run_ranges(Job& job, int lane) {
 }
 
 void ThreadPool::for_each(std::size_t n,
-                          const std::function<void(std::size_t, int)>& fn, int max_workers) {
+                          const std::function<void(std::size_t, int)>& fn, int max_workers,
+                          const RunBudget* interrupt) {
   if (n == 0) return;
   std::lock_guard<std::mutex> call_lock(call_mutex_);
   int workers = max_workers <= 0 ? num_workers() : std::min(max_workers, num_workers());
   workers = static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(workers), n - 1));
   const int caller_lane = workers;  // caller takes the lane after the workers
   if (workers == 0) {
-    for (std::size_t i = 0; i < n; ++i) fn(i, caller_lane);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (interrupt != nullptr && interrupt->interrupted()) break;
+      fn(i, caller_lane);
+    }
     return;
   }
 
@@ -118,6 +127,7 @@ void ThreadPool::for_each(std::size_t n,
     job.ranges = ranges_.get();
     job.num_ranges = participants;
     job.remaining = n;
+    job.interrupt = interrupt;
     job_ = &job;
     ++job_seq_;
   }

@@ -28,6 +28,8 @@
 
 namespace turbosyn {
 
+class RunBudget;
+
 class ThreadPool {
  public:
   /// Spawns `num_workers` worker threads (0 = hardware concurrency - 1 but
@@ -46,9 +48,12 @@ class ThreadPool {
   /// can index per-lane scratch arrays with it. The calling thread
   /// participates (its lane is the highest in use). `max_workers` (0 = all)
   /// bounds how many pool workers join in. The first exception thrown by an
-  /// item is rethrown here after every item finished.
+  /// item is rethrown here after every item finished. `interrupt` (optional)
+  /// is polled between items: once it reports cancellation or an expired
+  /// deadline, the remaining items are skipped (still counted, so the job
+  /// drains deterministically and for_each returns promptly).
   void for_each(std::size_t n, const std::function<void(std::size_t item, int lane)>& fn,
-                int max_workers = 0);
+                int max_workers = 0, const RunBudget* interrupt = nullptr);
 
   /// Process-wide shared pool, created on first use and sized so that the
   /// caller plus the workers match the hardware concurrency.
@@ -70,6 +75,7 @@ class ThreadPool {
     std::size_t remaining = 0;  // items not yet completed
     int active_workers = 0;     // workers currently inside run_ranges()
     std::exception_ptr error;
+    const RunBudget* interrupt = nullptr;  // skip items once it fires
   };
 
   void worker_loop(int id);

@@ -18,8 +18,10 @@ std::uint64_t pack3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
 
 }  // namespace
 
-BddManager::BddManager(int num_vars, std::size_t node_budget)
-    : num_vars_(num_vars), node_budget_(std::min(node_budget, kMaxNodes)) {
+BddManager::BddManager(int num_vars, std::size_t node_budget, OnBudget on_budget)
+    : num_vars_(num_vars),
+      node_budget_(std::min(node_budget, kMaxNodes)),
+      on_budget_(on_budget) {
   TS_CHECK(num_vars >= 0 && num_vars <= 63, "BDD variable count out of range");
   nodes_.push_back(Node{num_vars_, 0, 0});  // terminal 0
   nodes_.push_back(Node{num_vars_, 1, 1});  // terminal 1
@@ -30,6 +32,10 @@ BddRef BddManager::make_node(int var, BddRef low, BddRef high) {
   const std::uint64_t key = pack3(low, high, static_cast<std::uint64_t>(var));
   const auto it = unique_.find(key);
   if (it != unique_.end()) return it->second;
+  if (on_budget_ == OnBudget::kSaturate && nodes_.size() >= node_budget_) {
+    exhausted_ = true;
+    return zero();
+  }
   TS_CHECK(nodes_.size() < node_budget_, "BDD node budget exhausted");
   const BddRef ref = static_cast<BddRef>(nodes_.size());
   nodes_.push_back(Node{var, low, high});

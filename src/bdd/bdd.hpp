@@ -24,11 +24,24 @@ using BddRef = std::uint32_t;
 
 class BddManager {
  public:
+  /// Reaction to node-budget exhaustion. kThrow raises turbosyn::Error (the
+  /// right default for verification, where a silently wrong BDD would be
+  /// fatal). kSaturate latches exhausted() and returns the zero terminal for
+  /// every further new node — results are garbage from then on, but callers
+  /// that test exhausted() right after construction can degrade gracefully
+  /// (the decomposition path treats it as "this attempt failed").
+  enum class OnBudget : std::uint8_t { kThrow, kSaturate };
+
   /// num_vars: number of levels; node budget bounds total unique nodes.
-  explicit BddManager(int num_vars, std::size_t node_budget = 1u << 22);
+  explicit BddManager(int num_vars, std::size_t node_budget = 1u << 22,
+                      OnBudget on_budget = OnBudget::kThrow);
 
   int num_vars() const { return num_vars_; }
   std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// True iff the node budget fired in kSaturate mode; results built after
+  /// that point are unusable.
+  bool exhausted() const { return exhausted_; }
 
   BddRef zero() const { return 0; }
   BddRef one() const { return 1; }
@@ -86,6 +99,8 @@ class BddManager {
 
   int num_vars_;
   std::size_t node_budget_;
+  OnBudget on_budget_ = OnBudget::kThrow;
+  bool exhausted_ = false;
   std::vector<Node> nodes_;
   std::unordered_map<std::uint64_t, BddRef> unique_;       // (var, low, high) -> node
   std::unordered_map<std::uint64_t, BddRef> ite_cache_;    // (f, g, h) -> result

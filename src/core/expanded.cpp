@@ -37,6 +37,7 @@ void ExpandedNetwork::build(const Circuit& c, std::span<const int> labels, int p
   height_limit_ = height_limit;
   options_ = options;
   viable_ = true;
+  flow_budget_hit_ = false;
   num_nodes_ = 0;
   // O(1) index clear; on epoch wrap-around the stale stamps must be wiped.
   if (++index_epoch_ == 0) {
@@ -182,8 +183,12 @@ std::optional<std::vector<SeqCutNode>> ExpandedNetwork::find_cut_impl(
     }
   }
 
-  const std::int64_t value = flow_.compute(source, sink, value_limit);
-  if (value > value_limit) return std::nullopt;
+  const std::int64_t value =
+      flow_.compute(source, sink, value_limit, options_.flow_augment_budget);
+  if (value > value_limit) {
+    if (flow_.augment_budget_hit()) flow_budget_hit_ = true;
+    return std::nullopt;
+  }
 
   flow_.min_cut_source_side(cut_side_);
   std::vector<SeqCutNode> cut;

@@ -49,6 +49,9 @@ struct SeqCutNode {
 struct ExpandedOptions {
   int extra_levels = 2;       // expansion past the first allowed frontier
   int node_budget = 20000;    // max E_v nodes per query
+  /// Max augmenting paths per cut test (0 = unlimited); when it fires the
+  /// test conservatively reports "no cut" and flow_budget_hit() is set.
+  std::int64_t flow_augment_budget = 0;
 };
 
 /// The partial flow network of E_v for one (root, height-limit) query.
@@ -71,6 +74,10 @@ class ExpandedNetwork {
   /// False when no cut at this height can exist at all (a source copy was
   /// mandatory, or the node budget was exhausted).
   bool viable() const { return viable_; }
+
+  /// True iff a cut query since the last build() was cut short by the flow
+  /// augmentation budget — its "no cut" answer was imposed, not proven.
+  bool flow_budget_hit() const { return flow_budget_hit_; }
 
   /// Minimum cut with all cut nodes allowed at the height limit and size
   /// <= size_limit; nullopt if none (or !viable()). Sorted, deterministic.
@@ -115,6 +122,7 @@ class ExpandedNetwork {
   int height_limit_ = 0;
   ExpandedOptions options_;
   bool viable_ = true;
+  bool flow_budget_hit_ = false;
 
   // Node store: slots [0, num_nodes_) are live for the current query; the
   // vector is never shrunk, so per-node fanin arrays keep their capacity.

@@ -1,5 +1,6 @@
 #include "core/flows.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "base/check.hpp"
@@ -26,6 +27,26 @@ void accumulate(LabelStats& into, const LabelStats& from) {
   into.cut_tests += from.cut_tests;
   into.decomp_attempts += from.decomp_attempts;
   into.decomp_successes += from.decomp_successes;
+  into.bdd_budget_hits += from.bdd_budget_hits;
+  into.decomp_budget_hits += from.decomp_budget_hits;
+  into.flow_budget_hits += from.flow_budget_hits;
+  into.degraded_nodes.insert(into.degraded_nodes.end(), from.degraded_nodes.begin(),
+                             from.degraded_nodes.end());
+}
+
+bool is_interrupt(Status s) {
+  return s == Status::kDeadlineExceeded || s == Status::kCancelled;
+}
+
+/// Derives the user-facing diagnostics from the accumulated status/stats.
+void fill_diagnostics(FlowResult& result, const Circuit& c) {
+  result.timed_out = is_interrupt(result.status);
+  std::vector<NodeId> nodes = result.stats.degraded_nodes;
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  result.degraded_nodes.clear();
+  result.degraded_nodes.reserve(nodes.size());
+  for (const NodeId v : nodes) result.degraded_nodes.push_back(c.name(v));
 }
 
 /// Packing + metric extraction + optional pipelining/retiming, shared by all
@@ -40,28 +61,46 @@ void finalize(FlowResult& result, const FlowOptions& options, Circuit mapped) {
     // Measure the achievable period on a copy: `mapped` stays un-retimed so
     // it is cycle-accurate equivalent to the input from the all-zero state.
     Circuit pipelined = mapped;
-    const PipelineResult p = pipeline_and_retime(pipelined);
+    const PipelineResult p = pipeline_and_retime(pipelined, 64, &options.budget);
     result.period = p.period;
     result.pipeline_stages = p.stages;
+    result.status = combine_status(result.status, p.status);
   }
   result.mapped = std::move(mapped);
 }
 
+/// Outcome of a ratio search: the best phi proven feasible (when any was),
+/// and the worst status any probe — or the budget itself — reported.
+struct SearchVerdict {
+  int phi = 0;
+  bool have_best = false;
+  Status status = Status::kOk;
+};
+
 /// Binary search for the smallest phi in [1, ub] whose label computation is
-/// feasible; writes the winning labels. `ub` must be feasible. One
+/// feasible; writes the winning labels. `ub` must be feasible (on an
+/// unlimited run; under a budget the search may stop early and report the
+/// best feasible probe so far — or none — with a non-kOk status). One
 /// LabelEngine serves every probe, so all of them share the decomposition
 /// cache and each warm-starts from the nearest previously feasible probe.
 /// `known_ub` (optional): a LabelResult already proven feasible at phi == ub;
 /// the search then starts from it and never re-probes ub.
-int search_min_ratio(const Circuit& c, int ub, const LabelOptions& lopts, LabelResult& best,
-                     LabelStats& stats, const LabelResult* known_ub = nullptr) {
+SearchVerdict search_min_ratio(const Circuit& c, int ub, const LabelOptions& lopts,
+                               LabelResult& best, LabelStats& stats,
+                               const LabelResult* known_ub = nullptr) {
   LabelEngine engine(c, lopts);
+  SearchVerdict verdict;
   int lo = 1;
   int hi = ub;
-  bool have_best = false;
+  const auto interrupted_before_probe = [&] {
+    if (!lopts.budget.interrupted()) return false;
+    verdict.status = combine_status(verdict.status, lopts.budget.check());
+    return true;
+  };
   if (known_ub != nullptr) {
     best = *known_ub;
-    have_best = true;
+    verdict.have_best = true;
+    verdict.status = combine_status(verdict.status, known_ub->status);
     hi = ub - 1;
     // Descending scan instead of bisection. Feasibility is monotone in phi,
     // so both find the same minimum; but each feasible probe warm-starts
@@ -69,34 +108,47 @@ int search_min_ratio(const Circuit& c, int ub, const LabelOptions& lopts, LabelR
     // must run to a divergence certificate — the dominant cost, especially
     // with decomposition, where the isolation early-exit is unsound and
     // disabled. Scanning downward pays for exactly one infeasible probe;
-    // bisection would hit about half of log2(ub) of them.
+    // bisection would hit about half of log2(ub) of them. As a bonus, an
+    // interrupt mid-scan simply keeps the last feasible probe as the
+    // anytime answer.
     while (hi >= lo) {
+      if (interrupted_before_probe()) break;
       LabelResult r = engine.compute(hi);
       accumulate(stats, r.stats);
+      verdict.status = combine_status(verdict.status, r.status);
       TS_DEBUG("phi=" << hi << (r.feasible ? " feasible" : " infeasible") << " sweeps="
                       << r.stats.sweeps);
-      if (!r.feasible) break;
+      if (!r.feasible) break;  // certificate, budget verdict, or interrupt
       best = std::move(r);
       --hi;
     }
-    return hi + 1;
+    verdict.phi = hi + 1;
+    return verdict;
   }
   while (lo <= hi) {
+    if (interrupted_before_probe()) break;
     const int mid = lo + (hi - lo) / 2;
     LabelResult r = engine.compute(mid);
     accumulate(stats, r.stats);
+    verdict.status = combine_status(verdict.status, r.status);
     TS_DEBUG("phi=" << mid << (r.feasible ? " feasible" : " infeasible") << " sweeps="
                     << r.stats.sweeps);
+    if (is_interrupt(r.status)) break;  // labels did not converge: unusable
     if (r.feasible) {
       best = std::move(r);
-      have_best = true;
+      verdict.have_best = true;
       hi = mid - 1;
     } else {
       lo = mid + 1;
     }
   }
-  TS_CHECK(have_best, "upper bound ratio was not feasible");
-  return hi + 1;
+  if (!verdict.have_best) {
+    // Only a budget can make the identity-mapping upper bound "infeasible".
+    TS_CHECK(verdict.status != Status::kOk, "upper bound ratio was not feasible");
+    return verdict;
+  }
+  verdict.phi = hi + 1;
+  return verdict;
 }
 
 FlowResult run_mdr_flow(const Circuit& c, const FlowOptions& options, bool decompose, int ub,
@@ -106,14 +158,27 @@ FlowResult run_mdr_flow(const Circuit& c, const FlowOptions& options, bool decom
   FlowResult result;
   const LabelOptions lopts = options.label_options(decompose);
   LabelResult labels;
-  result.phi = search_min_ratio(c, ub, lopts, labels, result.stats, known_ub);
+  const SearchVerdict verdict = search_min_ratio(c, ub, lopts, labels, result.stats, known_ub);
+  result.status = verdict.status;
   if (out_labels != nullptr) *out_labels = labels;
+  if (!verdict.have_best) {
+    // The run was stopped before any probe converged. The identity mapping
+    // (the K-bounded input itself, one LUT per gate) is always valid, so the
+    // anytime answer is the input network at the search's upper bound.
+    result.phi = ub;
+    finalize(result, options, c);
+    fill_diagnostics(result, c);
+    result.seconds = seconds_since(start);
+    return result;
+  }
+  result.phi = verdict.phi;
   MapGenOptions mopts;
   mopts.label_relaxation = options.label_relaxation;
   mopts.low_cost_cuts = options.low_cost_cuts;
   Circuit mapped =
       generate_sequential_mapping(c, labels, result.phi, lopts, mopts, result.stats);
   finalize(result, options, std::move(mapped));
+  fill_diagnostics(result, c);
   result.seconds = seconds_since(start);
   return result;
 }
@@ -136,7 +201,9 @@ LabelOptions FlowOptions::label_options(bool enable_decomposition) const {
   l.use_pld = use_pld;
   l.use_bdd = use_bdd;
   l.num_threads = num_threads;
+  l.budget = budget;  // copies share state: one budget governs the whole flow
   l.expansion = expansion;
+  l.expansion.flow_augment_budget = budget.flow_augment_budget();
   return l;
 }
 
@@ -153,8 +220,17 @@ FlowResult run_turbosyn(const Circuit& c, const FlowOptions& options) {
   LabelResult ub_labels;
   FlowResult ub_run = run_mdr_flow(c, options, /*decompose=*/false, identity_mapping_ub(c),
                                    /*known_ub=*/nullptr, &ub_labels);
+  if (!ub_labels.feasible) {
+    // The TurboMap stage was stopped before it proved any ratio feasible:
+    // there are no labels to seed the decomposition search, so the anytime
+    // answer is the TurboMap stage's own fallback result.
+    ub_run.seconds = seconds_since(start);
+    return ub_run;
+  }
   FlowResult result = run_mdr_flow(c, options, /*decompose=*/true, ub_run.phi, &ub_labels);
   accumulate(result.stats, ub_run.stats);
+  result.status = combine_status(result.status, ub_run.status);
+  fill_diagnostics(result, c);
   result.seconds = seconds_since(start);
   return result;
 }
@@ -162,6 +238,16 @@ FlowResult run_turbosyn(const Circuit& c, const FlowOptions& options) {
 FlowResult run_flowsyn_s(const Circuit& c, const FlowOptions& options) {
   const auto start = Clock::now();
   FlowResult result;
+  if (options.budget.interrupted()) {
+    // Stopped before the combinational mapping even started: the identity
+    // mapping is the anytime answer, as in the ratio searches.
+    result.status = options.budget.check();
+    finalize(result, options, c);
+    result.phi = static_cast<int>(std::max<std::int64_t>(1, result.exact_mdr.ceil()));
+    fill_diagnostics(result, c);
+    result.seconds = seconds_since(start);
+    return result;
+  }
 
   const SequentialSplit split = split_at_registers(c);
   FlowMapOptions fopts;
@@ -177,6 +263,10 @@ FlowResult run_flowsyn_s(const Circuit& c, const FlowOptions& options) {
   // FlowSYN-s has no ratio search; report the ceiling of the measured MDR,
   // with combinational circuits (MDR 0) reported as their pipelined period 1.
   result.phi = static_cast<int>(std::max<std::int64_t>(1, result.exact_mdr.ceil()));
+  // flowmap() itself is not budget-aware; report a deadline/cancel that fired
+  // during it (the mapping above is still complete and valid).
+  result.status = combine_status(result.status, options.budget.check());
+  fill_diagnostics(result, c);
   result.seconds = seconds_since(start);
   return result;
 }
@@ -195,9 +285,15 @@ FlowResult run_turbomap_period(const Circuit& c, const FlowOptions& options) {
   int lo = 1;
   int hi = ub;
   while (lo <= hi) {
+    if (options.budget.interrupted()) {
+      result.status = combine_status(result.status, options.budget.check());
+      break;
+    }
     const int mid = lo + (hi - lo) / 2;
     LabelResult r = engine.compute(mid);
     accumulate(result.stats, r.stats);
+    result.status = combine_status(result.status, r.status);
+    if (is_interrupt(r.status)) break;  // labels did not converge: unusable
     if (r.feasible && r.max_po_label <= mid) {
       best = std::move(r);
       have_best = true;
@@ -207,20 +303,33 @@ FlowResult run_turbomap_period(const Circuit& c, const FlowOptions& options) {
       lo = mid + 1;
     }
   }
-  TS_CHECK(have_best, "clock-period upper bound was not feasible");
+  FlowOptions no_pipeline = options;
+  no_pipeline.pipeline = false;
+  if (!have_best) {
+    // Only a budget can stop the search before the always-achievable upper
+    // bound is proven; fall back to the identity mapping at that bound.
+    TS_CHECK(result.status != Status::kOk, "clock-period upper bound was not feasible");
+    result.phi = ub;
+    finalize(result, no_pipeline, c);
+    Circuit fallback_retimed = result.mapped;
+    result.period = retime_min_period(fallback_retimed);
+    result.mapped = std::move(fallback_retimed);
+    fill_diagnostics(result, c);
+    result.seconds = seconds_since(start);
+    return result;
+  }
 
   MapGenOptions mopts;
   mopts.label_relaxation = options.label_relaxation;
   mopts.low_cost_cuts = options.low_cost_cuts;
   mopts.po_label_limit = result.phi;
   Circuit mapped = generate_sequential_mapping(c, best, result.phi, lopts, mopts, result.stats);
-  FlowOptions no_pipeline = options;
-  no_pipeline.pipeline = false;
   finalize(result, no_pipeline, std::move(mapped));
   // Clock-period mode: retiming only.
   Circuit retimed = result.mapped;
   result.period = retime_min_period(retimed);
   result.mapped = std::move(retimed);
+  fill_diagnostics(result, c);
   result.seconds = seconds_since(start);
   return result;
 }

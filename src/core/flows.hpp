@@ -15,8 +15,11 @@
 // ratio, and the clock period achieved after pipelining + retiming.
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "base/rational.hpp"
+#include "base/run_budget.hpp"
 #include "core/labeling.hpp"
 #include "core/mapgen.hpp"
 #include "netlist/circuit.hpp"
@@ -36,6 +39,10 @@ struct FlowOptions {
   bool pack = true;              // mpack/flowpack-style packing
   bool pipeline = true;          // post-process with pipelining + retiming
   int num_threads = 0;           // label engine: 0 = hardware, 1 = sequential
+  /// Deadline / cancellation / resource ceilings governing the whole flow.
+  /// Default-constructed = unlimited; an unlimited budget leaves every result
+  /// bit-identical to the budget-free code.
+  RunBudget budget;
   ExpandedOptions expansion;
 
   LabelOptions label_options(bool enable_decomposition) const;
@@ -51,6 +58,18 @@ struct FlowResult {
   int pipeline_stages = 0;
   LabelStats stats;          // accumulated across the binary search
   double seconds = 0.0;      // wall-clock of the whole flow
+  /// kOk: exact run. kDegraded: a resource ceiling altered the computation;
+  /// `mapped` is still a valid, equivalent network but `phi`/`period` may be
+  /// above the true optimum. kDeadlineExceeded / kCancelled: the run was
+  /// interrupted; `mapped` is the best feasible mapping found so far (the
+  /// identity mapping if none completed), still equivalent to the input.
+  Status status = Status::kOk;
+  /// Convenience flag: the run was stopped by a deadline or cancellation
+  /// before the search finished (status is kDeadlineExceeded or kCancelled).
+  bool timed_out = false;
+  /// Deduped names of nodes whose decomposition fell back to the plain K-cut
+  /// label under a resource ceiling (empty on an unlimited run).
+  std::vector<std::string> degraded_nodes;
 };
 
 FlowResult run_turbomap(const Circuit& c, const FlowOptions& options);

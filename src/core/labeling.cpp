@@ -27,6 +27,7 @@ DecompOptions decomp_options(const LabelOptions& options) {
   DecompOptions d;
   d.k = options.k;
   d.use_bdd = options.use_bdd;
+  d.bdd_node_budget = options.budget.bdd_node_budget();
   return d;
 }
 
@@ -53,6 +54,15 @@ std::uint64_t attempt_signature(std::span<const SeqCutNode> cut, std::span<const
 /// an empty realization without re-running the decomposition: the label
 /// iteration only needs the verdict, and mapping generation (which needs the
 /// LUTs) always runs with existence_only = false.
+/// Records v as degraded (fell back to its plain K-cut label under a
+/// resource ceiling). Consecutive duplicates are skipped; full deduping
+/// happens when the run's diagnostics are assembled.
+void record_degraded(LabelStats& stats, NodeId v) {
+  if (stats.degraded_nodes.empty() || stats.degraded_nodes.back() != v) {
+    stats.degraded_nodes.push_back(v);
+  }
+}
+
 std::optional<NodeRealization> try_decomposition(const Circuit& c, std::span<const int> labels,
                                                  int phi, NodeId v, int height,
                                                  const LabelOptions& options, LabelStats& stats,
@@ -60,27 +70,47 @@ std::optional<NodeRealization> try_decomposition(const Circuit& c, std::span<con
                                                  bool existence_only = false) {
   CutScratch local;
   ExpandedNetwork& net = (scratch != nullptr ? *scratch : local).net;
+  bool degraded = false;
   for (int h = 0; h < options.height_span; ++h) {
     net.build(c, labels, phi, v, height - h, options.expansion);
     const auto cut = net.find_cut(options.cmax);
-    if (!cut) break;  // stricter heights only widen the min-cut further
+    if (!cut) {
+      if (net.flow_budget_hit()) {
+        ++stats.flow_budget_hits;
+        degraded = true;
+      }
+      break;  // stricter heights only widen the min-cut further
+    }
     std::vector<int> eff(cut->size());
     for (std::size_t i = 0; i < cut->size(); ++i) {
       eff[i] = labels[static_cast<std::size_t>((*cut)[i].node)] - phi * (*cut)[i].w;
     }
     std::unordered_map<std::uint64_t, bool>* memo = nullptr;
     std::uint64_t key = 0;
+    bool memoized_success = false;
     if (cache != nullptr) {
       memo = &cache->per_node[static_cast<std::size_t>(v)];
       key = attempt_signature(*cut, eff, height);
       if (const auto it = memo->find(key); it != memo->end()) {
         if (!it->second) continue;  // this exact attempt already failed
         if (existence_only) return NodeRealization{};
+        memoized_success = true;  // re-running a known success; exempt from
+                                  // the attempt ceiling so mapping generation
+                                  // can always rebuild what labeling proved
       }
+    }
+    if (!memoized_success && !options.budget.try_consume_decomp_attempt()) {
+      ++stats.decomp_budget_hits;
+      degraded = true;
+      break;  // the ceiling is per-run: further heights would be refused too
     }
     ++stats.decomp_attempts;
     const TruthTable f = net.cut_function(*cut);
     DecompResult d = decompose_for_label(f, eff, height, decomp_options(options));
+    if (d.budget_limited) {
+      ++stats.bdd_budget_hits;
+      if (!d.success) degraded = true;
+    }
     if (memo != nullptr) memo->emplace(key, d.success);
     if (d.success) {
       ++stats.decomp_successes;
@@ -90,6 +120,7 @@ std::optional<NodeRealization> try_decomposition(const Circuit& c, std::span<con
       return r;
     }
   }
+  if (degraded) record_degraded(stats, v);
   return std::nullopt;
 }
 
@@ -112,8 +143,38 @@ std::optional<NodeRealization> realize_node(const Circuit& c, std::span<const in
     r.cut = std::move(*cut);
     return r;
   }
+  const bool budget_hit = net.flow_budget_hit();
+  if (budget_hit) ++stats.flow_budget_hits;
   if (options.enable_decomposition) {
-    return try_decomposition(c, labels, phi, v, height, options, stats, cache, scratch);
+    if (auto d = try_decomposition(c, labels, phi, v, height, options, stats, cache, scratch)) {
+      return d;
+    }
+  }
+  if (budget_hit) {
+    // The cut test was cut short by the augmentation ceiling, so "no cut"
+    // is a budget verdict, not a fact. The trivial fanin cut needs no flow
+    // computation and justifies every label of the form L(v)+1 (the value
+    // the iteration assigns when its own cut tests are starved), so check
+    // it directly: each fanin copy (u, w) must fit under the height limit.
+    std::vector<SeqCutNode> cut;
+    bool fits = true;
+    for (const EdgeId e : c.fanin_edges(v)) {
+      const auto& edge = c.edge(e);
+      const std::int64_t eff =
+          static_cast<std::int64_t>(labels[static_cast<std::size_t>(edge.from)]) -
+          static_cast<std::int64_t>(phi) * edge.weight;
+      if (eff + 1 > height) {
+        fits = false;
+        break;
+      }
+      cut.push_back(SeqCutNode{edge.from, edge.weight});
+    }
+    if (fits && static_cast<int>(cut.size()) <= options.k) {
+      NodeRealization r;
+      r.func = c.function(v);  // defined over the fanins in edge order
+      r.cut = std::move(cut);
+      return r;
+    }
   }
   return std::nullopt;
 }
@@ -135,6 +196,7 @@ int label_update(const Circuit& c, std::span<const int> labels, int phi, NodeId 
   net.build(c, labels, phi, v, target, options.expansion);
   ++stats.cut_tests;
   if (net.find_cut(options.k).has_value()) return std::max(current, target);
+  if (net.flow_budget_hit()) ++stats.flow_budget_hits;
   if (options.enable_decomposition &&
       try_decomposition(c, labels, phi, v, target, options, stats, cache, scratch,
                         /*existence_only=*/true)
@@ -332,33 +394,42 @@ void LabelEngine::merge_worker_stats(LabelStats& into) {
     into.cut_tests += s.cut_tests;
     into.decomp_attempts += s.decomp_attempts;
     into.decomp_successes += s.decomp_successes;
+    into.bdd_budget_hits += s.bdd_budget_hits;
+    into.decomp_budget_hits += s.decomp_budget_hits;
+    into.flow_budget_hits += s.flow_budget_hits;
+    into.degraded_nodes.insert(into.degraded_nodes.end(), s.degraded_nodes.begin(),
+                               s.degraded_nodes.end());
     s = LabelStats{};
   }
 }
 
-bool LabelEngine::process_comp_sequential(int comp, int phi, std::vector<int>& labels,
-                                          LabelStats& stats, CutScratch& scratch,
-                                          std::int64_t sweep_budget) {
+LabelEngine::CompOutcome LabelEngine::process_comp_sequential(int comp, int phi,
+                                                              std::vector<int>& labels,
+                                                              LabelStats& stats,
+                                                              CutScratch& scratch,
+                                                              std::int64_t sweep_budget) {
   const CompPlan& plan = plans_[static_cast<std::size_t>(comp)];
   // PLD: the theorem's 6n bound with n = SCC size. Without PLD: the prior
   // criterion of n^2 iterations with n = circuit size (paper Section 4).
   const std::int64_t n = static_cast<std::int64_t>(plan.gates.size());
   const std::int64_t total = std::max<std::int64_t>(2, c_.num_gates());
-  std::int64_t cap = options_.use_pld ? 6 * n + 2 : total * total;
-  if (sweep_budget > 0) cap = std::min(cap, sweep_budget);
+  const std::int64_t criterion_cap = options_.use_pld ? 6 * n + 2 : total * total;
+  const bool budget_binds = sweep_budget > 0 && sweep_budget < criterion_cap;
+  const std::int64_t cap = budget_binds ? sweep_budget : criterion_cap;
 
   bool isolated_last_sweep = false;
   for (std::int64_t sweep = 0;; ++sweep) {
     ++stats.sweeps;
     bool changed = false;
     for (const NodeId v : plan.gates) {
+      if (options_.budget.interrupted()) return CompOutcome::kInterrupted;
       const int updated = label_update(c_, labels, phi, v, options_, stats, &cache_, &scratch);
       if (updated > labels[static_cast<std::size_t>(v)]) {
         labels[static_cast<std::size_t>(v)] = updated;
         changed = true;
       }
     }
-    if (!changed) return true;  // SCC converged
+    if (!changed) return CompOutcome::kConverged;  // SCC converged
     if (options_.use_pld) {
       // Any feasible fixpoint satisfies l(v) <= sum of delays <= #gates
       // (labels are maxima of path delay minus phi*registers), so a label
@@ -366,7 +437,9 @@ bool LabelEngine::process_comp_sequential(int comp, int phi, std::vector<int>& l
       // Kept inside the PLD package so the no-PLD mode stays a faithful
       // n^2-criterion baseline for the ablation benchmark.
       for (const NodeId v : plan.gates) {
-        if (labels[static_cast<std::size_t>(v)] > c_.num_gates() + 1) return false;
+        if (labels[static_cast<std::size_t>(v)] > c_.num_gates() + 1) {
+          return CompOutcome::kInfeasible;
+        }
       }
       // Early exit: the SCC keeps changing while totally isolated from its
       // support in the predecessor graph on two consecutive sweeps. (A
@@ -382,15 +455,21 @@ bool LabelEngine::process_comp_sequential(int comp, int phi, std::vector<int>& l
         const bool isolated =
             scc_isolated(c_, labels, phi, scc_.components[static_cast<std::size_t>(comp)],
                          scc_.component_of, comp);
-        if (isolated && isolated_last_sweep) return false;  // positive loop
+        if (isolated && isolated_last_sweep) return CompOutcome::kInfeasible;  // positive loop
         isolated_last_sweep = isolated;
       }
     }
-    if (sweep + 1 >= cap) return false;  // stopping criterion reached
+    if (sweep + 1 >= cap) {
+      // Distinguish "the criterion proved divergence" from "the caller's
+      // sweep budget cut the iteration short" — only the former certifies
+      // infeasibility.
+      return budget_binds ? CompOutcome::kBudgetExhausted : CompOutcome::kInfeasible;
+    }
   }
 }
 
-bool LabelEngine::process_comp_parallel(int comp, int phi, LabelResult& result) {
+LabelEngine::CompOutcome LabelEngine::process_comp_parallel(int comp, int phi,
+                                                            LabelResult& result) {
   const CompPlan& plan = plans_[static_cast<std::size_t>(comp)];
   std::vector<int>& labels = result.labels;
   const std::int64_t n = static_cast<std::int64_t>(plan.gates.size());
@@ -424,8 +503,12 @@ bool LabelEngine::process_comp_parallel(int comp, int phi, LabelResult& result) 
                 options_, lane_stats_[static_cast<std::size_t>(lane)], &cache_,
                 &scratch_[static_cast<std::size_t>(lane)]);
           },
-          threads_ - 1);
+          threads_ - 1, &options_.budget);
     }
+    // A fired interrupt leaves some batch slots unwritten (the pool skips
+    // their items), so the whole batch is discarded — labels are monotone
+    // lower bounds, dropping in-flight updates is always safe.
+    if (options_.budget.interrupted()) return false;
     bool changed = false;
     for (std::size_t i = 0; i < bn; ++i) {
       const NodeId v = plan.batch_gates[static_cast<std::size_t>(b.begin) + i];
@@ -441,12 +524,18 @@ bool LabelEngine::process_comp_parallel(int comp, int phi, LabelResult& result) 
   bool isolated_twice = false;
   bool converged = false;
   bool diverged = false;
+  bool interrupted = false;
   for (std::int64_t sweep = 0; sweep < cap; ++sweep) {
     ++lane_stats_[static_cast<std::size_t>(caller_lane_)].sweeps;
     bool changed = false;
     for (const Batch& b : plan.batches) {
       if (run_batch(b)) changed = true;
+      if (options_.budget.interrupted()) {
+        interrupted = true;
+        break;
+      }
     }
+    if (interrupted) break;
     if (!changed) {
       converged = true;
       break;
@@ -477,10 +566,15 @@ bool LabelEngine::process_comp_parallel(int comp, int phi, LabelResult& result) 
   }
   merge_worker_stats(result.stats);
 
-  if (converged) return true;
-  if (diverged) return false;
-  if (budget_binds && !isolated_twice) return false;  // sweep budget exhausted
-  if (!options_.use_pld) return false;  // the n^2 bound holds for any fair sweep order
+  if (interrupted) return CompOutcome::kInterrupted;
+  if (converged) return CompOutcome::kConverged;
+  if (diverged) return CompOutcome::kInfeasible;
+  if (budget_binds && !isolated_twice) {
+    return CompOutcome::kBudgetExhausted;  // sweep budget, not a certificate
+  }
+  if (!options_.use_pld) {
+    return CompOutcome::kInfeasible;  // the n^2 bound holds for any fair sweep order
+  }
   // The 6n cap and the isolation criterion are proven for the sequential
   // sweep order; re-run that exact order from the current labels (valid
   // lower bounds, so the least fixpoint is unchanged) to settle the verdict.
@@ -494,6 +588,23 @@ LabelResult LabelEngine::compute(int phi) {
   TS_CHECK(phi >= 1, "target ratio must be >= 1");
 
   LabelResult result;
+  // Stamps result.status before any exit: the outcome of the deciding
+  // component, plus kDegraded whenever a resource ceiling interfered
+  // anywhere (which also demotes an infeasible verdict from certificate to
+  // budget-imposed — see LabelResult::status).
+  const auto finish = [&](CompOutcome out) {
+    if (out == CompOutcome::kInterrupted) {
+      const Status s = options_.budget.check();
+      result.status = combine_status(result.status, s == Status::kOk ? Status::kCancelled : s);
+    } else if (out == CompOutcome::kBudgetExhausted) {
+      result.status = combine_status(result.status, Status::kDegraded);
+    }
+    if (result.stats.bdd_budget_hits + result.stats.decomp_budget_hits +
+            result.stats.flow_budget_hits >
+        0) {
+      result.status = combine_status(result.status, Status::kDegraded);
+    }
+  };
   // Warm start: labels are antitone in phi, so the converged labels of the
   // nearest previously feasible phi' >= phi are valid lower bounds for this
   // probe and the monotone iteration reaches the same least fixpoint. That
@@ -521,16 +632,37 @@ LabelResult LabelEngine::compute(int phi) {
   if (threads_ == 1) {
     for (int comp = 0; comp < static_cast<int>(scc_.components.size()); ++comp) {
       if (plans_[static_cast<std::size_t>(comp)].gates.empty()) continue;
-      if (!process_comp_sequential(comp, phi, result.labels, result.stats, scratch_[0],
-                                   options_.sweep_budget)) {
+      const CompOutcome out = process_comp_sequential(comp, phi, result.labels, result.stats,
+                                                      scratch_[0], options_.sweep_budget);
+      if (out != CompOutcome::kConverged) {
+        finish(out);
         return result;
       }
     }
   } else {
     ThreadPool& pool = ThreadPool::global();
+    // A certified diverging SCC decides the verdict no matter what happened
+    // elsewhere; an interrupt beats a budget-imposed stop for the status.
+    const auto rank = [](CompOutcome o) {
+      switch (o) {
+        case CompOutcome::kInfeasible:
+          return 3;
+        case CompOutcome::kInterrupted:
+          return 2;
+        case CompOutcome::kBudgetExhausted:
+          return 1;
+        case CompOutcome::kConverged:
+          break;
+      }
+      return 0;
+    };
     for (const std::vector<int>& wave : waves_) {
       if (wave.size() == 1) {
-        if (!process_comp_parallel(wave[0], phi, result)) return result;
+        const CompOutcome out = process_comp_parallel(wave[0], phi, result);
+        if (out != CompOutcome::kConverged) {
+          finish(out);
+          return result;
+        }
         continue;
       }
       // Components of one wavefront are mutually independent (no condensation
@@ -539,22 +671,27 @@ LabelResult LabelEngine::compute(int phi) {
       // own component's labels, and every external read is a frozen earlier
       // wave. The whole wave runs to completion before feasibility is
       // checked — no cross-thread aborts, so the outcome is deterministic.
-      std::vector<char> comp_feasible(wave.size(), 1);
+      // (A fired interrupt skips unstarted components; their slots keep the
+      // kInterrupted initializer.)
+      std::vector<CompOutcome> outcomes(wave.size(), CompOutcome::kInterrupted);
       pool.for_each(
           wave.size(),
           [&](std::size_t i, int lane) {
-            comp_feasible[i] =
+            outcomes[i] =
                 process_comp_sequential(wave[i], phi, result.labels,
                                         lane_stats_[static_cast<std::size_t>(lane)],
                                         scratch_[static_cast<std::size_t>(lane)],
-                                        options_.sweep_budget)
-                    ? 1
-                    : 0;
+                                        options_.sweep_budget);
           },
-          threads_ - 1);
+          threads_ - 1, &options_.budget);
       merge_worker_stats(result.stats);
-      for (const char ok : comp_feasible) {
-        if (!ok) return result;
+      CompOutcome worst = CompOutcome::kConverged;
+      for (const CompOutcome out : outcomes) {
+        if (rank(out) > rank(worst)) worst = out;
+      }
+      if (worst != CompOutcome::kConverged) {
+        finish(worst);
+        return result;
       }
     }
   }
@@ -567,7 +704,10 @@ LabelResult LabelEngine::compute(int phi) {
     result.max_po_label =
         std::max(result.max_po_label, result.labels[static_cast<std::size_t>(po)]);
   }
-  if (warm_ok) warm_[phi] = result.labels;
+  finish(CompOutcome::kConverged);
+  // Degraded labels are valid for this probe but not proven least-fixpoint
+  // lower bounds, so only clean probes seed future warm starts.
+  if (warm_ok && result.status == Status::kOk) warm_[phi] = result.labels;
   return result;
 }
 

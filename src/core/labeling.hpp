@@ -33,6 +33,7 @@
 #include <map>
 #include <vector>
 
+#include "base/run_budget.hpp"
 #include "core/expanded.hpp"
 #include "decomp/roth_karp.hpp"
 #include "graph/scc.hpp"
@@ -49,11 +50,16 @@ struct LabelOptions {
   bool use_bdd = true;                // decomposition multiplicity engine
   /// Extra cap on per-SCC sweeps (0 = only the criterion's own bound). Used
   /// by the PLD ablation bench to bound the n^2 baseline's runtime; when the
-  /// cap fires the result is reported as infeasible.
+  /// cap fires the result reports infeasible with Status::kDegraded (a
+  /// budget verdict, not an infeasibility certificate).
   std::int64_t sweep_budget = 0;
   /// Concurrency of the label engine: 0 = hardware concurrency, 1 = the
   /// sequential legacy sweep order, N > 1 = at most N concurrent updates.
   int num_threads = 0;
+  /// Deadline / cancellation / resource ceilings; default is unlimited, and
+  /// an unlimited budget leaves results bit-identical to the budget-free
+  /// code. Copies share state, so the same budget governs the whole run.
+  RunBudget budget;
   ExpandedOptions expansion;
 };
 
@@ -63,13 +69,29 @@ struct LabelStats {
   std::int64_t cut_tests = 0;        // flow-based K-cut existence tests
   std::int64_t decomp_attempts = 0;  // resynthesis attempts
   std::int64_t decomp_successes = 0;
+  // Budget interference counters (all zero on an unlimited run).
+  std::int64_t bdd_budget_hits = 0;     // attempts cut short by the BDD node ceiling
+  std::int64_t decomp_budget_hits = 0;  // attempts refused by the attempt ceiling
+  std::int64_t flow_budget_hits = 0;    // cut tests cut short by the augmentation ceiling
+  /// Nodes whose decomposition was abandoned under a resource ceiling, i.e.
+  /// the nodes that fell back to their plain K-cut label (sound, possibly
+  /// weaker). May contain repeats across sweeps; dedupe before reporting.
+  std::vector<NodeId> degraded_nodes;
 };
 
 struct LabelResult {
-  /// True iff no positive loop: a mapping with MDR ratio <= phi exists.
+  /// True iff the iteration converged: a mapping with MDR ratio <= phi
+  /// exists. When false, `status` tells whether that verdict is a genuine
+  /// infeasibility certificate (kOk) or budget-imposed (anything else).
   bool feasible = false;
   std::vector<int> labels;  // per node; meaningful when feasible
   int max_po_label = 0;     // for the clock-period (no pipelining) check
+  /// kOk: exact. kDegraded: a resource ceiling (sweep/BDD/decomposition/
+  /// flow budget) altered the computation — feasible results are still valid
+  /// mappings, infeasible verdicts are no longer certificates.
+  /// kDeadlineExceeded / kCancelled: the run was interrupted; labels did not
+  /// converge and must not be used for mapping generation.
+  Status status = Status::kOk;
   LabelStats stats;
 };
 
@@ -107,9 +129,14 @@ class LabelEngine {
     std::vector<Batch> batches;       // one per zero-weight level
   };
 
-  bool process_comp_sequential(int comp, int phi, std::vector<int>& labels, LabelStats& stats,
-                               CutScratch& scratch, std::int64_t sweep_budget);
-  bool process_comp_parallel(int comp, int phi, LabelResult& result);
+  /// Verdict of one SCC's iteration. kInfeasible is a divergence certificate
+  /// only when no resource ceiling interfered (tracked via LabelStats).
+  enum class CompOutcome { kConverged, kInfeasible, kBudgetExhausted, kInterrupted };
+
+  CompOutcome process_comp_sequential(int comp, int phi, std::vector<int>& labels,
+                                      LabelStats& stats, CutScratch& scratch,
+                                      std::int64_t sweep_budget);
+  CompOutcome process_comp_parallel(int comp, int phi, LabelResult& result);
   void merge_worker_stats(LabelStats& into);
 
   const Circuit& c_;

@@ -78,23 +78,44 @@ class Generator {
       queue_.pop_front();
       pending_.erase(v);
       if (chosen_.count(v)) continue;
-      install(v, base_realization(v), labels_.labels[static_cast<std::size_t>(v)]);
+      BaseReal base = base_realization(v);
+      install(v, std::move(base.real), base.height);
     }
   }
 
-  NodeRealization base_realization(NodeId v) {
+  struct BaseReal {
+    NodeRealization real;
+    int height = 0;
+  };
+
+  BaseReal base_realization(NodeId v) {
     const std::function<bool(const SeqCutNode&)> shared = [this](const SeqCutNode& n) {
       return used_inputs_.count((static_cast<std::uint64_t>(
                                      static_cast<std::uint32_t>(n.node))
                                  << 24) |
                                 static_cast<std::uint32_t>(n.w)) != 0;
     };
-    auto real = realize_node(c_, labels_.labels, phi_, v,
-                             labels_.labels[static_cast<std::size_t>(v)], lopts_, stats_,
-                             nullptr, opts_.low_cost_cuts ? &shared : nullptr, &scratch_);
+    const int label = labels_.labels[static_cast<std::size_t>(v)];
+    int height = label;
+    auto real = realize_node(c_, labels_.labels, phi_, v, height, lopts_, stats_, nullptr,
+                             opts_.low_cost_cuts ? &shared : nullptr, &scratch_);
+    if (!real.has_value() && lopts_.budget.limited()) {
+      // A resource ceiling can make the realization that justified this label
+      // during labeling unavailable now (the BDD/flow/attempt budget fires at
+      // a different point of a different traversal). Climb the height until
+      // something is realizable — the trivial fanin cut guarantees success
+      // within num_gates extra levels, and any height is structurally valid
+      // (just possibly slower).
+      const int cap = label + c_.num_gates() + 2;
+      while (!real.has_value() && height < cap) {
+        ++height;
+        real = realize_node(c_, labels_.labels, phi_, v, height, lopts_, stats_, nullptr,
+                            opts_.low_cost_cuts ? &shared : nullptr, &scratch_);
+      }
+    }
     TS_CHECK(real.has_value(), "converged labels must be realizable at node '" << c_.name(v)
                                                                                << "'");
-    return std::move(*real);
+    return BaseReal{std::move(*real), height};
   }
 
   void install(NodeId v, NodeRealization real, int height) {
@@ -172,7 +193,8 @@ class Generator {
         const auto it = allowed.find(v);
         const int a = it == allowed.end() ? std::numeric_limits<int>::max() : it->second;
         if (ch.height > a) {
-          install(v, base_realization(v), labels_.labels[static_cast<std::size_t>(v)]);
+          BaseReal base = base_realization(v);
+          install(v, std::move(base.real), base.height);
           reverted = true;
         }
       }
@@ -186,7 +208,8 @@ class Generator {
       all.push_back(v);
     }
     for (const NodeId v : all) {
-      install(v, base_realization(v), labels_.labels[static_cast<std::size_t>(v)]);
+      BaseReal base = base_realization(v);
+      install(v, std::move(base.real), base.height);
     }
     drain_queue();
   }

@@ -19,11 +19,22 @@ struct ClassInfo {
   std::size_t multiplicity = 0;
   std::vector<std::uint32_t> code_of;   // size 2^boundary
   std::vector<TruthTable> class_tt;     // size multiplicity
+  bool budget_exhausted = false;        // BDD node budget fired; info unusable
 };
 
-ClassInfo classify_bdd(const TruthTable& f, int boundary) {
-  BddManager mgr(f.num_vars());
+ClassInfo classify_bdd(const TruthTable& f, int boundary, std::size_t bdd_node_budget) {
+  // With a caller-imposed node ceiling the manager saturates instead of
+  // throwing; the only node-creating call is from_truth_table, so testing
+  // exhausted() right after it decides whether the classification is valid.
+  BddManager mgr(f.num_vars(), bdd_node_budget > 0 ? bdd_node_budget : (std::size_t{1} << 22),
+                 bdd_node_budget > 0 ? BddManager::OnBudget::kSaturate
+                                     : BddManager::OnBudget::kThrow);
   const BddRef root = mgr.from_truth_table(f);
+  if (mgr.exhausted()) {
+    ClassInfo info;
+    info.budget_exhausted = true;
+    return info;
+  }
   const std::vector<BddRef> classes = mgr.boundary_cofactors(root, boundary);
   std::map<BddRef, std::uint32_t> index_of;
   for (std::size_t i = 0; i < classes.size(); ++i) {
@@ -80,7 +91,7 @@ struct Signal {
 }  // namespace
 
 std::size_t column_multiplicity_bdd(const TruthTable& f, int boundary) {
-  return classify_bdd(f, boundary).multiplicity;
+  return classify_bdd(f, boundary, /*bdd_node_budget=*/0).multiplicity;
 }
 
 std::size_t column_multiplicity_tt(const TruthTable& f, int boundary) {
@@ -136,6 +147,7 @@ class DecompSearch {
   }
 
   int achieved() const { return achieved_; }
+  bool budget_limited() const { return budget_limited_; }
 
  private:
   bool try_step(const TruthTable& f, const std::vector<Signal>& signals,
@@ -159,8 +171,13 @@ class DecompSearch {
     }
     const TruthTable reordered = f.remap(m, var_map);
 
-    const ClassInfo info =
-        options_.use_bdd ? classify_bdd(reordered, b) : classify_tt(reordered, b);
+    const ClassInfo info = options_.use_bdd
+                               ? classify_bdd(reordered, b, options_.bdd_node_budget)
+                               : classify_tt(reordered, b);
+    if (info.budget_exhausted) {
+      budget_limited_ = true;
+      return false;  // could not even classify: treat as no compression
+    }
     const int t = std::max(1, ceil_log2(info.multiplicity));
     if (t >= b) return false;  // no compression from this bound set
 
@@ -206,6 +223,7 @@ class DecompSearch {
   const DecompOptions& options_;
   int attempts_left_;
   int achieved_ = 0;
+  bool budget_limited_ = false;
 };
 
 }  // namespace
@@ -237,6 +255,7 @@ DecompResult decompose_for_label(const TruthTable& f, std::span<const int> eff_l
   DecompSearch search(target_label, options);
   result.success = search.solve(current, std::move(signals), result.luts);
   result.achieved_label = search.achieved();
+  result.budget_limited = search.budget_limited();
   if (!result.success) result.luts.clear();
   return result;
 }

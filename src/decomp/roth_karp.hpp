@@ -48,12 +48,20 @@ struct DecompResult {
   /// max over inputs of (eff_label(i) + LUT levels from i to root);
   /// meaningful only on success.
   int achieved_label = 0;
+  /// True iff at least one Roth–Karp step was abandoned because the BDD node
+  /// budget fired; a failure with this flag set is not a proof that no
+  /// decomposition exists.
+  bool budget_limited = false;
 };
 
 struct DecompOptions {
   int k = 5;               // LUT input count
   bool use_bdd = true;     // mu via OBDD (paper); false = truth-table engine
   int max_attempts = 64;   // bound-set selection attempts per round
+  /// BDD node ceiling per classification (0 = the manager's default). When
+  /// it fires, that bound set is treated as offering no compression and the
+  /// result is marked budget_limited instead of throwing.
+  std::size_t bdd_node_budget = 0;
 };
 
 /// Attempts to realize f as a DAG of K-LUTs meeting `target_label`.

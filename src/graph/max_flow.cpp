@@ -64,17 +64,25 @@ std::int64_t MaxFlow::push(int v, int sink, std::int64_t budget) {
   return 0;
 }
 
-std::int64_t MaxFlow::compute(int source, int sink, std::int64_t limit) {
+std::int64_t MaxFlow::compute(int source, int sink, std::int64_t limit,
+                              std::int64_t augment_budget) {
   TS_CHECK(source != sink, "source and sink must differ");
   TS_CHECK(source_ == -1, "compute() may only be called once");
   source_ = source;
   sink_ = sink;
   std::int64_t flow = 0;
+  std::int64_t augments = 0;
   while (build_levels(source, sink)) {
     iter_ = head_;
     while (std::int64_t sent = push(source, sink, kInfinity)) {
       flow += sent;
       if (flow > limit) return flow;
+      if (augment_budget > 0 && ++augments >= augment_budget) {
+        // Give up: report "exceeds the limit" so the caller sees no cut. The
+        // verdict is conservative, not proven — see augment_budget_hit().
+        augment_budget_hit_ = true;
+        return limit + 1;
+      }
     }
   }
   return flow;
@@ -87,6 +95,7 @@ void MaxFlow::reset() {
   iter_.clear();
   source_ = -1;
   sink_ = -1;
+  augment_budget_hit_ = false;
 }
 
 std::vector<bool> MaxFlow::min_cut_source_side() const {

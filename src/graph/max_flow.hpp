@@ -28,7 +28,15 @@ class MaxFlow {
   /// Runs Dinic from source to sink. Stops early (returning a value > limit)
   /// once the flow strictly exceeds `limit`; pass kInfinity for an exact
   /// max-flow. Can be called once per instance (or once per reset()).
-  std::int64_t compute(int source, int sink, std::int64_t limit = kInfinity);
+  /// `augment_budget` (0 = unlimited) bounds the number of augmenting paths;
+  /// when it fires, compute() gives up and returns limit + 1 — callers see a
+  /// conservative "flow exceeds the limit" (no cut) and augment_budget_hit()
+  /// reports that the verdict was budget-imposed rather than proven.
+  std::int64_t compute(int source, int sink, std::int64_t limit = kInfinity,
+                       std::int64_t augment_budget = 0);
+
+  /// True iff the last compute() was cut short by its augmentation budget.
+  bool augment_budget_hit() const { return augment_budget_hit_; }
 
   /// Clears the network (nodes, arcs, flow state) but keeps every buffer's
   /// capacity, so a reused instance reaches a zero-allocation steady state.
@@ -57,6 +65,7 @@ class MaxFlow {
   std::vector<int> iter_;     // current-arc optimization
   int source_ = -1;
   int sink_ = -1;
+  bool augment_budget_hit_ = false;
 };
 
 }  // namespace turbosyn

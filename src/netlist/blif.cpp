@@ -20,45 +20,65 @@ std::vector<std::string> tokenize(const std::string& line) {
   return tokens;
 }
 
+/// A named signal together with the line of the directive that mentioned it.
+struct SignalRef {
+  std::string name;
+  int line = 0;
+};
+
 /// One .names block: output signal, input signals, cover rows.
 struct CoverBlock {
   std::string output;
   std::vector<std::string> inputs;
-  std::vector<std::pair<std::string, char>> rows;  // (input plane, output bit)
+  struct Row {
+    std::string plane;  // input plane ('0'/'1'/'-')
+    char bit = '1';     // output bit
+    int line = 0;
+  };
+  std::vector<Row> rows;
+  int line = 0;  // line of the .names directive
 };
 
 struct LatchDef {
   std::string input;
   std::string output;
+  int line = 0;
 };
 
 /// Builds a truth table from an SOP cover. All rows must share the output
 /// polarity (as SIS writes them); a '0' output plane complements the OR.
-TruthTable cover_to_truth_table(const CoverBlock& block) {
+/// `src` names the input for "source:line:" diagnostics.
+TruthTable cover_to_truth_table(const CoverBlock& block, const std::string& src) {
   const int arity = static_cast<int>(block.inputs.size());
   TS_CHECK(arity <= TruthTable::kMaxVars,
-           ".names '" << block.output << "' has " << arity << " inputs (max "
-                      << TruthTable::kMaxVars << ")");
+           src << ':' << block.line << ": .names '" << block.output << "' has " << arity
+               << " inputs (max " << TruthTable::kMaxVars << ")");
   TruthTable sum = TruthTable::constant(arity, false);
   char polarity = '1';
   bool polarity_set = false;
-  for (const auto& [plane, out_bit] : block.rows) {
-    TS_CHECK(static_cast<int>(plane.size()) == arity,
-             ".names '" << block.output << "': cover row width mismatch");
-    TS_CHECK(out_bit == '0' || out_bit == '1', "invalid cover output bit");
+  for (const auto& row : block.rows) {
+    TS_CHECK(static_cast<int>(row.plane.size()) == arity,
+             src << ':' << row.line << ": .names '" << block.output
+                 << "': cover row width mismatch (" << row.plane.size() << " columns for "
+                 << arity << " inputs)");
+    TS_CHECK(row.bit == '0' || row.bit == '1',
+             src << ':' << row.line << ": invalid cover output bit '" << row.bit << "'");
     if (!polarity_set) {
-      polarity = out_bit;
+      polarity = row.bit;
       polarity_set = true;
     }
-    TS_CHECK(out_bit == polarity, ".names '" << block.output << "': mixed output polarities");
+    TS_CHECK(row.bit == polarity, src << ':' << row.line << ": .names '" << block.output
+                                      << "': mixed output polarities");
     TruthTable product = TruthTable::constant(arity, true);
     for (int i = 0; i < arity; ++i) {
-      if (plane[static_cast<std::size_t>(i)] == '1') {
+      if (row.plane[static_cast<std::size_t>(i)] == '1') {
         product = product & TruthTable::var(arity, i);
-      } else if (plane[static_cast<std::size_t>(i)] == '0') {
+      } else if (row.plane[static_cast<std::size_t>(i)] == '0') {
         product = product & ~TruthTable::var(arity, i);
       } else {
-        TS_CHECK(plane[static_cast<std::size_t>(i)] == '-', "invalid cover input character");
+        TS_CHECK(row.plane[static_cast<std::size_t>(i)] == '-',
+                 src << ':' << row.line << ": invalid cover input character '"
+                     << row.plane[static_cast<std::size_t>(i)] << "'");
       }
     }
     sum = sum | product;
@@ -69,7 +89,7 @@ TruthTable cover_to_truth_table(const CoverBlock& block) {
 
 class BlifParser {
  public:
-  explicit BlifParser(std::istream& in) : in_(in) {}
+  BlifParser(std::istream& in, std::string source) : in_(in), src_(std::move(source)) {}
 
   Circuit parse() {
     read_sections();
@@ -77,32 +97,42 @@ class BlifParser {
   }
 
  private:
+  /// "source:line: " prefix for diagnostics anchored at `line`.
+  std::string at(int line) const { return src_ + ':' + std::to_string(line) + ": "; }
+
   void read_sections() {
     std::string line;
     std::string pending;
+    int pending_start = 0;  // line where the current continuation began
+    int line_no = 0;
     bool done = false;
     while (!done && std::getline(in_, line)) {
+      ++line_no;
       // Strip comments and handle '\' continuations.
       if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
       if (!line.empty() && line.back() == '\\') {
+        if (pending.empty()) pending_start = line_no;
         line.pop_back();
         pending += line + ' ';
         continue;
       }
+      // A construct is reported at the line it started on.
+      const int at_line = pending.empty() ? line_no : pending_start;
       line = pending + line;
       pending.clear();
       const auto tokens = tokenize(line);
       if (tokens.empty()) continue;
       const std::string& head = tokens[0];
       if (head[0] != '.') {
-        TS_CHECK(current_cover_ != nullptr, "cover row outside a .names block");
+        TS_CHECK(current_cover_ != nullptr, at(at_line) << "cover row outside a .names block");
         if (tokens.size() == 1) {
           // Constant function: single output column.
-          TS_CHECK(current_cover_->inputs.empty(), "cover row missing input plane");
-          current_cover_->rows.emplace_back("", tokens[0][0]);
+          TS_CHECK(current_cover_->inputs.empty(),
+                   at(at_line) << "cover row missing input plane");
+          current_cover_->rows.push_back({"", tokens[0][0], at_line});
         } else {
-          TS_CHECK(tokens.size() == 2, "cover row must be '<plane> <bit>'");
-          current_cover_->rows.emplace_back(tokens[0], tokens[1][0]);
+          TS_CHECK(tokens.size() == 2, at(at_line) << "cover row must be '<plane> <bit>'");
+          current_cover_->rows.push_back({tokens[0], tokens[1][0], at_line});
         }
         continue;
       }
@@ -110,32 +140,45 @@ class BlifParser {
       if (head == ".model") {
         // Model name ignored (single-model files only).
       } else if (head == ".inputs") {
-        inputs_.insert(inputs_.end(), tokens.begin() + 1, tokens.end());
+        for (auto it = tokens.begin() + 1; it != tokens.end(); ++it) {
+          inputs_.push_back({*it, at_line});
+        }
       } else if (head == ".outputs") {
-        outputs_.insert(outputs_.end(), tokens.begin() + 1, tokens.end());
+        for (auto it = tokens.begin() + 1; it != tokens.end(); ++it) {
+          outputs_.push_back({*it, at_line});
+        }
       } else if (head == ".names") {
-        TS_CHECK(tokens.size() >= 2, ".names requires at least an output");
+        TS_CHECK(tokens.size() >= 2, at(at_line) << ".names requires at least an output");
         CoverBlock block;
         block.output = tokens.back();
         block.inputs.assign(tokens.begin() + 1, tokens.end() - 1);
+        block.line = at_line;
         covers_.push_back(std::move(block));
         current_cover_ = &covers_.back();
       } else if (head == ".latch") {
-        TS_CHECK(tokens.size() >= 3, ".latch requires input and output");
-        latches_.push_back(LatchDef{tokens[1], tokens[2]});
+        TS_CHECK(tokens.size() >= 3, at(at_line) << ".latch requires input and output");
+        latches_.push_back(LatchDef{tokens[1], tokens[2], at_line});
       } else if (head == ".end") {
         done = true;
       } else {
-        TS_CHECK(false, "unsupported BLIF construct '" << head << "'");
+        TS_CHECK(false, at(at_line) << "unsupported BLIF construct '" << head << "'");
       }
     }
-    TS_CHECK(pending.empty(), "dangling line continuation at end of file");
+    TS_CHECK(pending.empty(), at(pending_start) << "dangling line continuation at end of file");
+    // Nothing but whitespace and comments may follow .end: silently ignoring
+    // content there hides concatenated models and truncation artifacts.
+    while (std::getline(in_, line)) {
+      ++line_no;
+      if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+      TS_CHECK(tokenize(line).empty(), at(line_no) << "trailing garbage after .end");
+    }
   }
 
   /// Resolves a signal name to its combinational driver node plus the number
   /// of latches between driver and the named signal (latch chains collapse
-  /// into the returned edge weight).
-  Circuit::FaninSpec resolve(const Circuit& c, const std::string& signal) const {
+  /// into the returned edge weight). `line` anchors diagnostics at the
+  /// directive that referenced the signal.
+  Circuit::FaninSpec resolve(const Circuit& c, const std::string& signal, int line) const {
     std::string target = signal;
     int weight = 0;
     while (true) {
@@ -143,11 +186,11 @@ class BlifParser {
       if (it == latch_by_output_.end()) break;
       ++weight;
       TS_CHECK(weight <= static_cast<int>(latches_.size()),
-               "latch loop without combinational driver at '" << signal << "'");
+               at(line) << "latch loop without combinational driver at '" << signal << "'");
       target = it->second->input;
     }
     const NodeId v = c.find(target);
-    TS_CHECK(v != kNoNode, "undriven signal '" << target << "'");
+    TS_CHECK(v != kNoNode, at(line) << "undriven signal '" << target << "'");
     return Circuit::FaninSpec{v, weight};
   }
 
@@ -156,37 +199,42 @@ class BlifParser {
     std::unordered_set<std::string> driven;
     for (const auto& latch : latches_) {
       TS_CHECK(driven.insert(latch.output).second,
-               "signal '" << latch.output << "' driven more than once");
+               at(latch.line) << "signal '" << latch.output << "' driven more than once");
       latch_by_output_.emplace(latch.output, &latch);
     }
-    for (const std::string& name : inputs_) {
-      TS_CHECK(driven.insert(name).second, "signal '" << name << "' driven more than once");
-      c.add_pi(name);
+    for (const SignalRef& in : inputs_) {
+      TS_CHECK(driven.insert(in.name).second,
+               at(in.line) << "signal '" << in.name << "' driven more than once");
+      c.add_pi(in.name);
     }
     // Declare all gates first (sequential loops make any bottom-up order
     // impossible), then attach covers and finally the POs.
     std::vector<NodeId> gate_of(covers_.size());
     for (std::size_t i = 0; i < covers_.size(); ++i) {
       TS_CHECK(driven.insert(covers_[i].output).second,
-               "signal '" << covers_[i].output << "' driven more than once");
+               at(covers_[i].line)
+                   << "signal '" << covers_[i].output << "' driven more than once");
       gate_of[i] = c.declare_gate(covers_[i].output);
     }
     for (std::size_t i = 0; i < covers_.size(); ++i) {
       std::vector<Circuit::FaninSpec> fanins;
       fanins.reserve(covers_[i].inputs.size());
-      for (const std::string& in : covers_[i].inputs) fanins.push_back(resolve(c, in));
-      c.finish_gate(gate_of[i], cover_to_truth_table(covers_[i]), fanins);
+      for (const std::string& in : covers_[i].inputs) {
+        fanins.push_back(resolve(c, in, covers_[i].line));
+      }
+      c.finish_gate(gate_of[i], cover_to_truth_table(covers_[i], src_), fanins);
     }
-    for (const std::string& name : outputs_) {
-      c.add_po(std::string(kPoPrefix) + name, resolve(c, name));
+    for (const SignalRef& out : outputs_) {
+      c.add_po(std::string(kPoPrefix) + out.name, resolve(c, out.name, out.line));
     }
     c.validate();
     return c;
   }
 
   std::istream& in_;
-  std::vector<std::string> inputs_;
-  std::vector<std::string> outputs_;
+  std::string src_;
+  std::vector<SignalRef> inputs_;
+  std::vector<SignalRef> outputs_;
   std::vector<CoverBlock> covers_;
   std::vector<LatchDef> latches_;
   CoverBlock* current_cover_ = nullptr;
@@ -202,17 +250,19 @@ std::string po_display_name(const Circuit& c, NodeId po) {
   return n;
 }
 
-Circuit read_blif(std::istream& in) { return BlifParser(in).parse(); }
+Circuit read_blif(std::istream& in, const std::string& source_name) {
+  return BlifParser(in, source_name).parse();
+}
 
-Circuit read_blif_string(const std::string& text) {
+Circuit read_blif_string(const std::string& text, const std::string& source_name) {
   std::istringstream is(text);
-  return read_blif(is);
+  return read_blif(is, source_name);
 }
 
 Circuit read_blif_file(const std::string& path) {
   std::ifstream f(path);
   TS_CHECK(f.good(), "cannot open BLIF file '" << path << "'");
-  return read_blif(f);
+  return read_blif(f, path);
 }
 
 void write_blif(const Circuit& c, std::ostream& out, const std::string& model_name) {

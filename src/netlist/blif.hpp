@@ -21,9 +21,11 @@ inline constexpr const char* kPoPrefix = "$po:";
 std::string po_display_name(const Circuit& c, NodeId po);
 
 /// Parses a BLIF model into a Circuit. Throws turbosyn::Error on malformed
-/// input (unknown signals, duplicate drivers, combinational loops, ...).
-Circuit read_blif(std::istream& in);
-Circuit read_blif_string(const std::string& text);
+/// input (unknown signals, duplicate drivers, combinational loops, trailing
+/// garbage after .end, ...); diagnostics carry "source:line:" context, with
+/// `source_name` (the file path for read_blif_file) naming the input.
+Circuit read_blif(std::istream& in, const std::string& source_name = "<blif>");
+Circuit read_blif_string(const std::string& text, const std::string& source_name = "<blif>");
 Circuit read_blif_file(const std::string& path);
 
 /// Serializes the circuit as BLIF; edge weights are expanded into latch

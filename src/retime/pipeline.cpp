@@ -28,7 +28,7 @@ void pipeline_outputs(Circuit& c, int stages) {
   }
 }
 
-PipelineResult pipeline_and_retime(Circuit& c, int max_stages) {
+PipelineResult pipeline_and_retime(Circuit& c, int max_stages, const RunBudget* budget) {
   const Rational mdr = circuit_mdr(c).ratio;
   const std::int64_t floor_target = std::max<std::int64_t>(1, mdr.ceil());
 
@@ -40,11 +40,19 @@ PipelineResult pipeline_and_retime(Circuit& c, int max_stages) {
   // Try the MDR bound first, then relax the target period; for each target,
   // grow the pipeline depth geometrically. The fallback (no pipelining,
   // plain min-period retiming) always succeeds.
+  Status status = Status::kOk;
+  const auto stopped = [&] {
+    if (budget == nullptr || !budget->interrupted()) return false;
+    status = budget->check();
+    return true;
+  };
   const std::int64_t fallback =
       min_period_retiming(c.to_digraph(), delay, pinned).period;
-  for (std::int64_t target = floor_target; target < fallback; ++target) {
+  for (std::int64_t target = floor_target; target < fallback && status == Status::kOk;
+       ++target) {
     int stages = 1;
     while (stages <= max_stages) {
+      if (stopped()) break;
       Digraph g = c.to_digraph();
       for (const NodeId pi : c.pis()) {
         for (const EdgeId e : g.fanout_edges(pi)) {
@@ -60,14 +68,14 @@ PipelineResult pipeline_and_retime(Circuit& c, int max_stages) {
         pipeline_inputs(c, stages);
         pipeline_outputs(c, stages);
         apply_retiming(c, *r);
-        return PipelineResult{target, stages};
+        return PipelineResult{target, stages, Status::kOk};
       }
       stages *= 2;
     }
   }
   const RetimeResult best = min_period_retiming(c.to_digraph(), delay, pinned);
   apply_retiming(c, best.r);
-  return PipelineResult{best.period, 0};
+  return PipelineResult{best.period, 0, status};
 }
 
 }  // namespace turbosyn

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "base/run_budget.hpp"
 #include "netlist/circuit.hpp"
 
 namespace turbosyn {
@@ -23,11 +24,17 @@ void pipeline_outputs(Circuit& c, int stages);
 struct PipelineResult {
   std::int64_t period = 0;  // achieved clock period
   int stages = 0;           // pipeline stages inserted at the PIs
+  /// kOk unless the search was stopped by `budget` before it finished; the
+  /// result is then the always-valid no-pipelining fallback.
+  Status status = Status::kOk;
 };
 
 /// Minimizes the clock period using input pipelining + retiming. Searches
 /// target periods from max(1, ceil(MDR)) upward and pipeline depths up to
-/// max_stages; mutates the circuit to the winning configuration.
-PipelineResult pipeline_and_retime(Circuit& c, int max_stages = 64);
+/// max_stages; mutates the circuit to the winning configuration. `budget`
+/// (optional) is polled between candidate configurations: once it fires, the
+/// search stops and the plain min-period retiming fallback is applied.
+PipelineResult pipeline_and_retime(Circuit& c, int max_stages = 64,
+                                   const RunBudget* budget = nullptr);
 
 }  // namespace turbosyn
