@@ -7,7 +7,7 @@
 // Reported per configuration: TurboSYN phi, LUTs and time over a subset of
 // the suite.
 //
-// Usage: ablation_main [--quick]
+// Usage: ablation_main [--quick] [--audit]
 
 #include <cstdlib>
 #include <iostream>
@@ -16,6 +16,7 @@
 
 #include "base/budget_cli.hpp"
 #include "core/flows.hpp"
+#include "verify/audit.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/table.hpp"
 
@@ -39,11 +40,13 @@ int main(int argc, char** argv) {
   std::vector<BenchmarkSpec> suite = table1_suite();
   suite.resize(full ? 6 : 3);  // ablations multiply the cost per circuit
 
+  const bool audit = audit_flag_from_cli(argc, argv);
   std::vector<Config> configs;
   {
     Config base{"base (extra=2, bdd, span=3, pack)", FlowOptions{}};
     base.options.num_threads = threads;
     base.options.budget = budget_from_cli(argc, argv);
+    base.options.collect_artifacts = audit;
     configs.push_back(base);
     Config e0 = base;
     e0.name = "expansion extra=0";
@@ -76,10 +79,15 @@ int main(int argc, char** argv) {
   }
 
   TextTable table({"config", "circuit", "TS phi", "TS LUT", "TS s"});
+  bool audits_ok = true;
   for (const Config& cfg : configs) {
     for (const BenchmarkSpec& spec : suite) {
       const Circuit c = generate_fsm_circuit(spec);
       const FlowResult ts = run_turbosyn(c, cfg.options);
+      if (audit) {
+        audits_ok &= audit_and_report(c, ts, cfg.options, cfg.name + " / " + spec.name,
+                                      std::cout);
+      }
       table.add_row({cfg.name, spec.name, std::to_string(ts.phi), std::to_string(ts.luts),
                      format_double(ts.seconds)});
       std::cerr << "[ablation] " << cfg.name << " / " << spec.name << " done\n";
@@ -87,5 +95,5 @@ int main(int argc, char** argv) {
   }
   std::cout << "TurboSYN design-choice ablations (K=5)\n";
   table.print(std::cout);
-  return 0;
+  return audits_ok ? 0 : 1;
 }

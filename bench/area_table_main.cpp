@@ -5,7 +5,7 @@
 // decomposition" — this table reproduces that comparison, plus the effect of
 // the label-relaxation LUT-reduction technique (Section 5 / tech report).
 //
-// Usage: area_table_main [--quick]
+// Usage: area_table_main [--quick] [--audit]
 
 #include <cmath>
 #include <cstdlib>
@@ -15,6 +15,7 @@
 
 #include "base/budget_cli.hpp"
 #include "core/flows.hpp"
+#include "verify/audit.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/table.hpp"
 
@@ -32,11 +33,14 @@ int main(int argc, char** argv) {
   if (!full) suite.resize(10);  // the no-relax rerun doubles TurboSYN cost
   if (quick) suite.resize(6);
 
+  const bool audit = audit_flag_from_cli(argc, argv);
   FlowOptions opt;
   opt.num_threads = threads;
   opt.budget = budget_from_cli(argc, argv);
+  opt.collect_artifacts = audit;
   FlowOptions no_relax = opt;
   no_relax.label_relaxation = false;
+  bool audits_ok = true;
 
   TextTable table({"circuit", "FS-s LUT", "TM LUT", "TS LUT", "TS LUT (no relax)", "FS-s FF",
                    "TM FF", "TS FF"});
@@ -55,6 +59,13 @@ int main(int argc, char** argv) {
     log_ratio_tm += std::log(static_cast<double>(ts.luts) / tm.luts);
     log_relax += std::log(static_cast<double>(ts_nr.luts) / std::max(1, ts.luts));
     ++rows;
+    if (audit) {
+      audits_ok &= audit_and_report(c, fs, opt, spec.name + ":flowsyn_s", std::cout);
+      audits_ok &= audit_and_report(c, tm, opt, spec.name + ":turbomap", std::cout);
+      audits_ok &= audit_and_report(c, ts, opt, spec.name + ":turbosyn", std::cout);
+      audits_ok &= audit_and_report(c, ts_nr, no_relax, spec.name + ":turbosyn_norelax",
+                                    std::cout);
+    }
     std::cerr << "[area] " << spec.name << " done\n";
   }
 
@@ -65,5 +76,5 @@ int main(int argc, char** argv) {
             << "  (paper: TurboSYN loses area to TurboMap)\n";
   std::cout << "label relaxation LUT saving (no-relax / relax) = "
             << format_double(std::exp(log_relax / rows)) << "x\n";
-  return 0;
+  return audits_ok ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 #include "base/budget_cli.hpp"
 #include "core/flows.hpp"
 #include "retime/cycle_ratio.hpp"
+#include "verify/audit.hpp"
 #include "workloads/samples.hpp"
 #include "workloads/table.hpp"
 
@@ -21,6 +22,8 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
   }
   const RunBudget budget = budget_from_cli(argc, argv);
+  const bool audit = audit_flag_from_cli(argc, argv);
+  bool audits_ok = true;
 
   {
     const Circuit c = figure1_circuit();
@@ -28,6 +31,7 @@ int main(int argc, char** argv) {
     opt.num_threads = threads;
     opt.budget = budget;
     opt.k = 3;
+    opt.collect_artifacts = audit;
     const FlowResult tm = run_turbomap(c, opt);
     const FlowResult ts = run_turbosyn(c, opt);
     std::cout << "Figure 1 circuit (K=3): input MDR = " << circuit_mdr(c).ratio << '\n';
@@ -35,6 +39,10 @@ int main(int argc, char** argv) {
               << " (expected phi 2: the 5-input loop function needs two LUTs)\n";
     std::cout << "  TurboSYN : phi = " << ts.phi << ", LUTs = " << ts.luts
               << " (expected phi 1 via Roth-Karp encoders off the loop)\n\n";
+    if (audit) {
+      audits_ok &= audit_and_report(c, tm, opt, "figure1:turbomap", std::cout);
+      audits_ok &= audit_and_report(c, ts, opt, "figure1:turbosyn", std::cout);
+    }
   }
 
   TextTable table({"ring (stages/regs)", "input MDR", "TM phi", "TS phi"});
@@ -43,13 +51,19 @@ int main(int argc, char** argv) {
     FlowOptions opt;
     opt.num_threads = threads;
     opt.budget = budget;
+    opt.collect_artifacts = audit;
     const FlowResult tm = run_turbomap(c, opt);
     const FlowResult ts = run_turbosyn(c, opt);
+    if (audit) {
+      const std::string ring = "ring" + std::to_string(stages) + "_" + std::to_string(regs);
+      audits_ok &= audit_and_report(c, tm, opt, ring + ":turbomap", std::cout);
+      audits_ok &= audit_and_report(c, ts, opt, ring + ":turbosyn", std::cout);
+    }
     table.add_row({std::to_string(stages) + "/" + std::to_string(regs),
                    circuit_mdr(c).ratio.to_string(), std::to_string(tm.phi),
                    std::to_string(ts.phi)});
   }
   std::cout << "Ring sweep (K=5): loop compaction under retiming-aware mapping\n";
   table.print(std::cout);
-  return 0;
+  return audits_ok ? 0 : 1;
 }

@@ -7,7 +7,7 @@
 // and once with the n^2 criterion. The per-circuit speedup in label sweeps
 // and wall-clock time reproduces the claim's regime.
 //
-// Usage: pld_speedup_main [--quick] [--threads N]
+// Usage: pld_speedup_main [--quick] [--threads N] [--audit]
 
 #include <chrono>
 #include <cstdlib>
@@ -19,6 +19,7 @@
 #include "base/budget_cli.hpp"
 #include "core/flows.hpp"
 #include "core/labeling.hpp"
+#include "verify/audit.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/table.hpp"
 
@@ -63,9 +64,12 @@ int main(int argc, char** argv) {
   std::vector<BenchmarkSpec> suite = table1_suite();
   if (quick) suite.resize(6);
 
+  const bool audit = audit_flag_from_cli(argc, argv);
   FlowOptions opt;
   opt.num_threads = threads;
   opt.budget = budget_from_cli(argc, argv);
+  opt.collect_artifacts = audit;
+  bool audits_ok = true;
   TextTable table({"circuit", "phi*", "PLD sweeps", "PLD s", "n^2 sweeps", "n^2 s",
                    "speedup"});
   double log_speedup = 0.0;
@@ -73,6 +77,7 @@ int main(int argc, char** argv) {
   for (const BenchmarkSpec& spec : suite) {
     const Circuit c = generate_fsm_circuit(spec);
     const FlowResult tm = run_turbomap(c, opt);
+    if (audit) audits_ok &= audit_and_report(c, tm, opt, spec.name + ":turbomap", std::cout);
     if (tm.phi <= 1) {
       std::cerr << "[pld] " << spec.name << " skipped (phi* = 1, no infeasible probe)\n";
       continue;
@@ -108,5 +113,5 @@ int main(int argc, char** argv) {
     std::cout << "\ngeomean speedup = " << format_double(std::exp(log_speedup / rows), 1)
               << "x   (paper: 10~50x)\n";
   }
-  return 0;
+  return audits_ok ? 0 : 1;
 }

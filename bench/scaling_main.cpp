@@ -4,8 +4,9 @@
 // Runs TurboMap and TurboSYN over circuits from 1k to 12k gates and reports
 // wall-clock time, the found ratio and the label-computation volume.
 //
-// Usage: scaling_main [--quick] [--threads N]   (--quick stops at 4k gates;
-//        --threads bounds the label engine, 0 = all cores, 1 = sequential)
+// Usage: scaling_main [--quick] [--threads N] [--audit]
+//        (--quick stops at 4k gates; --threads bounds the label engine,
+//        0 = all cores, 1 = sequential; --audit re-verifies each result)
 
 #include <cstdlib>
 #include <iostream>
@@ -14,6 +15,7 @@
 
 #include "base/budget_cli.hpp"
 #include "core/flows.hpp"
+#include "verify/audit.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/table.hpp"
 
@@ -33,14 +35,18 @@ int main(int argc, char** argv) {
   // runs up to 4k gates (TurboMap covers the full range), --full runs all.
   const int ts_gate_limit = full ? 1 << 30 : 4000;
 
+  const bool audit = audit_flag_from_cli(argc, argv);
   FlowOptions opt;
   opt.num_threads = threads;
   opt.budget = budget_from_cli(argc, argv);
+  opt.collect_artifacts = audit;
+  bool audits_ok = true;
   TextTable table({"circuit", "GATE", "FF", "TM phi", "TM s", "TS phi", "TS s", "TS sweeps"});
   for (const BenchmarkSpec& spec : suite) {
     const Circuit c = generate_fsm_circuit(spec);
     const CircuitStats st = compute_stats(c);
     const FlowResult tm = run_turbomap(c, opt);
+    if (audit) audits_ok &= audit_and_report(c, tm, opt, spec.name + ":turbomap", std::cout);
     if (spec.num_gates > ts_gate_limit) {
       table.add_row({spec.name, std::to_string(st.gates), std::to_string(st.ffs),
                      std::to_string(tm.phi), format_double(tm.seconds), "-", "-", "-"});
@@ -49,6 +55,7 @@ int main(int argc, char** argv) {
       continue;
     }
     const FlowResult ts = run_turbosyn(c, opt);
+    if (audit) audits_ok &= audit_and_report(c, ts, opt, spec.name + ":turbosyn", std::cout);
     table.add_row({spec.name, std::to_string(st.gates), std::to_string(st.ffs),
                    std::to_string(tm.phi), format_double(tm.seconds),
                    std::to_string(ts.phi), format_double(ts.seconds),
@@ -58,5 +65,5 @@ int main(int argc, char** argv) {
   }
   std::cout << "Scalability — TurboMap / TurboSYN runtime vs circuit size (K=5)\n";
   table.print(std::cout);
-  return 0;
+  return audits_ok ? 0 : 1;
 }

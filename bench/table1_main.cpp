@@ -7,6 +7,7 @@
 // bottom are the reproduction of that headline.
 //
 // Usage: table1_main [--quick]   (--quick runs the first 6 circuits only)
+//                    [--audit]   (re-verify every invariant of each result)
 
 #include <cmath>
 #include <cstdlib>
@@ -17,6 +18,7 @@
 #include "base/budget_cli.hpp"
 #include "core/flows.hpp"
 #include "netlist/circuit.hpp"
+#include "verify/audit.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/table.hpp"
 
@@ -38,9 +40,12 @@ int main(int argc, char** argv) {
   std::vector<BenchmarkSpec> suite = table1_suite();
   if (quick) suite.resize(6);
 
+  const bool audit = audit_flag_from_cli(argc, argv);
   FlowOptions opt;  // K = 5, PLD on, as in the paper
   opt.num_threads = threads;
   opt.budget = budget_from_cli(argc, argv);
+  opt.collect_artifacts = audit;
+  bool audits_ok = true;
   TextTable table({"circuit", "GATE", "FF", "FS-s phi", "FS-s s", "TM phi", "TM s", "TS phi",
                    "TS s"});
 
@@ -62,6 +67,11 @@ int main(int argc, char** argv) {
     log_tm += std::log(phi_of(tm));
     log_ts += std::log(phi_of(ts));
     ++rows;
+    if (audit) {
+      audits_ok &= audit_and_report(c, fs, opt, spec.name + ":flowsyn_s", std::cout);
+      audits_ok &= audit_and_report(c, tm, opt, spec.name + ":turbomap", std::cout);
+      audits_ok &= audit_and_report(c, ts, opt, spec.name + ":turbosyn", std::cout);
+    }
     std::cerr << "[table1] " << spec.name << " done (FS-s " << fs.phi << ", TM " << tm.phi
               << ", TS " << ts.phi << ")\n";
   }
@@ -77,5 +87,5 @@ int main(int argc, char** argv) {
             << format_double(gm_fs / gm_ts) << "x   (paper: 1.72x)\n";
   std::cout << "                         TurboSYN vs TurboMap  = "
             << format_double(gm_tm / gm_ts) << "x   (paper: 1.96x)\n";
-  return 0;
+  return audits_ok ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 // Command-line synthesis flow over BLIF files:
 //
 //   $ ./blif_flow input.blif output.blif [K] [turbosyn|turbomap|flowsyn_s]
+//               [--audit]  (re-verify every invariant of the result)
 //               [--deadline-ms N] [--bdd-node-budget N] ...  (run budgets)
 //
 // Reads a SIS-style BLIF netlist, decomposes wide gates to make it
@@ -20,22 +21,24 @@
 #include "decomp/gate_decomp.hpp"
 #include "netlist/blif.hpp"
 #include "retime/cycle_ratio.hpp"
+#include "verify/audit.hpp"
 #include "workloads/samples.hpp"
 
 int main(int argc, char** argv) {
   using namespace turbosyn;
   try {
-    // Budget flags ("--flag value") may appear anywhere; everything else is
-    // positional.
+    // Budget flags ("--flag value") and the value-less --audit may appear
+    // anywhere; everything else is positional.
     std::vector<std::string> pos;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
       if (a.rfind("--", 0) == 0) {
-        if (i + 1 < argc) ++i;  // skip the flag's value
+        if (a != "--audit" && i + 1 < argc) ++i;  // skip the flag's value
         continue;
       }
       pos.push_back(a);
     }
+    const bool audit = audit_flag_from_cli(argc, argv);
     Circuit input =
         !pos.empty() ? read_blif_file(pos[0]) : read_blif_string(pattern_fsm_blif());
     const int k = pos.size() > 2 ? std::stoi(pos[2]) : 5;
@@ -52,6 +55,7 @@ int main(int argc, char** argv) {
     FlowOptions options;
     options.k = k;
     options.budget = budget_from_cli(argc, argv);
+    options.collect_artifacts = audit;
     FlowResult result;
     if (flow == "turbomap") {
       result = run_turbomap(input, options);
@@ -71,6 +75,7 @@ int main(int argc, char** argv) {
       std::cout << "note: " << result.degraded_nodes.size()
                 << " node(s) degraded to plain K-cut labels under resource ceilings\n";
     }
+    if (audit && !audit_and_report(input, result, options, flow, std::cout)) return 1;
 
     if (pos.size() > 1) {
       write_blif_file(result.mapped, pos[1], "mapped");

@@ -2,6 +2,7 @@
 // result, and write the mapped network back out as BLIF.
 //
 //   $ ./quickstart [--threads N]   (0 = all cores, 1 = sequential)
+//                  [--audit]       (re-verify every invariant of the result)
 //                  [--deadline-ms N] [--bdd-node-budget N] ...  (run budgets)
 //
 // The circuit is a 3-bit counter with enable (embedded as a string); the
@@ -15,6 +16,7 @@
 #include "core/flows.hpp"
 #include "netlist/blif.hpp"
 #include "retime/cycle_ratio.hpp"
+#include "verify/audit.hpp"
 #include "workloads/samples.hpp"
 
 int main(int argc, char** argv) {
@@ -24,6 +26,7 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
   }
   const RunBudget budget = budget_from_cli(argc, argv);
+  const bool audit = audit_flag_from_cli(argc, argv);
 
   // 1. Load a sequential circuit (latches become edge weights of the
   //    retiming graph).
@@ -38,6 +41,7 @@ int main(int argc, char** argv) {
   options.k = 4;
   options.num_threads = threads;  // 0 = use every core for the label engine
   options.budget = budget;        // unlimited unless budget flags were given
+  options.collect_artifacts = audit;
   const FlowResult result = run_turbosyn(counter, options);
 
   std::cout << "TurboSYN result:\n";
@@ -50,7 +54,10 @@ int main(int argc, char** argv) {
             << result.pipeline_stages << " pipeline stages)\n";
   std::cout << "  label sweeps           = " << result.stats.sweeps << "\n\n";
 
-  // 3. The mapped network is a Circuit like any other: write it as BLIF.
+  // 3. Optionally re-verify every claimed invariant of the result.
+  if (audit && !audit_and_report(counter, result, options, "turbosyn", std::cout)) return 1;
+
+  // 4. The mapped network is a Circuit like any other: write it as BLIF.
   std::cout << "mapped network as BLIF:\n" << write_blif_string(result.mapped, "counter3_mapped");
   return 0;
 }

@@ -72,7 +72,12 @@ bool Rational::operator<(const Rational& o) const {
 }
 
 Rational Rational::mediant(const Rational& a, const Rational& b) {
-  return Rational(a.num_ + b.num_, a.den_ + b.den_);
+  // Same overflow guard as operator+/operator*: the mediant drives the
+  // cycle-ratio search, where silent wraparound would corrupt the interval.
+  const Int128 n = Int128(a.num_) + b.num_;
+  const Int128 d = Int128(a.den_) + b.den_;
+  TS_ASSERT(n <= INT64_MAX && n >= INT64_MIN && d <= INT64_MAX);
+  return Rational(static_cast<std::int64_t>(n), static_cast<std::int64_t>(d));
 }
 
 std::ostream& operator<<(std::ostream& os, const Rational& r) {

@@ -125,6 +125,14 @@ void ExpandedNetwork::expand() {
     const bool should_expand = is_root || !node_allowed || my_slack <= options_.extra_levels;
     if (!should_expand || nodes_[static_cast<std::size_t>(i)].expanded) continue;
     if (circuit.is_pi(id.node)) continue;  // sources have no fanins
+    // Zero-state safety: a register-crossed copy (w >= 1) is only allowed
+    // inside a LUT when its function is 0 on the all-zero input. Interior
+    // copies at w >= 1 are recomputed for cycles t < w from pre-history
+    // values, and every register powers up holding 0 — so recomputation is
+    // faithful exactly when all-zero inputs reproduce the stored 0. Copies
+    // violating that stay unexpanded frontier nodes: they may be cut inputs
+    // (read through real, zero-initialized registers) but never interior.
+    if (id.w > 0 && circuit.function(id.node).bit(0)) continue;
     nodes_[static_cast<std::size_t>(i)].expanded = true;
     const int child_slack = my_slack + ((node_allowed && !is_root) ? 1 : 0);
     for (const EdgeId e : circuit.fanin_edges(id.node)) {

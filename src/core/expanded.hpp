@@ -17,6 +17,17 @@
 // reconvergent cuts; remaining frontier nodes hang off the source. A node
 // budget keeps degenerate cases bounded (treated conservatively as "no cut").
 //
+// Zero-state safety: a copy u^w with w >= 1 whose gate function evaluates to
+// 1 on the all-zero input is never expanded, so it can only be a cut input,
+// never LUT interior. An interior copy at w >= 1 is recomputed for early
+// cycles from pre-history (pre-reset) values; since every register powers up
+// at 0, that recomputation matches the register contents exactly when the
+// all-zero input yields 0 — zeros are then a fixpoint of the recomputation
+// and the mapped network reproduces the original's zero-state behavior from
+// cycle 0. Without this rule, a register-crossed NOR/NOT-style gate inside a
+// LUT boots to f(0..0) = 1 where the original read 0, and on loops that
+// never resynchronize the difference persists at every cycle.
+//
 // One ExpandedNetwork instance is rebuildable: build() re-targets it to a
 // new (root, height) query while keeping every internal buffer — the node
 // store, the open-addressing (node, w) index, the BFS worklist and the whole

@@ -175,8 +175,14 @@ FlowResult run_mdr_flow(const Circuit& c, const FlowOptions& options, bool decom
   MapGenOptions mopts;
   mopts.label_relaxation = options.label_relaxation;
   mopts.low_cost_cuts = options.low_cost_cuts;
-  Circuit mapped =
-      generate_sequential_mapping(c, labels, result.phi, lopts, mopts, result.stats);
+  Circuit mapped = generate_sequential_mapping(
+      c, labels, result.phi, lopts, mopts, result.stats,
+      options.collect_artifacts ? &result.artifacts.records : nullptr);
+  if (options.collect_artifacts) {
+    result.artifacts.valid = true;
+    result.artifacts.phi = result.phi;
+    result.artifacts.labels = std::move(labels);
+  }
   finalize(result, options, std::move(mapped));
   fill_diagnostics(result, c);
   result.seconds = seconds_since(start);
@@ -323,7 +329,14 @@ FlowResult run_turbomap_period(const Circuit& c, const FlowOptions& options) {
   mopts.label_relaxation = options.label_relaxation;
   mopts.low_cost_cuts = options.low_cost_cuts;
   mopts.po_label_limit = result.phi;
-  Circuit mapped = generate_sequential_mapping(c, best, result.phi, lopts, mopts, result.stats);
+  Circuit mapped = generate_sequential_mapping(
+      c, best, result.phi, lopts, mopts, result.stats,
+      options.collect_artifacts ? &result.artifacts.records : nullptr);
+  if (options.collect_artifacts) {
+    result.artifacts.valid = true;
+    result.artifacts.phi = result.phi;
+    result.artifacts.labels = std::move(best);
+  }
   finalize(result, no_pipeline, std::move(mapped));
   // Clock-period mode: retiming only.
   Circuit retimed = result.mapped;

@@ -39,6 +39,11 @@ struct FlowOptions {
   bool pack = true;              // mpack/flowpack-style packing
   bool pipeline = true;          // post-process with pipelining + retiming
   int num_threads = 0;           // label engine: 0 = hardware, 1 = sequential
+  /// Record the winning labels and per-node realizations in
+  /// FlowResult::artifacts so the invariant auditor (verify/audit.hpp) can
+  /// independently re-check the run. Off by default: the artifacts hold a
+  /// full label vector plus one realization per mapped LUT.
+  bool collect_artifacts = false;
   /// Deadline / cancellation / resource ceilings governing the whole flow.
   /// Default-constructed = unlimited; an unlimited budget leaves every result
   /// bit-identical to the budget-free code.
@@ -46,6 +51,18 @@ struct FlowOptions {
   ExpandedOptions expansion;
 
   LabelOptions label_options(bool enable_decomposition) const;
+};
+
+/// Intermediate artifacts of a label-driven flow, kept for independent
+/// re-verification. Only populated when FlowOptions::collect_artifacts is
+/// set and the flow actually ran a label search to completion (FlowSYN-s and
+/// interrupted identity fallbacks produce none — `valid` stays false and the
+/// auditor skips the label/cut stages).
+struct FlowArtifacts {
+  bool valid = false;
+  int phi = 0;                         // the ratio/period the labels certify
+  LabelResult labels;                  // winning converged labels (input ids)
+  std::vector<MappingRecord> records;  // realizations behind `mapped`
 };
 
 struct FlowResult {
@@ -70,6 +87,8 @@ struct FlowResult {
   /// Deduped names of nodes whose decomposition fell back to the plain K-cut
   /// label under a resource ceiling (empty on an unlimited run).
   std::vector<std::string> degraded_nodes;
+  /// Label/realization artifacts for the auditor (see FlowArtifacts).
+  FlowArtifacts artifacts;
 };
 
 FlowResult run_turbomap(const Circuit& c, const FlowOptions& options);

@@ -47,8 +47,15 @@ std::vector<int> compute_input_depths(const NodeRealization& real) {
 class Generator {
  public:
   Generator(const Circuit& c, const LabelResult& labels, int phi,
-            const LabelOptions& label_options, const MapGenOptions& options, LabelStats& stats)
-      : c_(c), labels_(labels), phi_(phi), lopts_(label_options), opts_(options), stats_(stats) {}
+            const LabelOptions& label_options, const MapGenOptions& options, LabelStats& stats,
+            std::vector<MappingRecord>* records)
+      : c_(c),
+        labels_(labels),
+        phi_(phi),
+        lopts_(label_options),
+        opts_(options),
+        stats_(stats),
+        records_(records) {}
 
   Circuit run() {
     // Pass 1: realize every transitively needed node at its final label.
@@ -232,6 +239,15 @@ class Generator {
       }
     }
 
+    if (records_ != nullptr) {
+      records_->clear();
+      for (NodeId v = 0; v < c_.num_nodes(); ++v) {
+        if (!live.count(v) || !is_mappable(v)) continue;
+        const Chosen& ch = chosen_.at(v);
+        records_->push_back(MappingRecord{v, ch.height, ch.real});
+      }
+    }
+
     Circuit out;
     std::unordered_map<NodeId, NodeId> to_out;
     for (const NodeId pi : c_.pis()) to_out[pi] = out.add_pi(c_.name(pi));
@@ -297,15 +313,17 @@ class Generator {
   std::unordered_set<NodeId> pending_;
   std::unordered_set<std::uint64_t> used_inputs_;  // packed (node, w) signals
   std::deque<NodeId> queue_;
+  std::vector<MappingRecord>* records_;  // optional audit artifacts
 };
 
 }  // namespace
 
 Circuit generate_sequential_mapping(const Circuit& c, const LabelResult& labels, int phi,
                                     const LabelOptions& label_options,
-                                    const MapGenOptions& options, LabelStats& stats) {
+                                    const MapGenOptions& options, LabelStats& stats,
+                                    std::vector<MappingRecord>* records) {
   TS_CHECK(labels.feasible, "mapping generation requires converged labels");
-  return Generator(c, labels, phi, label_options, options, stats).run();
+  return Generator(c, labels, phi, label_options, options, stats, records).run();
 }
 
 }  // namespace turbosyn

@@ -13,11 +13,25 @@
 // consumers' realizations, so swapping never invalidates them.
 
 #include <optional>
+#include <vector>
 
 #include "core/labeling.hpp"
 #include "netlist/circuit.hpp"
 
 namespace turbosyn {
+
+/// One realized node of a generated mapping, as the generator chose it: the
+/// root in the *input* circuit, the realized height, and the realization
+/// (plain K-cut or decomposition DAG over the cut). Collected for the
+/// invariant auditor (verify/audit.hpp), which independently re-derives cone
+/// coverage, K-feasibility, function equality and height consistency from
+/// the input circuit — records stay meaningful even after dedupe/packing
+/// restructure the emitted network, because they never reference it.
+struct MappingRecord {
+  NodeId root = kNoNode;
+  int height = 0;
+  NodeRealization real;
+};
 
 struct MapGenOptions {
   bool label_relaxation = true;
@@ -31,9 +45,12 @@ struct MapGenOptions {
 
 /// Generates the mapped LUT circuit for converged `labels` at ratio phi.
 /// PI/PO names are preserved; LUT nodes take the name of the original node
-/// they are rooted at (encoder LUTs get a "$e<i>" suffix).
+/// they are rooted at (encoder LUTs get a "$e<i>" suffix). When `records` is
+/// non-null it receives one MappingRecord per realized (live) node, in
+/// input-circuit node order.
 Circuit generate_sequential_mapping(const Circuit& c, const LabelResult& labels, int phi,
                                     const LabelOptions& label_options,
-                                    const MapGenOptions& options, LabelStats& stats);
+                                    const MapGenOptions& options, LabelStats& stats,
+                                    std::vector<MappingRecord>* records = nullptr);
 
 }  // namespace turbosyn

@@ -1,0 +1,613 @@
+#include "verify/audit.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "base/check.hpp"
+#include "decomp/roth_karp.hpp"
+#include "netlist/blif.hpp"
+#include "retime/cycle_ratio.hpp"
+#include "retime/howard.hpp"
+#include "retime/pipeline.hpp"
+#include "retime/retiming.hpp"
+#include "verify/equiv.hpp"
+
+namespace turbosyn {
+namespace {
+
+std::vector<int> unit_delays(const Circuit& c) {
+  std::vector<int> delay(static_cast<std::size_t>(c.num_nodes()));
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    delay[static_cast<std::size_t>(v)] = c.delay(v);
+  }
+  return delay;
+}
+
+std::string seq_node_name(const Circuit& c, const SeqCutNode& n) {
+  std::ostringstream os;
+  os << '\'' << c.name(n.node) << "'^" << n.w;
+  return os.str();
+}
+
+/// Fanin bound L(v) = max over fanin edges e(u,v) of l(u) - phi*w(e),
+/// re-derived here so the audit does not share code with the label engine.
+std::int64_t fanin_bound(const Circuit& c, std::span<const int> labels, int phi, NodeId v) {
+  std::int64_t best = INT64_MIN;
+  for (const EdgeId e : c.fanin_edges(v)) {
+    const Circuit::Edge& edge = c.edge(e);
+    best = std::max(best, static_cast<std::int64_t>(labels[static_cast<std::size_t>(edge.from)]) -
+                              static_cast<std::int64_t>(phi) * edge.weight);
+  }
+  return best;
+}
+
+/// LUT levels from each cut input to the root of a realization (1 for plain
+/// cuts); recomputed from the decomposition DAG, independent of mapgen.
+std::vector<int> input_depths(const NodeRealization& real) {
+  std::vector<int> depth(real.cut.size(), 1);
+  if (!real.decomp.has_value()) return depth;
+  const auto& luts = real.decomp->luts;
+  std::vector<int> dist(luts.size(), 0);  // LUT j's output -> root output
+  for (std::size_t j = luts.size(); j-- > 0;) {
+    for (const DecompFanin& fin : luts[j].fanins) {
+      if (fin.kind == DecompFanin::Kind::kLut) {
+        auto& d = dist[static_cast<std::size_t>(fin.index)];
+        d = std::max(d, dist[j] + 1);
+      }
+    }
+  }
+  std::fill(depth.begin(), depth.end(), 0);
+  for (std::size_t j = 0; j < luts.size(); ++j) {
+    for (const DecompFanin& fin : luts[j].fanins) {
+      if (fin.kind == DecompFanin::Kind::kInput) {
+        auto& d = depth[static_cast<std::size_t>(fin.index)];
+        d = std::max(d, dist[j] + 1);
+      }
+    }
+  }
+  return depth;
+}
+
+/// Settle time for the bounded sequential check. Zero-state-safe cut
+/// selection (see expanded.hpp) makes the un-retimed mapped network exact
+/// from cycle 0, so for pipeline-mode flows (which keep result.mapped
+/// un-retimed) the audit demands warmup 0 — catching any regression of that
+/// guarantee. Clock-period mode retimes result.mapped in place, and
+/// retiming legitimately shifts initial states, so those keep a transient
+/// scaled to the deepest register chain.
+int derived_warmup(const Circuit& a, const Circuit& b, bool mapped_retimed, int cycles) {
+  if (!mapped_retimed) return 0;
+  int max_w = 0;
+  for (EdgeId e = 0; e < a.num_edges(); ++e) max_w = std::max(max_w, a.edge(e).weight);
+  for (EdgeId e = 0; e < b.num_edges(); ++e) max_w = std::max(max_w, b.edge(e).weight);
+  return std::min(16 + 4 * max_w, cycles / 2);
+}
+
+}  // namespace
+
+const char* audit_status_name(AuditStatus s) {
+  switch (s) {
+    case AuditStatus::kPass:
+      return "PASS";
+    case AuditStatus::kFail:
+      return "FAIL";
+    case AuditStatus::kSkipped:
+      return "SKIP";
+  }
+  return "?";
+}
+
+bool AuditReport::passed() const { return failures() == 0; }
+
+int AuditReport::failures() const {
+  int n = 0;
+  for (const AuditCheck& c : checks) {
+    if (c.status == AuditStatus::kFail) ++n;
+  }
+  return n;
+}
+
+std::string AuditReport::breakdown() const {
+  std::ostringstream os;
+  for (const AuditCheck& c : checks) {
+    os << "  [" << audit_status_name(c.status) << "] " << c.name;
+    if (!c.detail.empty()) os << " — " << c.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::optional<std::string> audit_retiming_legality(const Circuit& c, std::span<const int> r,
+                                                   std::span<const NodeId> pinned) {
+  if (static_cast<int>(r.size()) != c.num_nodes()) {
+    return "retiming has " + std::to_string(r.size()) + " lags for " +
+           std::to_string(c.num_nodes()) + " nodes";
+  }
+  for (const NodeId p : pinned) {
+    if (r[static_cast<std::size_t>(p)] != 0) {
+      return "pinned node '" + c.name(p) + "' has nonzero lag " +
+             std::to_string(r[static_cast<std::size_t>(p)]);
+    }
+  }
+  for (EdgeId e = 0; e < c.num_edges(); ++e) {
+    const Circuit::Edge& edge = c.edge(e);
+    const std::int64_t w = static_cast<std::int64_t>(edge.weight) +
+                           r[static_cast<std::size_t>(edge.to)] -
+                           r[static_cast<std::size_t>(edge.from)];
+    if (w < 0) {
+      return "edge '" + c.name(edge.from) + "' -> '" + c.name(edge.to) +
+             "' retimed to negative weight " + std::to_string(w);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> audit_labels(const Circuit& c, std::span<const int> labels,
+                                        int phi) {
+  if (static_cast<int>(labels.size()) != c.num_nodes()) {
+    return "label vector has " + std::to_string(labels.size()) + " entries for " +
+           std::to_string(c.num_nodes()) + " nodes";
+  }
+  if (phi < 1) return "certified phi " + std::to_string(phi) + " < 1";
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    const std::int64_t l = labels[static_cast<std::size_t>(v)];
+    if (c.is_source(v)) {
+      if (l != 0) {
+        return "source '" + c.name(v) + "' has label " + std::to_string(l) + " (expected 0)";
+      }
+      continue;
+    }
+    const std::int64_t bound = fanin_bound(c, labels, phi, v);
+    if (c.is_po(v)) {
+      const std::int64_t expected = std::max<std::int64_t>(0, bound);
+      if (l != expected) {
+        return "PO '" + c.name(v) + "' has label " + std::to_string(l) + " (expected " +
+               std::to_string(expected) + ")";
+      }
+      continue;
+    }
+    // Gate with fanins: converged labels satisfy max(1, L(v)) <= l(v) <=
+    // max(1, L(v) + 1) — below the bound another sweep would still raise
+    // l(v); above L(v)+1 the iteration overshot (it only ever assigns L or
+    // L+1 and lower bounds only grow).
+    const std::int64_t lo = std::max<std::int64_t>(1, bound);
+    const std::int64_t hi = std::max<std::int64_t>(1, bound + 1);
+    if (l < lo || l > hi) {
+      return "gate '" + c.name(v) + "' has label " + std::to_string(l) +
+             " outside [" + std::to_string(lo) + ", " + std::to_string(hi) +
+             "] for fanin bound " + std::to_string(bound);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> audit_mapping_record(const Circuit& c, std::span<const int> labels,
+                                                int phi, int k, const MappingRecord& rec,
+                                                int cone_node_budget) {
+  const NodeId root = rec.root;
+  if (root < 0 || root >= c.num_nodes() || !c.is_gate(root) || c.fanin_edges(root).empty()) {
+    return "record root is not a mappable gate";
+  }
+  const auto& cut = rec.real.cut;
+  if (cut.empty()) return "empty cut at root '" + c.name(root) + "'";
+  if (cut.size() > 16) {
+    return "cut of width " + std::to_string(cut.size()) + " at root '" + c.name(root) +
+           "' exceeds the auditable limit (16)";
+  }
+
+  // K-feasibility and internal consistency of the realization.
+  if (!rec.real.decomp.has_value()) {
+    if (static_cast<int>(cut.size()) > k) {
+      return "plain cut of width " + std::to_string(cut.size()) + " at root '" +
+             c.name(root) + "' exceeds K=" + std::to_string(k);
+    }
+    if (rec.real.func.num_vars() != static_cast<int>(cut.size())) {
+      return "LUT function arity " + std::to_string(rec.real.func.num_vars()) +
+             " does not match cut width " + std::to_string(cut.size()) + " at root '" +
+             c.name(root) + "'";
+    }
+  } else {
+    const auto& luts = rec.real.decomp->luts;
+    if (luts.empty()) return "decomposition with no LUTs at root '" + c.name(root) + "'";
+    for (std::size_t j = 0; j < luts.size(); ++j) {
+      if (static_cast<int>(luts[j].fanins.size()) > k) {
+        return "decomposition LUT " + std::to_string(j) + " at root '" + c.name(root) +
+               "' has " + std::to_string(luts[j].fanins.size()) + " fanins (K=" +
+               std::to_string(k) + ")";
+      }
+      if (luts[j].func.num_vars() != static_cast<int>(luts[j].fanins.size())) {
+        return "decomposition LUT " + std::to_string(j) + " arity mismatch at root '" +
+               c.name(root) + "'";
+      }
+      for (const DecompFanin& fin : luts[j].fanins) {
+        const bool ok = fin.kind == DecompFanin::Kind::kInput
+                            ? fin.index >= 0 && fin.index < static_cast<int>(cut.size())
+                            : fin.index >= 0 && fin.index < static_cast<int>(j);
+        if (!ok) {
+          return "decomposition LUT " + std::to_string(j) + " has an out-of-range fanin at root '" +
+                 c.name(root) + "'";
+        }
+      }
+    }
+  }
+
+  // Cut sanity + index for the cone walk.
+  std::map<SeqCutNode, int> cut_index;
+  for (std::size_t i = 0; i < cut.size(); ++i) {
+    const SeqCutNode& n = cut[i];
+    if (n.node < 0 || n.node >= c.num_nodes() || n.w < 0) {
+      return "cut node out of range at root '" + c.name(root) + "'";
+    }
+    if (!cut_index.emplace(n, static_cast<int>(i)).second) {
+      return "duplicate cut node " + seq_node_name(c, n) + " at root '" + c.name(root) + "'";
+    }
+  }
+  if (cut_index.count(SeqCutNode{root, 0})) {
+    return "cut contains the root itself at '" + c.name(root) + "'";
+  }
+
+  // Expanded cone: walk back from (root, 0), stopping at cut nodes. Every
+  // backward path must hit the cut before a PI, and the cone must stay
+  // finite (a covering cut guarantees both; registered loops raise w each
+  // lap, so escaping paths blow the node budget and are reported).
+  struct ConeNode {
+    SeqCutNode at;
+    int cut_pos = -1;         // >= 0: cut input (leaf)
+    std::vector<int> fanins;  // cone indices, in the gate's fanin slot order
+  };
+  std::vector<ConeNode> cone;
+  std::map<SeqCutNode, int> cone_index;
+  const auto intern = [&](SeqCutNode at) {
+    const auto [it, inserted] = cone_index.emplace(at, static_cast<int>(cone.size()));
+    if (inserted) cone.push_back(ConeNode{at, -1, {}});
+    return it->second;
+  };
+  intern(SeqCutNode{root, 0});
+  for (std::size_t i = 0; i < cone.size(); ++i) {
+    if (static_cast<int>(cone.size()) > cone_node_budget) {
+      return "expanded cone at root '" + c.name(root) + "' exceeds " +
+             std::to_string(cone_node_budget) + " nodes — the cut does not cover the fanin frontier";
+    }
+    const SeqCutNode at = cone[i].at;
+    if (const auto it = cut_index.find(at); it != cut_index.end()) {
+      cone[i].cut_pos = it->second;
+      continue;
+    }
+    if (c.is_pi(at.node)) {
+      return "cut at root '" + c.name(root) + "' misses PI copy " + seq_node_name(c, at) +
+             " — the fanin frontier is not covered";
+    }
+    if (c.is_po(at.node)) {
+      return "PO copy " + seq_node_name(c, at) + " inside the cone of root '" + c.name(root) + "'";
+    }
+    // Zero-state safety: an interior copy at w >= 1 is recomputed for early
+    // cycles from pre-history zeros, so its function must map the all-zero
+    // input to 0 (the value its register would have held); otherwise the
+    // mapped network boots into a state the original never visits.
+    if (at.w > 0 && c.function(at.node).bit(0)) {
+      return "zero-state-unsafe interior copy " + seq_node_name(c, at) + " in the cone of root '" +
+             c.name(root) + "': its function is 1 on all-zero inputs, so recomputing it across " +
+             std::to_string(at.w) + " register(s) diverges from the power-up state";
+    }
+    // Interior gate (constants evaluate from their 0-ary function).
+    std::vector<int> fanins;
+    fanins.reserve(c.fanin_edges(at.node).size());
+    for (const EdgeId e : c.fanin_edges(at.node)) {
+      const Circuit::Edge& edge = c.edge(e);
+      fanins.push_back(intern(SeqCutNode{edge.from, at.w + edge.weight}));
+    }
+    cone[i].fanins = std::move(fanins);
+  }
+
+  // Topological order (children before parents) via iterative DFS; a cycle
+  // here would mean a zero-register loop, which validate() rejects upstream.
+  std::vector<std::uint8_t> mark(cone.size(), 0);  // 0 white, 1 gray, 2 black
+  std::vector<int> order;
+  order.reserve(cone.size());
+  {
+    std::vector<std::pair<int, std::size_t>> stack;
+    stack.emplace_back(0, 0);
+    mark[0] = 1;
+    while (!stack.empty()) {
+      const int n = stack.back().first;
+      const std::size_t next = stack.back().second;
+      if (next < cone[static_cast<std::size_t>(n)].fanins.size()) {
+        ++stack.back().second;
+        const int child = cone[static_cast<std::size_t>(n)].fanins[next];
+        if (mark[static_cast<std::size_t>(child)] == 0) {
+          mark[static_cast<std::size_t>(child)] = 1;
+          stack.emplace_back(child, 0);
+        } else if (mark[static_cast<std::size_t>(child)] == 1) {
+          return "combinational cycle inside the cone of root '" + c.name(root) + "'";
+        }
+      } else {
+        mark[static_cast<std::size_t>(n)] = 2;
+        order.push_back(n);
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Functional equality: the realization (single LUT or decomposition DAG)
+  // must compute exactly the cone's composition for every cut assignment.
+  std::vector<std::uint8_t> value(cone.size(), 0);
+  const std::uint32_t num_assignments = std::uint32_t{1} << cut.size();
+  for (std::uint32_t m = 0; m < num_assignments; ++m) {
+    for (const int idx : order) {
+      const ConeNode& n = cone[static_cast<std::size_t>(idx)];
+      if (n.cut_pos >= 0) {
+        value[static_cast<std::size_t>(idx)] =
+            static_cast<std::uint8_t>((m >> n.cut_pos) & 1u);
+        continue;
+      }
+      const TruthTable& f = c.function(n.at.node);
+      std::uint32_t row = 0;
+      for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+        row |= static_cast<std::uint32_t>(value[static_cast<std::size_t>(n.fanins[i])]) << i;
+      }
+      value[static_cast<std::size_t>(idx)] = f.bit(row) ? 1 : 0;
+    }
+    const bool cone_value = value[0] != 0;
+    const bool lut_value = rec.real.decomp.has_value()
+                               ? evaluate_decomposition(*rec.real.decomp, m)
+                               : rec.real.func.bit(m);
+    if (cone_value != lut_value) {
+      return "realization at root '" + c.name(root) + "' disagrees with its cone on cut assignment " +
+             std::to_string(m);
+    }
+  }
+
+  // Height consistency: every cut input's effective label plus its LUT depth
+  // must fit under the recorded height (labels may predate relaxation, which
+  // only ever raises heights — so <= is the invariant).
+  const std::vector<int> depth = input_depths(rec.real);
+  for (std::size_t i = 0; i < cut.size(); ++i) {
+    const std::int64_t eff =
+        static_cast<std::int64_t>(labels[static_cast<std::size_t>(cut[i].node)]) -
+        static_cast<std::int64_t>(phi) * cut[i].w;
+    if (eff + depth[i] > rec.height) {
+      return "cut input " + seq_node_name(c, cut[i]) + " at root '" + c.name(root) +
+             "' has effective label " + std::to_string(eff) + " and depth " +
+             std::to_string(depth[i]) + ", exceeding the recorded height " +
+             std::to_string(rec.height);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> audit_mdr(const Circuit& mapped, int phi, const Rational& claimed) {
+  const std::vector<int> delay = unit_delays(mapped);
+  CycleRatioResult howard;
+  try {
+    howard = max_cycle_ratio_howard(mapped.to_digraph(), delay);
+  } catch (const Error& e) {
+    return std::string("Howard recomputation failed: ") + e.what();
+  }
+  if (howard.ratio != claimed) {
+    return "claimed exact MDR " + claimed.to_string() + " but Howard recomputes " +
+           howard.ratio.to_string();
+  }
+  if (howard.ratio > Rational(phi)) {
+    return "mapped MDR " + howard.ratio.to_string() + " exceeds the certified phi " +
+           std::to_string(phi);
+  }
+  // Re-measure the critical-cycle witness edge by edge.
+  if (!howard.critical_cycle.empty()) {
+    const Digraph g = mapped.to_digraph();
+    std::int64_t total_delay = 0;
+    std::int64_t total_weight = 0;
+    for (std::size_t i = 0; i < howard.critical_cycle.size(); ++i) {
+      const Digraph::Edge& e = g.edge(howard.critical_cycle[i]);
+      const Digraph::Edge& next =
+          g.edge(howard.critical_cycle[(i + 1) % howard.critical_cycle.size()]);
+      if (e.to != next.from) return "critical-cycle witness is not a closed cycle";
+      total_delay += delay[static_cast<std::size_t>(e.to)];
+      total_weight += e.weight;
+    }
+    if (total_weight <= 0) return "critical-cycle witness has no registers";
+    if (Rational(total_delay, total_weight) != howard.ratio) {
+      return "critical-cycle witness measures " +
+             Rational(total_delay, total_weight).to_string() + ", not the claimed ratio " +
+             howard.ratio.to_string();
+    }
+  } else if (howard.ratio != Rational(0)) {
+    return "nonzero MDR reported without a critical-cycle witness";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> audit_period(const Circuit& mapped, std::int64_t period, int stages) {
+  if (period <= 0) return "claimed clock period " + std::to_string(period) + " is not positive";
+  if (stages < 0) return "negative pipeline depth " + std::to_string(stages);
+  const std::vector<int> delay = unit_delays(mapped);
+  Rational mdr;
+  try {
+    mdr = max_cycle_ratio_howard(mapped.to_digraph(), delay).ratio;
+  } catch (const Error& e) {
+    return std::string("MDR recomputation failed: ") + e.what();
+  }
+  if (Rational(period) < mdr) {
+    return "claimed period " + std::to_string(period) + " is below the MDR lower bound " +
+           mdr.to_string();
+  }
+  // Reproduce the claimed configuration and re-verify it end to end: the
+  // pipelined network must admit a retiming that is legal edge by edge and
+  // whose period, recomputed from scratch, meets the claim.
+  Circuit pipelined = mapped;
+  pipeline_inputs(pipelined, stages);
+  pipeline_outputs(pipelined, stages);
+  std::vector<NodeId> pinned(pipelined.pis().begin(), pipelined.pis().end());
+  pinned.insert(pinned.end(), pipelined.pos().begin(), pipelined.pos().end());
+  const auto r = feasible_retiming(pipelined.to_digraph(), delay, period, pinned);
+  if (!r.has_value()) {
+    return "no legal retiming achieves period " + std::to_string(period) + " with " +
+           std::to_string(stages) + " pipeline stage(s)";
+  }
+  if (auto bad = audit_retiming_legality(pipelined, *r, pinned)) return bad;
+  apply_retiming(pipelined, *r);
+  const std::int64_t achieved = circuit_clock_period(pipelined);
+  if (achieved > period) {
+    return "retimed network has period " + std::to_string(achieved) +
+           ", above the claimed " + std::to_string(period);
+  }
+  return std::nullopt;
+}
+
+AuditReport audit_flow(const Circuit& input, const FlowResult& result,
+                       const FlowOptions& options, const AuditOptions& audit) {
+  AuditReport report;
+  const auto add = [&report](std::string name, AuditStatus status, std::string detail = "") {
+    report.checks.push_back(AuditCheck{std::move(name), status, std::move(detail)});
+  };
+  const auto add_outcome = [&](std::string name, const std::optional<std::string>& failure,
+                               std::string pass_detail = "") {
+    if (failure.has_value()) {
+      add(std::move(name), AuditStatus::kFail, *failure);
+    } else {
+      add(std::move(name), AuditStatus::kPass, std::move(pass_detail));
+    }
+  };
+  const Circuit& mapped = result.mapped;
+
+  // structure: the network validates (arity, PO fanins, registered loops)
+  // and every LUT is K-feasible.
+  try {
+    mapped.validate();
+    if (!mapped.is_k_bounded(options.k)) {
+      add("structure", AuditStatus::kFail,
+          "mapped network has a gate wider than K=" + std::to_string(options.k) +
+              " (max fanin " + std::to_string(mapped.max_fanin()) + ")");
+    } else {
+      add("structure", AuditStatus::kPass,
+          std::to_string(mapped.num_gates()) + " LUTs, K-bounded, validates");
+    }
+  } catch (const Error& e) {
+    add("structure", AuditStatus::kFail, e.what());
+  }
+
+  // interface: same PI name set and PO display-name set as the input.
+  {
+    std::optional<std::string> failure;
+    std::map<std::string, int> names;
+    for (const NodeId pi : input.pis()) ++names[input.name(pi)];
+    for (const NodeId pi : mapped.pis()) --names[mapped.name(pi)];
+    for (const NodeId po : input.pos()) ++names["$po$" + po_display_name(input, po)];
+    for (const NodeId po : mapped.pos()) --names["$po$" + po_display_name(mapped, po)];
+    for (const auto& [name, count] : names) {
+      if (count != 0) {
+        failure = "PI/PO '" + name + "' " + (count > 0 ? "missing from" : "invented by") +
+                  " the mapped network";
+        break;
+      }
+    }
+    add_outcome("interface", failure);
+  }
+
+  // labels / cuts: need collected artifacts.
+  if (!result.artifacts.valid) {
+    const char* why = options.collect_artifacts
+                          ? "flow records no label artifacts (FlowSYN-s / identity fallback)"
+                          : "artifacts not collected (set FlowOptions::collect_artifacts)";
+    add("labels", AuditStatus::kSkipped, why);
+    add("cuts", AuditStatus::kSkipped, why);
+  } else {
+    const FlowArtifacts& art = result.artifacts;
+    add_outcome("labels", audit_labels(input, art.labels.labels, art.phi),
+                "fixpoint at phi=" + std::to_string(art.phi));
+    std::optional<std::string> failure;
+    int checked = 0;
+    for (const MappingRecord& rec : art.records) {
+      failure = audit_mapping_record(input, art.labels.labels, art.phi, options.k, rec,
+                                     audit.cone_node_budget);
+      if (failure.has_value()) break;
+      ++checked;
+    }
+    add_outcome("cuts", failure, std::to_string(checked) + " realization record(s)");
+  }
+
+  // mdr: independent recomputation via Howard's policy iteration.
+  add_outcome("mdr", audit_mdr(mapped, result.phi, result.exact_mdr),
+              result.exact_mdr.to_string() + " <= phi=" + std::to_string(result.phi));
+
+  // period: the claimed (period, stages) pair must be achievable.
+  if (result.period <= 0) {
+    add("period", AuditStatus::kSkipped, "flow reported no clock period (pipelining disabled)");
+  } else {
+    add_outcome("period", audit_period(mapped, result.period, result.pipeline_stages),
+                "period " + std::to_string(result.period) + " with " +
+                    std::to_string(result.pipeline_stages) + " stage(s)");
+  }
+
+  // equivalence: zero-state, formal when register-free, bounded otherwise.
+  if (!audit.check_equivalence) {
+    add("equivalence", AuditStatus::kSkipped, "disabled by AuditOptions");
+  } else {
+    try {
+      // The ROBDD engine caps at 63 variables; wider register-free circuits
+      // fall through to the bounded check rather than failing on the cap.
+      const bool bdd_fits = static_cast<int>(input.pis().size()) <= 63;
+      if (input.num_ffs() == 0 && mapped.num_ffs() == 0 && bdd_fits) {
+        if (const auto cex = combinational_counterexample(input, mapped)) {
+          add("equivalence", AuditStatus::kFail,
+              "PO '" + cex->po_name + "' differs (BDD miter counterexample)");
+        } else {
+          add("equivalence", AuditStatus::kPass, "formal (BDD miter)");
+        }
+      } else {
+        SequentialCheckOptions sopt;
+        sopt.cycles = audit.seq_cycles;
+        sopt.runs = audit.seq_runs;
+        sopt.seed = audit.seq_seed;
+        sopt.warmup = audit.seq_warmup > 0
+                          ? audit.seq_warmup
+                          : derived_warmup(input, mapped, /*mapped_retimed=*/!options.pipeline,
+                                           audit.seq_cycles);
+        if (const auto cex = sequential_counterexample(input, mapped, sopt)) {
+          add("equivalence", AuditStatus::kFail,
+              "PO '" + cex->po_name + "' first differs at cycle " + std::to_string(cex->cycle));
+        } else {
+          add("equivalence", AuditStatus::kPass,
+              "bounded co-simulation (" + std::to_string(sopt.runs) + "x" +
+                  std::to_string(sopt.cycles) + " cycles, warmup " +
+                  std::to_string(sopt.warmup) + ")");
+        }
+      }
+    } catch (const Error& e) {
+      add("equivalence", AuditStatus::kFail, e.what());
+    }
+  }
+  return report;
+}
+
+bool audit_flag_from_cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--audit") return true;
+  }
+  return false;
+}
+
+const char* audit_cli_help() {
+  return "--audit (re-verify every invariant of each flow result and print a breakdown)";
+}
+
+bool audit_and_report(const Circuit& input, const FlowResult& result,
+                      const FlowOptions& options, const std::string& tag, std::ostream& os,
+                      const AuditOptions& audit) {
+  const AuditReport report = audit_flow(input, result, options, audit);
+  int passes = 0;
+  int skips = 0;
+  for (const AuditCheck& c : report.checks) {
+    if (c.status == AuditStatus::kPass) ++passes;
+    if (c.status == AuditStatus::kSkipped) ++skips;
+  }
+  os << "audit " << tag << ": " << (report.passed() ? "PASS" : "FAIL") << " (" << passes
+     << " passed, " << report.failures() << " failed, " << skips << " skipped)\n"
+     << report.breakdown();
+  return report.passed();
+}
+
+}  // namespace turbosyn

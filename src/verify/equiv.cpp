@@ -61,12 +61,13 @@ std::map<std::string, BddRef> output_bdds(const Circuit& c, BddManager& mgr,
 }
 
 /// One satisfying assignment of a non-zero BDD (variables not on the path
-/// default to 0).
-std::uint64_t any_sat(const BddManager& mgr, BddRef f) {
-  std::uint64_t assignment = 0;
+/// default to 0). Returned as a vector indexed by BDD variable, so circuits
+/// with more than 64 PIs report exact (untruncated) counterexamples.
+std::vector<bool> any_sat(const BddManager& mgr, BddRef f) {
+  std::vector<bool> assignment(static_cast<std::size_t>(mgr.num_vars()), false);
   while (!mgr.is_const(f)) {
     if (mgr.high(f) != mgr.zero()) {
-      assignment |= std::uint64_t{1} << mgr.var_of(f);
+      assignment[static_cast<std::size_t>(mgr.var_of(f))] = true;
       f = mgr.high(f);
     } else {
       f = mgr.low(f);
@@ -93,7 +94,10 @@ std::optional<EquivCounterexample> combinational_counterexample(const Circuit& a
     TS_CHECK(it != out_b.end(), "PO '" << name << "' missing from the other circuit");
     const BddRef miter = mgr.bdd_xor(fa, it->second);
     if (miter != mgr.zero()) {
-      return EquivCounterexample{any_sat(mgr, miter), name};
+      EquivCounterexample cex;
+      cex.assignment = any_sat(mgr, miter);
+      cex.po_name = name;
+      return cex;
     }
   }
   return std::nullopt;
@@ -107,17 +111,54 @@ std::optional<EquivCounterexample> sequential_counterexample(
     const Circuit& a, const Circuit& b, const SequentialCheckOptions& options) {
   TS_CHECK(a.num_pis() == b.num_pis(), "PI count mismatch");
   TS_CHECK(a.num_pos() == b.num_pos(), "PO count mismatch");
+  // Match PIs and POs by name, as the combinational check does: two
+  // equivalent circuits may declare them in different orders (e.g. after
+  // mapping or a round-trip through BLIF), and a positional comparison would
+  // report a spurious mismatch.
+  std::vector<std::size_t> pi_in_b(static_cast<std::size_t>(a.num_pis()));
+  {
+    std::map<std::string, std::size_t> b_pi;
+    for (std::size_t i = 0; i < b.pis().size(); ++i) b_pi[b.name(b.pis()[i])] = i;
+    for (std::size_t i = 0; i < a.pis().size(); ++i) {
+      const auto it = b_pi.find(a.name(a.pis()[i]));
+      TS_CHECK(it != b_pi.end(),
+               "PI '" << a.name(a.pis()[i]) << "' missing from the other circuit");
+      pi_in_b[i] = it->second;
+    }
+  }
+  std::vector<std::size_t> po_in_b(static_cast<std::size_t>(a.num_pos()));
+  {
+    std::map<std::string, std::size_t> b_po;
+    for (std::size_t o = 0; o < b.pos().size(); ++o) {
+      const auto [it, inserted] = b_po.emplace(po_display_name(b, b.pos()[o]), o);
+      TS_CHECK(inserted, "duplicate PO name '" << it->first << "'");
+    }
+    for (std::size_t o = 0; o < a.pos().size(); ++o) {
+      const std::string name = po_display_name(a, a.pos()[o]);
+      const auto it = b_po.find(name);
+      TS_CHECK(it != b_po.end(), "PO '" << name << "' missing from the other circuit");
+      po_in_b[o] = it->second;
+    }
+  }
   Rng rng(options.seed);
   for (int run = 0; run < options.runs; ++run) {
     const auto stimulus = random_stimulus(rng, a.num_pis(), options.cycles);
+    auto stimulus_b = stimulus;
+    for (std::size_t t = 0; t < stimulus.size(); ++t) {
+      for (std::size_t i = 0; i < pi_in_b.size(); ++i) {
+        stimulus_b[t][pi_in_b[i]] = stimulus[t][i];
+      }
+    }
     const auto out_a = simulate_sequence(a, stimulus);
-    const auto out_b = simulate_sequence(b, stimulus);
+    const auto out_b = simulate_sequence(b, stimulus_b);
     for (int t = options.warmup; t < options.cycles; ++t) {
-      if (out_a[static_cast<std::size_t>(t)] == out_b[static_cast<std::size_t>(t)]) continue;
       for (std::size_t o = 0; o < out_a[static_cast<std::size_t>(t)].size(); ++o) {
-        if (out_a[static_cast<std::size_t>(t)][o] != out_b[static_cast<std::size_t>(t)][o]) {
-          return EquivCounterexample{static_cast<std::uint64_t>(t),
-                                     po_display_name(a, a.pos()[o])};
+        if (out_a[static_cast<std::size_t>(t)][o] !=
+            out_b[static_cast<std::size_t>(t)][po_in_b[o]]) {
+          EquivCounterexample cex;
+          cex.cycle = static_cast<std::uint64_t>(t);
+          cex.po_name = po_display_name(a, a.pos()[o]);
+          return cex;
         }
       }
     }

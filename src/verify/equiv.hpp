@@ -11,14 +11,20 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "netlist/circuit.hpp"
 
 namespace turbosyn {
 
 struct EquivCounterexample {
-  /// PI assignment (combinational) or cycle index (sequential) that differs.
-  std::uint64_t witness = 0;
+  /// Combinational: the differing PI assignment, indexed by the first
+  /// circuit's pis() order. A vector (not a packed word) so circuits with
+  /// more than 64 PIs report exact counterexamples. Empty for sequential
+  /// counterexamples.
+  std::vector<bool> assignment;
+  /// Sequential: index of the first differing cycle (0 for combinational).
+  std::uint64_t cycle = 0;
   std::string po_name;
 };
 

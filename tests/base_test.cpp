@@ -62,6 +62,17 @@ TEST(Rational, MediantLiesBetween) {
   EXPECT_LT(m, b);
 }
 
+TEST(Rational, MediantOverflowThrowsInsteadOfWrapping) {
+  // num/den sums exceeding int64 must throw like operator+/* do, not wrap.
+  const Rational big(INT64_MAX - 1, 1);
+  EXPECT_THROW((void)Rational::mediant(big, big), Error);
+  const Rational wide(1, INT64_MAX - 1);
+  EXPECT_THROW((void)Rational::mediant(wide, wide), Error);
+  // Near-boundary but representable sums still work.
+  const Rational half_num(INT64_MAX / 2, 5);
+  EXPECT_EQ(Rational::mediant(half_num, half_num), half_num);
+}
+
 TEST(Rational, ToString) {
   EXPECT_EQ(Rational(5, 3).to_string(), "5/3");
   EXPECT_EQ(Rational(4, 2).to_string(), "2");

@@ -1,0 +1,257 @@
+// Differential flow fuzzer: random sequential circuits through every flow,
+// with the invariant auditor as the oracle.
+//
+//   $ flow_fuzz_main [--seeds N | --seeds A..B] [--time-budget SECONDS]
+//                    [--threads N] [--require-all] [--verbose]
+//
+// Per seed it generates a small random FSM circuit (workloads/generator),
+// runs TurboMap and TurboSYN, and checks:
+//   - every flow result passes the full stage-by-stage audit
+//     (structure, interface, labels, cuts, MDR, period, equivalence);
+//   - 1-thread and N-thread runs are bit-identical (phi, period and the
+//     BLIF text of the mapped network);
+//   - replaying a run with the same options is bit-identical (every 4th
+//     seed);
+//   - budget-degraded runs (every 3rd seed: tight decomposition/flow
+//     ceilings) still audit clean and never beat the unlimited phi;
+//   - deadline-interrupted runs (every 5th seed: 0 ms deadline) still audit
+//     clean — the identity fallback must stay equivalent;
+//   - TurboMap and TurboSYN mappings are pairwise bounded-equivalent.
+//
+// Exits nonzero on the first failing seed's summary. --time-budget stops
+// early once the budget is spent; with --require-all, not finishing every
+// requested seed is itself a failure (CI uses this to keep the box honest).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "base/check.hpp"
+#include "core/flows.hpp"
+#include "netlist/blif.hpp"
+#include "verify/audit.hpp"
+#include "verify/equiv.hpp"
+#include "workloads/generator.hpp"
+
+namespace {
+
+using namespace turbosyn;
+
+struct FuzzConfig {
+  std::uint64_t first_seed = 1;
+  std::uint64_t last_seed = 50;
+  double time_budget_s = 0.0;  // 0 = unlimited
+  int threads = 2;             // the "N" of the 1-vs-N determinism check
+  bool require_all = false;
+  bool verbose = false;
+};
+
+FuzzConfig parse_args(int argc, char** argv) {
+  FuzzConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seeds" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      const auto dots = v.find("..");
+      if (dots == std::string::npos) {
+        cfg.first_seed = 1;
+        cfg.last_seed = std::strtoull(v.c_str(), nullptr, 10);
+      } else {
+        cfg.first_seed = std::strtoull(v.substr(0, dots).c_str(), nullptr, 10);
+        cfg.last_seed = std::strtoull(v.substr(dots + 2).c_str(), nullptr, 10);
+      }
+    } else if (a == "--time-budget" && i + 1 < argc) {
+      cfg.time_budget_s = std::strtod(argv[++i], nullptr);
+    } else if (a == "--threads" && i + 1 < argc) {
+      cfg.threads = std::atoi(argv[++i]);
+    } else if (a == "--require-all") {
+      cfg.require_all = true;
+    } else if (a == "--verbose") {
+      cfg.verbose = true;
+    } else {
+      std::cerr << "usage: flow_fuzz_main [--seeds N|A..B] [--time-budget S] [--threads N]"
+                   " [--require-all] [--verbose]\n";
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+/// Small random spec: the circuits stay tiny so the full audit (including
+/// bounded equivalence) fits dozens of seeds into a CI time box.
+BenchmarkSpec spec_for_seed(std::uint64_t seed) {
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  BenchmarkSpec spec;
+  spec.name = "fuzz" + std::to_string(seed);
+  spec.seed = seed;
+  spec.num_pis = 2 + static_cast<int>(rng() % 4);
+  spec.num_pos = 2 + static_cast<int>(rng() % 4);
+  spec.num_gates = 10 + static_cast<int>(rng() % 22);
+  spec.feedback = 0.05 + 0.25 * (static_cast<double>(rng() % 1000) / 1000.0);
+  spec.max_fanin = 2 + static_cast<int>(rng() % 3);
+  spec.locality = 6 + static_cast<int>(rng() % 13);
+  spec.exotic_gate_ratio = 0.35 * (static_cast<double>(rng() % 1000) / 1000.0);
+  return spec;
+}
+
+struct SeedOutcome {
+  int checks = 0;
+  std::vector<std::string> failures;
+};
+
+void expect(SeedOutcome& out, bool ok, const std::string& what) {
+  ++out.checks;
+  if (!ok) out.failures.push_back(what);
+}
+
+void audit_into(SeedOutcome& out, const Circuit& input, const FlowResult& result,
+                const FlowOptions& opt, const std::string& tag, std::uint64_t seed,
+                bool verbose) {
+  AuditOptions audit;
+  audit.seq_cycles = 128;
+  audit.seq_runs = 2;
+  audit.seq_seed = seed;
+  const AuditReport report = audit_flow(input, result, opt, audit);
+  ++out.checks;
+  if (!report.passed()) {
+    out.failures.push_back("audit " + tag + " failed:\n" + report.breakdown());
+  } else if (verbose) {
+    std::cerr << "  audit " << tag << ": PASS (" << report.checks.size() << " stages)\n";
+  }
+}
+
+std::string fingerprint(const FlowResult& r) {
+  return std::to_string(r.phi) + "|" + std::to_string(r.period) + "|" +
+         std::to_string(r.pipeline_stages) + "|" + write_blif_string(r.mapped, "fp");
+}
+
+SeedOutcome run_seed(std::uint64_t seed, const FuzzConfig& cfg) {
+  SeedOutcome out;
+  const Circuit c = generate_fsm_circuit(spec_for_seed(seed));
+
+  FlowOptions opt;
+  opt.k = 4;
+  opt.num_threads = 1;
+  opt.collect_artifacts = true;
+
+  const FlowResult tm = run_turbomap(c, opt);
+  audit_into(out, c, tm, opt, "turbomap", seed, cfg.verbose);
+  const FlowResult ts = run_turbosyn(c, opt);
+  audit_into(out, c, ts, opt, "turbosyn", seed, cfg.verbose);
+  expect(out, ts.phi <= tm.phi, "turbosyn phi " + std::to_string(ts.phi) +
+                                    " worse than turbomap phi " + std::to_string(tm.phi));
+
+  // Thread-count determinism: the parallel label engine must not change the
+  // result, bit for bit.
+  if (cfg.threads != 1) {
+    FlowOptions par = opt;
+    par.num_threads = cfg.threads;
+    const FlowResult tm_par = run_turbomap(c, par);
+    expect(out, fingerprint(tm_par) == fingerprint(tm),
+           "turbomap differs between 1 and " + std::to_string(cfg.threads) + " threads");
+    if (seed % 2 == 0) {
+      const FlowResult ts_par = run_turbosyn(c, par);
+      expect(out, fingerprint(ts_par) == fingerprint(ts),
+             "turbosyn differs between 1 and " + std::to_string(cfg.threads) + " threads");
+    }
+  }
+
+  // Replay determinism: same options, same process, same bits.
+  if (seed % 4 == 0) {
+    const FlowResult replay = run_turbosyn(c, opt);
+    expect(out, fingerprint(replay) == fingerprint(ts), "turbosyn replay is not bit-identical");
+  }
+
+  // Tight resource ceilings: the run may degrade, but the result must still
+  // audit clean and can only be worse than the unlimited run.
+  if (seed % 3 == 0) {
+    FlowOptions tight = opt;
+    tight.budget.set_decomp_attempt_budget(2);
+    tight.budget.set_flow_augment_budget(200);
+    const FlowResult degraded = run_turbosyn(c, tight);
+    audit_into(out, c, degraded, tight, "turbosyn/tight-budget", seed, cfg.verbose);
+    expect(out, degraded.phi >= ts.phi,
+           "budgeted turbosyn phi " + std::to_string(degraded.phi) +
+               " beats the unlimited phi " + std::to_string(ts.phi));
+  }
+
+  // Expired deadline: the flow falls back to its best-so-far (possibly
+  // identity) mapping, which must still be a valid, equivalent network.
+  if (seed % 5 == 0) {
+    FlowOptions expired = opt;
+    expired.budget.set_deadline_after_ms(0);
+    const FlowResult fallback = run_turbomap(c, expired);
+    audit_into(out, c, fallback, expired, "turbomap/expired-deadline", seed, cfg.verbose);
+  }
+
+  // Pairwise: the two mappings of the same input must agree with each other.
+  {
+    SequentialCheckOptions pairwise;
+    pairwise.cycles = 128;
+    pairwise.runs = 2;
+    pairwise.warmup = 32;
+    pairwise.seed = seed;
+    ++out.checks;
+    try {
+      if (!sequentially_equivalent_bounded(tm.mapped, ts.mapped, pairwise)) {
+        out.failures.push_back("turbomap and turbosyn mappings disagree");
+      }
+    } catch (const Error& e) {
+      out.failures.push_back(std::string("pairwise check threw: ") + e.what());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FuzzConfig cfg = parse_args(argc, argv);
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_s = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  };
+
+  std::uint64_t seeds_run = 0;
+  std::uint64_t seeds_failed = 0;
+  std::uint64_t checks = 0;
+  bool out_of_time = false;
+  for (std::uint64_t seed = cfg.first_seed; seed <= cfg.last_seed; ++seed) {
+    if (cfg.time_budget_s > 0 && elapsed_s() > cfg.time_budget_s) {
+      out_of_time = true;
+      break;
+    }
+    SeedOutcome out;
+    try {
+      out = run_seed(seed, cfg);
+    } catch (const std::exception& e) {
+      out.failures.push_back(std::string("unhandled exception: ") + e.what());
+    }
+    ++seeds_run;
+    checks += static_cast<std::uint64_t>(out.checks);
+    if (!out.failures.empty()) {
+      ++seeds_failed;
+      std::cerr << "[flow_fuzz] seed " << seed << " FAILED:\n";
+      for (const std::string& f : out.failures) std::cerr << "  " << f << '\n';
+    } else if (cfg.verbose) {
+      std::cerr << "[flow_fuzz] seed " << seed << " ok (" << out.checks << " checks)\n";
+    }
+  }
+
+  const std::uint64_t requested = cfg.last_seed - cfg.first_seed + 1;
+  std::cout << "[flow_fuzz] " << seeds_run << "/" << requested << " seeds, " << checks
+            << " checks, " << seeds_failed << " failed, "
+            << static_cast<int>(elapsed_s()) << "s" << (out_of_time ? " (time budget hit)" : "")
+            << '\n';
+  if (seeds_failed > 0) return 1;
+  if (cfg.require_all && seeds_run < requested) {
+    std::cerr << "[flow_fuzz] --require-all: only " << seeds_run << " of " << requested
+              << " seeds ran within the time budget\n";
+    return 1;
+  }
+  return 0;
+}

@@ -50,10 +50,12 @@ TEST(CombEquiv, CounterexampleIsReal) {
   const auto cex = combinational_counterexample(lhs, rhs);
   ASSERT_TRUE(cex.has_value());
   EXPECT_EQ(cex->po_name, "o");
-  // The functions differ exactly where (a&b) & d: check the witness.
-  const bool a = (cex->witness >> 0) & 1;
-  const bool b = (cex->witness >> 1) & 1;
-  const bool d = (cex->witness >> 2) & 1;
+  // The functions differ exactly where (a&b) & d: check the witness
+  // (assignment is indexed by lhs.pis() order: a, b, d).
+  ASSERT_EQ(cex->assignment.size(), 3u);
+  const bool a = cex->assignment[0];
+  const bool b = cex->assignment[1];
+  const bool d = cex->assignment[2];
   EXPECT_NE(((a && b) || d), ((a && b) != d));
 }
 
@@ -73,6 +75,49 @@ TEST(CombEquiv, FlowMapMappingIsFormallyEquivalent) {
 TEST(CombEquiv, RejectsRegisteredCircuits) {
   const Circuit seq = read_blif_string(counter3_blif());
   EXPECT_THROW((void)combinationally_equivalent(seq, seq), Error);
+}
+
+// Chain of 2-input ORs over pis [0, use): avoids a 2^n truth table.
+Circuit wide_or(int num_pis, int use, const std::string& po) {
+  Circuit c;
+  std::vector<NodeId> pis;
+  for (int i = 0; i < num_pis; ++i) pis.push_back(c.add_pi("p" + std::to_string(i)));
+  NodeId acc = pis[0];
+  for (int i = 1; i < use; ++i) {
+    const Circuit::FaninSpec f[2] = {{acc, 0}, {pis[static_cast<std::size_t>(i)], 0}};
+    acc = c.add_gate("or" + std::to_string(i), tt_or(2), f);
+  }
+  c.add_po("$po:" + po, {acc, 0});
+  return c;
+}
+
+TEST(CombEquiv, HandlesMoreThan32Inputs) {
+  // 40 PIs: packing the counterexample with `1 << var` (int) would be UB
+  // from variable 31 on; the vector<bool> representation has no word limit.
+  const Circuit lhs = wide_or(40, 40, "o");
+  const Circuit rhs = wide_or(40, 40, "o");
+  EXPECT_TRUE(combinationally_equivalent(lhs, rhs));
+}
+
+TEST(CombEquiv, CounterexampleBeyondBit32IsReal) {
+  const Circuit lhs = wide_or(40, 40, "o");  // OR of all 40 PIs
+  const Circuit rhs = wide_or(40, 39, "o");  // ignores p39
+  const auto cex = combinational_counterexample(lhs, rhs);
+  ASSERT_TRUE(cex.has_value());
+  ASSERT_EQ(cex->assignment.size(), 40u);
+  // The functions differ exactly when p39 is the only set input.
+  EXPECT_TRUE(cex->assignment[39]);
+  for (int i = 0; i < 39; ++i) EXPECT_FALSE(cex->assignment[static_cast<std::size_t>(i)]);
+}
+
+TEST(CombEquiv, BeyondBddVariableCapThrowsCleanly) {
+  // The ROBDD engine is capped at 63 variables (sat counts are uint64);
+  // wider miters must reject loudly, not overflow.
+  const Circuit lhs = wide_or(70, 70, "o");
+  const Circuit rhs = wide_or(70, 70, "o");
+  EXPECT_THROW((void)combinationally_equivalent(lhs, rhs), Error);
+  // The bounded sequential checker has no PI-width limit.
+  EXPECT_TRUE(sequentially_equivalent_bounded(lhs, rhs));
 }
 
 TEST(SeqEquiv, IdenticalCircuitsPass) {
@@ -110,6 +155,59 @@ TEST(SeqEquiv, FindsInjectedFault) {
   const auto cex = sequential_counterexample(good, bad);
   ASSERT_TRUE(cex.has_value());
   EXPECT_EQ(cex->po_name, "z");
+}
+
+// x -> latch -> y, with POs "a" = x (combinational) and "b" = y (delayed).
+Circuit two_output_fsm(bool swap_po_order, bool swap_pi_order) {
+  Circuit c;
+  NodeId x;
+  NodeId e;
+  if (swap_pi_order) {
+    e = c.add_pi("en");
+    x = c.add_pi("x");
+  } else {
+    x = c.add_pi("x");
+    e = c.add_pi("en");
+  }
+  const Circuit::FaninSpec f[2] = {{x, 0}, {e, 0}};
+  const NodeId g = c.add_gate("g", tt_and(2), f);
+  if (swap_po_order) {
+    c.add_po("$po:b", {g, 1});
+    c.add_po("$po:a", {g, 0});
+  } else {
+    c.add_po("$po:a", {g, 0});
+    c.add_po("$po:b", {g, 1});
+  }
+  return c;
+}
+
+TEST(SeqEquiv, MatchesOutputsByNameNotPosition) {
+  // Same machine, POs declared in the opposite order: positional comparison
+  // would diff "a" against "b" and report a bogus counterexample.
+  const Circuit lhs = two_output_fsm(false, false);
+  const Circuit rhs = two_output_fsm(true, false);
+  EXPECT_TRUE(sequentially_equivalent_bounded(lhs, rhs));
+  // And a genuinely differing pair still reports the right PO name.
+  Circuit broken = two_output_fsm(true, false);
+  {
+    Circuit fresh;
+    const NodeId x = fresh.add_pi("x");
+    const NodeId e = fresh.add_pi("en");
+    const Circuit::FaninSpec f[2] = {{x, 0}, {e, 0}};
+    const NodeId g = fresh.add_gate("g", tt_or(2), f);  // OR, not AND
+    fresh.add_po("$po:b", {g, 1});
+    fresh.add_po("$po:a", {g, 0});
+    broken = fresh;
+  }
+  const auto cex = sequential_counterexample(two_output_fsm(false, false), broken);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_TRUE(cex->po_name == "a" || cex->po_name == "b");
+}
+
+TEST(SeqEquiv, MatchesInputsByNameNotPosition) {
+  const Circuit lhs = two_output_fsm(false, false);
+  const Circuit rhs = two_output_fsm(false, true);  // PIs declared swapped
+  EXPECT_TRUE(sequentially_equivalent_bounded(lhs, rhs));
 }
 
 }  // namespace
