@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "base/budget_cli.hpp"
+#include "base/flow_cli.hpp"
 #include "core/flows.hpp"
 #include "verify/audit.hpp"
 #include "workloads/generator.hpp"
@@ -31,22 +31,18 @@ struct Config {
 
 int main(int argc, char** argv) {
   using namespace turbosyn;
-  bool full = false;
-  int threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--full") full = true;
-    if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
-  }
+  const FlowCli cli = flow_cli_from_args(argc, argv);
   std::vector<BenchmarkSpec> suite = table1_suite();
-  suite.resize(full ? 6 : 3);  // ablations multiply the cost per circuit
+  suite.resize(cli.full ? 6 : 3);  // ablations multiply the cost per circuit
 
-  const bool audit = audit_flag_from_cli(argc, argv);
+  const bool audit = cli.audit;
   std::vector<Config> configs;
   {
     Config base{"base (extra=2, bdd, span=3, pack)", FlowOptions{}};
-    base.options.num_threads = threads;
-    base.options.budget = budget_from_cli(argc, argv);
+    base.options.num_threads = cli.threads;
+    base.options.budget = cli.budget;
     base.options.collect_artifacts = audit;
+    base.options.trace = cli.trace();
     configs.push_back(base);
     Config e0 = base;
     e0.name = "expansion extra=0";
@@ -95,5 +91,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "TurboSYN design-choice ablations (K=5)\n";
   table.print(std::cout);
+  if (!cli.write_trace()) return 1;
   return audits_ok ? 0 : 1;
 }

@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "base/budget_cli.hpp"
+#include "base/flow_cli.hpp"
 #include "core/flows.hpp"
 #include "verify/audit.hpp"
 #include "workloads/generator.hpp"
@@ -21,23 +21,17 @@
 
 int main(int argc, char** argv) {
   using namespace turbosyn;
-  bool quick = false;
-  bool full = false;
-  int threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") quick = true;
-    if (std::string(argv[i]) == "--full") full = true;
-    if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
-  }
+  const FlowCli cli = flow_cli_from_args(argc, argv);
   std::vector<BenchmarkSpec> suite = table1_suite();
-  if (!full) suite.resize(10);  // the no-relax rerun doubles TurboSYN cost
-  if (quick) suite.resize(6);
+  if (!cli.full) suite.resize(10);  // the no-relax rerun doubles TurboSYN cost
+  if (cli.quick) suite.resize(6);
 
-  const bool audit = audit_flag_from_cli(argc, argv);
+  const bool audit = cli.audit;
   FlowOptions opt;
-  opt.num_threads = threads;
-  opt.budget = budget_from_cli(argc, argv);
+  opt.num_threads = cli.threads;
+  opt.budget = cli.budget;
   opt.collect_artifacts = audit;
+  opt.trace = cli.trace();
   FlowOptions no_relax = opt;
   no_relax.label_relaxation = false;
   bool audits_ok = true;
@@ -76,5 +70,6 @@ int main(int argc, char** argv) {
             << "  (paper: TurboSYN loses area to TurboMap)\n";
   std::cout << "label relaxation LUT saving (no-relax / relax) = "
             << format_double(std::exp(log_relax / rows)) << "x\n";
+  if (!cli.write_trace()) return 1;
   return audits_ok ? 0 : 1;
 }

@@ -8,7 +8,7 @@
 #include <iostream>
 #include <string>
 
-#include "base/budget_cli.hpp"
+#include "base/flow_cli.hpp"
 #include "core/flows.hpp"
 #include "retime/cycle_ratio.hpp"
 #include "verify/audit.hpp"
@@ -17,21 +17,18 @@
 
 int main(int argc, char** argv) {
   using namespace turbosyn;
-  int threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
-  }
-  const RunBudget budget = budget_from_cli(argc, argv);
-  const bool audit = audit_flag_from_cli(argc, argv);
+  const FlowCli cli = flow_cli_from_args(argc, argv);
+  const bool audit = cli.audit;
   bool audits_ok = true;
 
   {
     const Circuit c = figure1_circuit();
     FlowOptions opt;
-    opt.num_threads = threads;
-    opt.budget = budget;
+    opt.num_threads = cli.threads;
+    opt.budget = cli.budget;
     opt.k = 3;
     opt.collect_artifacts = audit;
+    opt.trace = cli.trace();
     const FlowResult tm = run_turbomap(c, opt);
     const FlowResult ts = run_turbosyn(c, opt);
     std::cout << "Figure 1 circuit (K=3): input MDR = " << circuit_mdr(c).ratio << '\n';
@@ -49,9 +46,10 @@ int main(int argc, char** argv) {
   for (const auto& [stages, regs] : {std::pair{4, 2}, {6, 2}, {8, 2}, {9, 3}, {12, 3}}) {
     const Circuit c = ring_circuit(stages, regs);
     FlowOptions opt;
-    opt.num_threads = threads;
-    opt.budget = budget;
+    opt.num_threads = cli.threads;
+    opt.budget = cli.budget;
     opt.collect_artifacts = audit;
+    opt.trace = cli.trace();
     const FlowResult tm = run_turbomap(c, opt);
     const FlowResult ts = run_turbosyn(c, opt);
     if (audit) {
@@ -65,5 +63,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "Ring sweep (K=5): loop compaction under retiming-aware mapping\n";
   table.print(std::cout);
+  if (!cli.write_trace()) return 1;
   return audits_ok ? 0 : 1;
 }

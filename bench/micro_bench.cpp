@@ -3,12 +3,20 @@
 // Dinic K-cut test, Roth–Karp decomposition, the expanded-circuit build and
 // the sequential simulator. These are the inner loops that the per-sweep
 // label computation cost (and hence every table) rests on.
+//
+// BM_Flow* additionally time the four public flows end to end and attach
+// the per-stage StageMetrics breakdown as counters; see the comment above
+// set_flow_counters for the BENCH_flow.json invocation.
 
 #include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
 
 #include "base/rng.hpp"
 #include "bdd/bdd.hpp"
 #include "core/expanded.hpp"
+#include "core/flows.hpp"
 #include "core/labeling.hpp"
 #include "decomp/roth_karp.hpp"
 #include "graph/max_flow.hpp"
@@ -196,6 +204,73 @@ void BM_LabelEngineScalingCircuit(benchmark::State& state) {
 }
 BENCHMARK(BM_LabelEngineScalingCircuit)->Arg(1)->Arg(2)->Arg(0)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+// End-to-end flow benchmarks with the per-stage breakdown attached as
+// counters (stage wall time under "s_<stage>", summed over repeated stages;
+// plus the probe count and the flow's own wall time share). Emit
+// machine-readable results with
+//   micro_bench --benchmark_filter=BM_Flow --benchmark_out=BENCH_flow.json
+//               --benchmark_out_format=json
+void set_flow_counters(benchmark::State& state, const FlowResult& r) {
+  std::map<std::string, double> seconds;
+  for (const StageMetric& s : r.stage_metrics.stages) seconds[s.name] += s.seconds;
+  for (const auto& [name, secs] : seconds) {
+    state.counters["s_" + name] = benchmark::Counter(secs);
+  }
+  state.counters["probes"] = benchmark::Counter(static_cast<double>(r.probes.size()));
+  state.counters["phi"] = benchmark::Counter(static_cast<double>(r.phi));
+  state.counters["labels_computed"] =
+      benchmark::Counter(static_cast<double>(r.stats.node_updates));
+  state.counters["flow_seconds"] = benchmark::Counter(r.seconds);
+}
+
+void BM_FlowTurboMap(benchmark::State& state) {
+  const Circuit c = generate_fsm_circuit(tiny_suite()[2]);
+  FlowOptions opt;
+  FlowResult r;
+  for (auto _ : state) {
+    r = run_turbomap(c, opt);
+    benchmark::DoNotOptimize(r);
+  }
+  set_flow_counters(state, r);
+}
+BENCHMARK(BM_FlowTurboMap)->Unit(benchmark::kMillisecond);
+
+void BM_FlowTurboSyn(benchmark::State& state) {
+  const Circuit c = generate_fsm_circuit(tiny_suite()[0]);
+  FlowOptions opt;
+  FlowResult r;
+  for (auto _ : state) {
+    r = run_turbosyn(c, opt);
+    benchmark::DoNotOptimize(r);
+  }
+  set_flow_counters(state, r);
+}
+BENCHMARK(BM_FlowTurboSyn)->Unit(benchmark::kMillisecond);
+
+void BM_FlowFlowSynS(benchmark::State& state) {
+  const Circuit c = generate_fsm_circuit(tiny_suite()[2]);
+  FlowOptions opt;
+  FlowResult r;
+  for (auto _ : state) {
+    r = run_flowsyn_s(c, opt);
+    benchmark::DoNotOptimize(r);
+  }
+  set_flow_counters(state, r);
+}
+BENCHMARK(BM_FlowFlowSynS)->Unit(benchmark::kMillisecond);
+
+void BM_FlowTurboMapPeriod(benchmark::State& state) {
+  const Circuit c = generate_fsm_circuit(tiny_suite()[2]);
+  FlowOptions opt;
+  FlowResult r;
+  for (auto _ : state) {
+    r = run_turbomap_period(c, opt);
+    benchmark::DoNotOptimize(r);
+  }
+  set_flow_counters(state, r);
+}
+BENCHMARK(BM_FlowTurboMapPeriod)->Unit(benchmark::kMillisecond);
 
 void BM_SequentialSimulation(benchmark::State& state) {
   const Circuit c = generate_fsm_circuit(table1_suite()[0]);

@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "base/budget_cli.hpp"
+#include "base/flow_cli.hpp"
 #include "core/flows.hpp"
 #include "core/labeling.hpp"
 #include "verify/audit.hpp"
@@ -55,20 +55,16 @@ Probe run_probe(const turbosyn::Circuit& c, int phi, bool use_pld, int threads,
 
 int main(int argc, char** argv) {
   using namespace turbosyn;
-  bool quick = false;
-  int threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") quick = true;
-    if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
-  }
+  const FlowCli cli = flow_cli_from_args(argc, argv);
   std::vector<BenchmarkSpec> suite = table1_suite();
-  if (quick) suite.resize(6);
+  if (cli.quick) suite.resize(6);
 
-  const bool audit = audit_flag_from_cli(argc, argv);
+  const bool audit = cli.audit;
   FlowOptions opt;
-  opt.num_threads = threads;
-  opt.budget = budget_from_cli(argc, argv);
+  opt.num_threads = cli.threads;
+  opt.budget = cli.budget;
   opt.collect_artifacts = audit;
+  opt.trace = cli.trace();
   bool audits_ok = true;
   TextTable table({"circuit", "phi*", "PLD sweeps", "PLD s", "n^2 sweeps", "n^2 s",
                    "speedup"});
@@ -82,13 +78,13 @@ int main(int argc, char** argv) {
       std::cerr << "[pld] " << spec.name << " skipped (phi* = 1, no infeasible probe)\n";
       continue;
     }
-    const Probe with_pld = run_probe(c, tm.phi - 1, /*use_pld=*/true, threads, opt.budget);
+    const Probe with_pld = run_probe(c, tm.phi - 1, /*use_pld=*/true, cli.threads, opt.budget);
     // The n^2 baseline is cut off at 200x the PLD sweep count so large
     // circuits finish; a truncated run makes the reported speedup a lower
     // bound (marked with ">").
     const std::int64_t budget = 200 * std::max<std::int64_t>(1, with_pld.sweeps);
     const Probe without =
-        run_probe(c, tm.phi - 1, /*use_pld=*/false, threads, opt.budget, budget);
+        run_probe(c, tm.phi - 1, /*use_pld=*/false, cli.threads, opt.budget, budget);
     // The label engine distinguishes a sweep-budget stop (kDegraded: no
     // infeasibility certificate) from a genuine divergence certificate (kOk),
     // so truncation is read off the status instead of the sweep count.
@@ -113,5 +109,6 @@ int main(int argc, char** argv) {
     std::cout << "\ngeomean speedup = " << format_double(std::exp(log_speedup / rows), 1)
               << "x   (paper: 10~50x)\n";
   }
+  if (!cli.write_trace()) return 1;
   return audits_ok ? 0 : 1;
 }

@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "base/budget_cli.hpp"
+#include "base/flow_cli.hpp"
 #include "core/flows.hpp"
 #include "verify/audit.hpp"
 #include "workloads/generator.hpp"
@@ -21,25 +21,19 @@
 
 int main(int argc, char** argv) {
   using namespace turbosyn;
-  bool quick = false;
-  bool full = false;
-  int threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") quick = true;
-    if (std::string(argv[i]) == "--full") full = true;
-    if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
-  }
+  const FlowCli cli = flow_cli_from_args(argc, argv);
   std::vector<BenchmarkSpec> suite = scaling_suite();
-  if (quick) suite.resize(3);
+  if (cli.quick) suite.resize(3);
   // TurboSYN on the largest circuits takes tens of minutes; by default it
   // runs up to 4k gates (TurboMap covers the full range), --full runs all.
-  const int ts_gate_limit = full ? 1 << 30 : 4000;
+  const int ts_gate_limit = cli.full ? 1 << 30 : 4000;
 
-  const bool audit = audit_flag_from_cli(argc, argv);
+  const bool audit = cli.audit;
   FlowOptions opt;
-  opt.num_threads = threads;
-  opt.budget = budget_from_cli(argc, argv);
+  opt.num_threads = cli.threads;
+  opt.budget = cli.budget;
   opt.collect_artifacts = audit;
+  opt.trace = cli.trace();
   bool audits_ok = true;
   TextTable table({"circuit", "GATE", "FF", "TM phi", "TM s", "TS phi", "TS s", "TS sweeps"});
   for (const BenchmarkSpec& spec : suite) {
@@ -65,5 +59,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "Scalability — TurboMap / TurboSYN runtime vs circuit size (K=5)\n";
   table.print(std::cout);
+  if (!cli.write_trace()) return 1;
   return audits_ok ? 0 : 1;
 }

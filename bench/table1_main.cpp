@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "base/budget_cli.hpp"
+#include "base/flow_cli.hpp"
 #include "core/flows.hpp"
 #include "netlist/circuit.hpp"
 #include "verify/audit.hpp"
@@ -30,21 +30,17 @@ double phi_of(const turbosyn::FlowResult& r) { return static_cast<double>(r.phi)
 
 int main(int argc, char** argv) {
   using namespace turbosyn;
-  bool quick = false;
-  int threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") quick = true;
-    if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
-  }
+  const FlowCli cli = flow_cli_from_args(argc, argv);
 
   std::vector<BenchmarkSpec> suite = table1_suite();
-  if (quick) suite.resize(6);
+  if (cli.quick) suite.resize(6);
 
-  const bool audit = audit_flag_from_cli(argc, argv);
+  const bool audit = cli.audit;
   FlowOptions opt;  // K = 5, PLD on, as in the paper
-  opt.num_threads = threads;
-  opt.budget = budget_from_cli(argc, argv);
+  opt.num_threads = cli.threads;
+  opt.budget = cli.budget;
   opt.collect_artifacts = audit;
+  opt.trace = cli.trace();
   bool audits_ok = true;
   TextTable table({"circuit", "GATE", "FF", "FS-s phi", "FS-s s", "TM phi", "TM s", "TS phi",
                    "TS s"});
@@ -87,5 +83,6 @@ int main(int argc, char** argv) {
             << format_double(gm_fs / gm_ts) << "x   (paper: 1.72x)\n";
   std::cout << "                         TurboSYN vs TurboMap  = "
             << format_double(gm_tm / gm_ts) << "x   (paper: 1.96x)\n";
+  if (!cli.write_trace()) return 1;
   return audits_ok ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 //
 //   $ ./blif_flow input.blif output.blif [K] [turbosyn|turbomap|flowsyn_s]
 //               [--audit]  (re-verify every invariant of the result)
+//               [--trace-json=PATH]  (per-stage/per-probe trace of the run)
 //               [--deadline-ms N] [--bdd-node-budget N] ...  (run budgets)
 //
 // Reads a SIS-style BLIF netlist, decomposes wide gates to make it
@@ -15,8 +16,8 @@
 #include <string>
 #include <vector>
 
-#include "base/budget_cli.hpp"
 #include "base/check.hpp"
+#include "base/flow_cli.hpp"
 #include "core/flows.hpp"
 #include "decomp/gate_decomp.hpp"
 #include "netlist/blif.hpp"
@@ -27,18 +28,20 @@
 int main(int argc, char** argv) {
   using namespace turbosyn;
   try {
-    // Budget flags ("--flag value") and the value-less --audit may appear
-    // anywhere; everything else is positional.
+    // Flags ("--flag value", "--flag=value" and the value-less --audit) may
+    // appear anywhere; everything else is positional.
     std::vector<std::string> pos;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
       if (a.rfind("--", 0) == 0) {
-        if (a != "--audit" && i + 1 < argc) ++i;  // skip the flag's value
+        if (a != "--audit" && a.find('=') == std::string::npos && i + 1 < argc) {
+          ++i;  // skip the flag's value
+        }
         continue;
       }
       pos.push_back(a);
     }
-    const bool audit = audit_flag_from_cli(argc, argv);
+    const FlowCli cli = flow_cli_from_args(argc, argv);
     Circuit input =
         !pos.empty() ? read_blif_file(pos[0]) : read_blif_string(pattern_fsm_blif());
     const int k = pos.size() > 2 ? std::stoi(pos[2]) : 5;
@@ -54,8 +57,9 @@ int main(int argc, char** argv) {
 
     FlowOptions options;
     options.k = k;
-    options.budget = budget_from_cli(argc, argv);
-    options.collect_artifacts = audit;
+    options.budget = cli.budget;
+    options.collect_artifacts = cli.audit;
+    options.trace = cli.trace();
     FlowResult result;
     if (flow == "turbomap") {
       result = run_turbomap(input, options);
@@ -75,7 +79,7 @@ int main(int argc, char** argv) {
       std::cout << "note: " << result.degraded_nodes.size()
                 << " node(s) degraded to plain K-cut labels under resource ceilings\n";
     }
-    if (audit && !audit_and_report(input, result, options, flow, std::cout)) return 1;
+    if (cli.audit && !audit_and_report(input, result, options, flow, std::cout)) return 1;
 
     if (pos.size() > 1) {
       write_blif_file(result.mapped, pos[1], "mapped");
@@ -83,6 +87,7 @@ int main(int argc, char** argv) {
     } else {
       std::cout << write_blif_string(result.mapped, "mapped");
     }
+    if (!cli.write_trace()) return 1;
   } catch (const turbosyn::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -3,16 +3,16 @@
 //
 //   $ ./quickstart [--threads N]   (0 = all cores, 1 = sequential)
 //                  [--audit]       (re-verify every invariant of the result)
+//                  [--trace-json=PATH]  (per-stage/per-probe trace of the run)
 //                  [--deadline-ms N] [--bdd-node-budget N] ...  (run budgets)
 //
 // The circuit is a 3-bit counter with enable (embedded as a string); the
 // same code works for any SIS-style BLIF file via read_blif_file().
 
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
-#include "base/budget_cli.hpp"
+#include "base/flow_cli.hpp"
 #include "core/flows.hpp"
 #include "netlist/blif.hpp"
 #include "retime/cycle_ratio.hpp"
@@ -21,12 +21,7 @@
 
 int main(int argc, char** argv) {
   using namespace turbosyn;
-  int threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
-  }
-  const RunBudget budget = budget_from_cli(argc, argv);
-  const bool audit = audit_flag_from_cli(argc, argv);
+  const FlowCli cli = flow_cli_from_args(argc, argv);
 
   // 1. Load a sequential circuit (latches become edge weights of the
   //    retiming graph).
@@ -39,9 +34,10 @@ int main(int argc, char** argv) {
   //    with sequential functional decomposition).
   FlowOptions options;
   options.k = 4;
-  options.num_threads = threads;  // 0 = use every core for the label engine
-  options.budget = budget;        // unlimited unless budget flags were given
-  options.collect_artifacts = audit;
+  options.num_threads = cli.threads;  // 0 = use every core for the label engine
+  options.budget = cli.budget;        // unlimited unless budget flags were given
+  options.collect_artifacts = cli.audit;
+  options.trace = cli.trace();  // nullptr unless --trace-json was given
   const FlowResult result = run_turbosyn(counter, options);
 
   std::cout << "TurboSYN result:\n";
@@ -52,12 +48,25 @@ int main(int argc, char** argv) {
   std::cout << "  LUTs / FFs             = " << result.luts << " / " << result.ffs << '\n';
   std::cout << "  clock period after pipelining + retiming = " << result.period << " (with "
             << result.pipeline_stages << " pipeline stages)\n";
-  std::cout << "  label sweeps           = " << result.stats.sweeps << "\n\n";
+  std::cout << "  label sweeps           = " << result.stats.sweeps << "\n";
 
-  // 3. Optionally re-verify every claimed invariant of the result.
-  if (audit && !audit_and_report(counter, result, options, "turbosyn", std::cout)) return 1;
+  // 3. Each flow carries a per-stage wall-time/counter breakdown.
+  std::cout << "  stage breakdown        =";
+  for (const StageMetric& stage : result.stage_metrics.stages) {
+    std::cout << ' ' << stage.name;
+  }
+  std::cout << " (" << result.probes.size() << " label probes)\n\n";
 
-  // 4. The mapped network is a Circuit like any other: write it as BLIF.
+  // 4. Optionally re-verify every claimed invariant of the result.
+  if (cli.audit && !audit_and_report(counter, result, options, "turbosyn", std::cout)) return 1;
+
+  // 5. The mapped network is a Circuit like any other: write it as BLIF.
   std::cout << "mapped network as BLIF:\n" << write_blif_string(result.mapped, "counter3_mapped");
+
+  // 6. With --trace-json=PATH, dump the span tree the flow recorded.
+  if (!cli.write_trace()) return 1;
+  if (!cli.trace_json_path.empty()) {
+    std::cout << "\nwrote trace to " << cli.trace_json_path << '\n';
+  }
   return 0;
 }

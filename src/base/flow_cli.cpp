@@ -1,0 +1,56 @@
+#include "base/flow_cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "base/budget_cli.hpp"
+#include "base/trace.hpp"
+
+namespace turbosyn {
+
+FlowCli::FlowCli() = default;
+FlowCli::~FlowCli() = default;
+FlowCli::FlowCli(FlowCli&&) noexcept = default;
+FlowCli& FlowCli::operator=(FlowCli&&) noexcept = default;
+
+bool FlowCli::write_trace() const {
+  if (trace_json_path.empty()) return true;
+  if (!trace_sink_->write_json_file(trace_json_path)) {
+    std::cerr << "error: cannot write trace to " << trace_json_path << '\n';
+    return false;
+  }
+  return true;
+}
+
+FlowCli flow_cli_from_args(int argc, char** argv) {
+  FlowCli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threads" && i + 1 < argc) {
+      cli.threads = std::atoi(argv[++i]);
+    } else if (a == "--audit") {
+      cli.audit = true;
+    } else if (a == "--quick") {
+      cli.quick = true;
+    } else if (a == "--full") {
+      cli.full = true;
+    } else if (a.rfind("--trace-json=", 0) == 0) {
+      cli.trace_json_path = a.substr(std::string("--trace-json=").size());
+    } else if (a == "--trace-json" && i + 1 < argc) {
+      cli.trace_json_path = argv[++i];
+    }
+  }
+  cli.budget = budget_from_cli(argc, argv);
+  if (!cli.trace_json_path.empty()) cli.trace_sink_ = std::make_unique<TraceSink>();
+  return cli;
+}
+
+std::string flow_cli_help() {
+  std::string help =
+      "[--threads N] (0 = all cores, 1 = sequential) [--audit] [--quick | --full]\n"
+      "[--trace-json=PATH] (per-stage/per-probe trace of the run)\n";
+  help += budget_cli_help();
+  return help;
+}
+
+}  // namespace turbosyn

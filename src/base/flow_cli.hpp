@@ -1,0 +1,66 @@
+#pragma once
+// Shared command-line plumbing for the flow-running mains.
+//
+// Every example and benchmark main accepts the same knobs; parsing them
+// lived as near-identical loops in eight mains before this header. One call
+// collects them all:
+//
+//   --threads N          label engine parallelism (0 = all cores, 1 = seq)
+//   --audit              re-verify every invariant of each result
+//   --quick / --full     benchmark regime selectors (mains interpret them)
+//   --trace-json=PATH    write a per-stage/per-probe trace of the run(s)
+//                        (see base/trace.hpp for the schema); also accepted
+//                        as "--trace-json PATH"
+//   --deadline-ms N and the other run-budget ceilings (base/budget_cli.hpp);
+//   a SIGINT handler is installed so Ctrl-C cancels cooperatively.
+//
+// Unrecognized arguments are ignored, so positional arguments and
+// main-specific flags pass through untouched.
+
+#include <memory>
+#include <string>
+
+#include "base/run_budget.hpp"
+
+namespace turbosyn {
+
+class TraceSink;
+
+class FlowCli {
+ public:
+  FlowCli();
+  ~FlowCli();
+  FlowCli(FlowCli&&) noexcept;
+  FlowCli& operator=(FlowCli&&) noexcept;
+
+  int threads = 0;
+  bool audit = false;
+  bool quick = false;
+  bool full = false;
+  RunBudget budget;
+  std::string trace_json_path;  // empty: tracing disabled
+
+  /// The owned trace sink, or nullptr when --trace-json was not given.
+  /// Assign to FlowOptions::trace.
+  TraceSink* trace() const { return trace_sink_.get(); }
+
+  /// Writes the trace JSON to --trace-json's path. No-op (returning true)
+  /// when tracing is disabled; prints to stderr and returns false when the
+  /// file cannot be written. Call once after the flows finish.
+  bool write_trace() const;
+
+ private:
+  friend FlowCli flow_cli_from_args(int argc, char** argv);
+  std::unique_ptr<TraceSink> trace_sink_;
+};
+
+/// Scans argv for the flags above (ignoring unrelated arguments), wires the
+/// budget to global_cancel_token(), and installs the SIGINT handler. Call
+/// once at the top of main().
+FlowCli flow_cli_from_args(int argc, char** argv);
+
+/// Usage blurb for the flags flow_cli_from_args() understands (includes the
+/// budget flags).
+std::string flow_cli_help();
+
+}  // namespace turbosyn

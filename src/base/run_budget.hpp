@@ -41,6 +41,12 @@ const char* status_name(Status s);
 /// Degraded > Ok).
 Status combine_status(Status a, Status b);
 
+/// The run was stopped before finishing (vs merely degraded): results are
+/// best-so-far, labels from such a probe must not be used for mapping.
+inline bool is_interrupt(Status s) {
+  return s == Status::kDeadlineExceeded || s == Status::kCancelled;
+}
+
 /// Cooperative cancellation flag. cancel() is async-signal-safe (a lock-free
 /// atomic store), so it may be called from a SIGINT handler; workers observe
 /// it through RunBudget::check() between tasks and at sweep boundaries.

@@ -1,0 +1,154 @@
+#include "core/driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "base/check.hpp"
+#include "base/trace.hpp"
+
+namespace turbosyn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void add_counter(StageMetric& metric, const char* name, std::int64_t value) {
+  if (value == 0) return;
+  for (auto& [n, v] : metric.counters) {
+    if (n == name) {
+      v += value;
+      return;
+    }
+  }
+  metric.counters.emplace_back(name, value);
+}
+
+}  // namespace
+
+const char* artifact_name(ArtifactId id) {
+  switch (id) {
+    case ArtifactId::kInputCircuit:
+      return "input-circuit";
+    case ArtifactId::kUpperBound:
+      return "upper-bound";
+    case ArtifactId::kWinningLabels:
+      return "winning-labels";
+    case ArtifactId::kMappedNetwork:
+      return "mapped-network";
+    case ArtifactId::kPackedNetwork:
+      return "packed-network";
+    case ArtifactId::kTiming:
+      return "timing";
+  }
+  return "?";
+}
+
+FlowContext::FlowContext(const Circuit& input_circuit, const FlowOptions& flow_options,
+                         ProbeLedger& probe_ledger)
+    : input(input_circuit), options(flow_options), ledger(probe_ledger),
+      trace(flow_options.trace) {}
+
+bool FlowContext::has(ArtifactId id) const {
+  return (artifacts_ & (1u << static_cast<unsigned>(id))) != 0;
+}
+
+void FlowContext::provide(ArtifactId id) { artifacts_ |= 1u << static_cast<unsigned>(id); }
+
+void FlowContext::count(const char* counter_name, std::int64_t value) {
+  if (current_metric_ != nullptr) add_counter(*current_metric_, counter_name, value);
+}
+
+FlowDriver::FlowDriver(const Circuit& c, const FlowOptions& options)
+    : owned_ledger_(std::make_unique<ProbeLedger>()), ctx_(c, options, *owned_ledger_) {
+  ctx_.provide(ArtifactId::kInputCircuit);
+}
+
+FlowDriver::FlowDriver(const Circuit& c, const FlowOptions& options, ProbeLedger& ledger)
+    : ctx_(c, options, ledger) {
+  ctx_.provide(ArtifactId::kInputCircuit);
+}
+
+void FlowDriver::run(Stage& stage) {
+  for (const ArtifactId a : stage.consumes()) {
+    TS_CHECK(ctx_.has(a), "stage '" << stage.name() << "' consumes missing artifact '"
+                                    << artifact_name(a) << "'");
+  }
+  for (const ArtifactId a : stage.produces()) {
+    TS_CHECK(!ctx_.has(a), "stage '" << stage.name() << "' would produce artifact '"
+                                     << artifact_name(a) << "' twice");
+  }
+  StageMetric metric;
+  metric.name = stage.name();
+  // Snapshot the shared stats so the metric reports this stage's delta.
+  const LabelStats before = ctx_.result.stats;
+  TraceSpan span(ctx_.trace, std::string("stage:") + stage.name());
+  const auto start = Clock::now();
+  ctx_.current_metric_ = &metric;
+  stage.run(ctx_);
+  ctx_.current_metric_ = nullptr;
+  metric.seconds = seconds_since(start);
+  const LabelStats& after = ctx_.result.stats;
+  add_counter(metric, "labels_computed", after.node_updates - before.node_updates);
+  add_counter(metric, "cut_tests", after.cut_tests - before.cut_tests);
+  add_counter(metric, "flow_augmentations",
+              after.flow_augmentations - before.flow_augmentations);
+  add_counter(metric, "decomp_attempts", after.decomp_attempts - before.decomp_attempts);
+  add_counter(metric, "decomp_cache_hits", after.cache_hits - before.cache_hits);
+  for (const auto& [name, value] : metric.counters) span.counter(name, value);
+  for (const ArtifactId a : stage.produces()) ctx_.provide(a);
+  ctx_.result.stage_metrics.stages.push_back(std::move(metric));
+}
+
+void FlowDriver::run(const StageList& stages) {
+  for (const auto& stage : stages) run(*stage);
+}
+
+FlowResult FlowDriver::finish() {
+  ctx_.result.probes = ctx_.ledger.records();
+  fill_flow_diagnostics(ctx_.result, ctx_.input);
+  return std::move(ctx_.result);
+}
+
+void fill_flow_diagnostics(FlowResult& result, const Circuit& c) {
+  result.timed_out = is_interrupt(result.status);
+  std::vector<NodeId> nodes = result.stats.degraded_nodes;
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  result.degraded_nodes.clear();
+  result.degraded_nodes.reserve(nodes.size());
+  for (const NodeId v : nodes) result.degraded_nodes.push_back(c.name(v));
+}
+
+LabelResult ledger_probe(FlowContext& ctx, LabelEngine& engine, LabelMode mode, int phi) {
+  TS_CHECK(!ctx.ledger.contains(mode, phi),
+           "phi=" << phi << " (" << label_mode_name(mode) << ") already probed this run");
+  TraceSpan span(ctx.trace, "probe",
+                 std::string(label_mode_name(mode)) + " phi=" + std::to_string(phi));
+  const auto start = Clock::now();
+  LabelResult r = engine.compute(phi);
+  ProbeRecord rec;
+  rec.phi = phi;
+  rec.mode = mode;
+  rec.outcome = classify_probe(r);
+  rec.status = r.status;
+  rec.feasible = r.feasible;
+  rec.label_hash = r.feasible ? hash_labels(r.labels) : 0;
+  rec.max_po_label = r.max_po_label;
+  rec.stats = r.stats;
+  rec.seconds = seconds_since(start);
+  span.counter("labels_computed", r.stats.node_updates);
+  span.counter("cut_tests", r.stats.cut_tests);
+  span.counter("flow_augmentations", r.stats.flow_augmentations);
+  span.counter("decomp_attempts", r.stats.decomp_attempts);
+  span.counter("decomp_cache_hits", r.stats.cache_hits);
+  ctx.ledger.record(std::move(rec));
+  ctx.count("probes", 1);
+  return r;
+}
+
+}  // namespace turbosyn

@@ -38,6 +38,7 @@ void ExpandedNetwork::build(const Circuit& c, std::span<const int> labels, int p
   options_ = options;
   viable_ = true;
   flow_budget_hit_ = false;
+  augmentations_ = 0;
   num_nodes_ = 0;
   // O(1) index clear; on epoch wrap-around the stale stamps must be wiped.
   if (++index_epoch_ == 0) {
@@ -193,6 +194,7 @@ std::optional<std::vector<SeqCutNode>> ExpandedNetwork::find_cut_impl(
 
   const std::int64_t value =
       flow_.compute(source, sink, value_limit, options_.flow_augment_budget);
+  augmentations_ += flow_.last_augmentations();
   if (value > value_limit) {
     if (flow_.augment_budget_hit()) flow_budget_hit_ = true;
     return std::nullopt;

@@ -90,6 +90,9 @@ class ExpandedNetwork {
   /// augmentation budget — its "no cut" answer was imposed, not proven.
   bool flow_budget_hit() const { return flow_budget_hit_; }
 
+  /// Augmenting paths found by cut queries since the last build().
+  std::int64_t augmentations() const { return augmentations_; }
+
   /// Minimum cut with all cut nodes allowed at the height limit and size
   /// <= size_limit; nullopt if none (or !viable()). Sorted, deterministic.
   std::optional<std::vector<SeqCutNode>> find_cut(int size_limit);
@@ -134,6 +137,7 @@ class ExpandedNetwork {
   ExpandedOptions options_;
   bool viable_ = true;
   bool flow_budget_hit_ = false;
+  std::int64_t augmentations_ = 0;
 
   // Node store: slots [0, num_nodes_) are live for the current query; the
   // vector is never shrunk, so per-node fanin arrays keep their capacity.

@@ -1,16 +1,17 @@
 #include "core/flows.hpp"
 
-#include <algorithm>
 #include <chrono>
+#include <memory>
+#include <utility>
 
-#include "base/check.hpp"
-#include "base/logging.hpp"
-#include "mapping/dedupe.hpp"
-#include "mapping/flowmap.hpp"
-#include "mapping/pack.hpp"
-#include "mapping/seq_split.hpp"
-#include "retime/cycle_ratio.hpp"
-#include "retime/retiming.hpp"
+#include "base/trace.hpp"
+#include "core/driver.hpp"
+#include "core/stages/flowsyn_map.hpp"
+#include "core/stages/mapgen_stage.hpp"
+#include "core/stages/pack_stage.hpp"
+#include "core/stages/phi_search.hpp"
+#include "core/stages/pipeline_retime_stage.hpp"
+#include "core/stages/ub_probe.hpp"
 
 namespace turbosyn {
 namespace {
@@ -21,179 +22,18 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-void accumulate(LabelStats& into, const LabelStats& from) {
-  into.sweeps += from.sweeps;
-  into.node_updates += from.node_updates;
-  into.cut_tests += from.cut_tests;
-  into.decomp_attempts += from.decomp_attempts;
-  into.decomp_successes += from.decomp_successes;
-  into.bdd_budget_hits += from.bdd_budget_hits;
-  into.decomp_budget_hits += from.decomp_budget_hits;
-  into.flow_budget_hits += from.flow_budget_hits;
-  into.degraded_nodes.insert(into.degraded_nodes.end(), from.degraded_nodes.begin(),
-                             from.degraded_nodes.end());
-}
-
-bool is_interrupt(Status s) {
-  return s == Status::kDeadlineExceeded || s == Status::kCancelled;
-}
-
-/// Derives the user-facing diagnostics from the accumulated status/stats.
-void fill_diagnostics(FlowResult& result, const Circuit& c) {
-  result.timed_out = is_interrupt(result.status);
-  std::vector<NodeId> nodes = result.stats.degraded_nodes;
-  std::sort(nodes.begin(), nodes.end());
-  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
-  result.degraded_nodes.clear();
-  result.degraded_nodes.reserve(nodes.size());
-  for (const NodeId v : nodes) result.degraded_nodes.push_back(c.name(v));
-}
-
-/// Packing + metric extraction + optional pipelining/retiming, shared by all
-/// flows once a mapped network exists.
-void finalize(FlowResult& result, const FlowOptions& options, Circuit mapped) {
-  if (options.dedupe) mapped = dedupe_luts(mapped);
-  if (options.pack) mapped = pack_luts(mapped, options.k);
-  result.luts = mapped.num_gates();
-  result.ffs = mapped.num_ffs_shared();
-  result.exact_mdr = circuit_mdr(mapped).ratio;
-  if (options.pipeline) {
-    // Measure the achievable period on a copy: `mapped` stays un-retimed so
-    // it is cycle-accurate equivalent to the input from the all-zero state.
-    Circuit pipelined = mapped;
-    const PipelineResult p = pipeline_and_retime(pipelined, 64, &options.budget);
-    result.period = p.period;
-    result.pipeline_stages = p.stages;
-    result.status = combine_status(result.status, p.status);
-  }
-  result.mapped = std::move(mapped);
-}
-
-/// Outcome of a ratio search: the best phi proven feasible (when any was),
-/// and the worst status any probe — or the budget itself — reported.
-struct SearchVerdict {
-  int phi = 0;
-  bool have_best = false;
-  Status status = Status::kOk;
-};
-
-/// Binary search for the smallest phi in [1, ub] whose label computation is
-/// feasible; writes the winning labels. `ub` must be feasible (on an
-/// unlimited run; under a budget the search may stop early and report the
-/// best feasible probe so far — or none — with a non-kOk status). One
-/// LabelEngine serves every probe, so all of them share the decomposition
-/// cache and each warm-starts from the nearest previously feasible probe.
-/// `known_ub` (optional): a LabelResult already proven feasible at phi == ub;
-/// the search then starts from it and never re-probes ub.
-SearchVerdict search_min_ratio(const Circuit& c, int ub, const LabelOptions& lopts,
-                               LabelResult& best, LabelStats& stats,
-                               const LabelResult* known_ub = nullptr) {
-  LabelEngine engine(c, lopts);
-  SearchVerdict verdict;
-  int lo = 1;
-  int hi = ub;
-  const auto interrupted_before_probe = [&] {
-    if (!lopts.budget.interrupted()) return false;
-    verdict.status = combine_status(verdict.status, lopts.budget.check());
-    return true;
-  };
-  if (known_ub != nullptr) {
-    best = *known_ub;
-    verdict.have_best = true;
-    verdict.status = combine_status(verdict.status, known_ub->status);
-    hi = ub - 1;
-    // Descending scan instead of bisection. Feasibility is monotone in phi,
-    // so both find the same minimum; but each feasible probe warm-starts
-    // from the previous one (a few sweeps), while every infeasible probe
-    // must run to a divergence certificate — the dominant cost, especially
-    // with decomposition, where the isolation early-exit is unsound and
-    // disabled. Scanning downward pays for exactly one infeasible probe;
-    // bisection would hit about half of log2(ub) of them. As a bonus, an
-    // interrupt mid-scan simply keeps the last feasible probe as the
-    // anytime answer.
-    while (hi >= lo) {
-      if (interrupted_before_probe()) break;
-      LabelResult r = engine.compute(hi);
-      accumulate(stats, r.stats);
-      verdict.status = combine_status(verdict.status, r.status);
-      TS_DEBUG("phi=" << hi << (r.feasible ? " feasible" : " infeasible") << " sweeps="
-                      << r.stats.sweeps);
-      if (!r.feasible) break;  // certificate, budget verdict, or interrupt
-      best = std::move(r);
-      --hi;
-    }
-    verdict.phi = hi + 1;
-    return verdict;
-  }
-  while (lo <= hi) {
-    if (interrupted_before_probe()) break;
-    const int mid = lo + (hi - lo) / 2;
-    LabelResult r = engine.compute(mid);
-    accumulate(stats, r.stats);
-    verdict.status = combine_status(verdict.status, r.status);
-    TS_DEBUG("phi=" << mid << (r.feasible ? " feasible" : " infeasible") << " sweeps="
-                    << r.stats.sweeps);
-    if (is_interrupt(r.status)) break;  // labels did not converge: unusable
-    if (r.feasible) {
-      best = std::move(r);
-      verdict.have_best = true;
-      hi = mid - 1;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  if (!verdict.have_best) {
-    // Only a budget can make the identity-mapping upper bound "infeasible".
-    TS_CHECK(verdict.status != Status::kOk, "upper bound ratio was not feasible");
-    return verdict;
-  }
-  verdict.phi = hi + 1;
-  return verdict;
-}
-
-FlowResult run_mdr_flow(const Circuit& c, const FlowOptions& options, bool decompose, int ub,
-                        const LabelResult* known_ub = nullptr,
-                        LabelResult* out_labels = nullptr) {
-  const auto start = Clock::now();
-  FlowResult result;
-  const LabelOptions lopts = options.label_options(decompose);
-  LabelResult labels;
-  const SearchVerdict verdict = search_min_ratio(c, ub, lopts, labels, result.stats, known_ub);
-  result.status = verdict.status;
-  if (out_labels != nullptr) *out_labels = labels;
-  if (!verdict.have_best) {
-    // The run was stopped before any probe converged. The identity mapping
-    // (the K-bounded input itself, one LUT per gate) is always valid, so the
-    // anytime answer is the input network at the search's upper bound.
-    result.phi = ub;
-    finalize(result, options, c);
-    fill_diagnostics(result, c);
-    result.seconds = seconds_since(start);
-    return result;
-  }
-  result.phi = verdict.phi;
-  MapGenOptions mopts;
-  mopts.label_relaxation = options.label_relaxation;
-  mopts.low_cost_cuts = options.low_cost_cuts;
-  Circuit mapped = generate_sequential_mapping(
-      c, labels, result.phi, lopts, mopts, result.stats,
-      options.collect_artifacts ? &result.artifacts.records : nullptr);
-  if (options.collect_artifacts) {
-    result.artifacts.valid = true;
-    result.artifacts.phi = result.phi;
-    result.artifacts.labels = std::move(labels);
-  }
-  finalize(result, options, std::move(mapped));
-  fill_diagnostics(result, c);
-  result.seconds = seconds_since(start);
-  return result;
-}
-
-/// Upper bound for the TurboMap binary search: the identity mapping (one LUT
-/// per gate) is always a valid mapping, so ceil(MDR of the input) works.
-int identity_mapping_ub(const Circuit& c) {
-  const Rational mdr = circuit_mdr(c).ratio;
-  return static_cast<int>(std::max<std::int64_t>(1, mdr.ceil()));
+/// The TurboMap pipeline: identity-mapping upper bound, plain-label
+/// bisection, mapping generation, packing, pipelining + retiming. Also
+/// phase A of TurboSYN.
+StageList turbomap_stages() {
+  StageList stages;
+  stages.push_back(std::make_unique<UbProbeStage>(UbProbeStage::Kind::kIdentityMdr));
+  stages.push_back(std::make_unique<PhiSearchStage>(PhiSearchStage::Config{}));
+  stages.push_back(std::make_unique<MapGenStage>());
+  stages.push_back(std::make_unique<PackStage>());
+  stages.push_back(
+      std::make_unique<PipelineRetimeStage>(PipelineRetimeStage::Kind::kPipelineRetime));
+  return stages;
 }
 
 }  // namespace
@@ -213,136 +53,128 @@ LabelOptions FlowOptions::label_options(bool enable_decomposition) const {
   return l;
 }
 
+std::int64_t StageMetric::counter(const std::string& counter_name) const {
+  for (const auto& [name, value] : counters) {
+    if (name == counter_name) return value;
+  }
+  return 0;
+}
+
+double StageMetrics::total_seconds() const {
+  double total = 0.0;
+  for (const StageMetric& stage : stages) total += stage.seconds;
+  return total;
+}
+
+const StageMetric* StageMetrics::find(const std::string& stage_name) const {
+  for (const StageMetric& stage : stages) {
+    if (stage.name == stage_name) return &stage;
+  }
+  return nullptr;
+}
+
 FlowResult run_turbomap(const Circuit& c, const FlowOptions& options) {
-  return run_mdr_flow(c, options, /*decompose=*/false, identity_mapping_ub(c));
+  const auto start = Clock::now();
+  TraceSpan span(options.trace, "flow:turbomap");
+  FlowDriver driver(c, options);
+  driver.run(turbomap_stages());
+  FlowResult result = driver.finish();
+  result.seconds = seconds_since(start);
+  return result;
 }
 
 FlowResult run_turbosyn(const Circuit& c, const FlowOptions& options) {
   const auto start = Clock::now();
+  TraceSpan flow_span(options.trace, "flow:turbosyn");
+  // One no-reprobe scope across both phases: plain-mode probes from phase A
+  // and decomposition-mode probes from phase B share the ledger.
+  ProbeLedger ledger;
+
   // Step 1 of the paper's pseudo-code: TurboMap provides the upper bound UB.
   // Its labels at UB prove UB feasible for the decomposition search too
   // (every plain K-cut is a valid realization there), so the search below
   // starts from them instead of re-probing phi == UB.
-  LabelResult ub_labels;
-  FlowResult ub_run = run_mdr_flow(c, options, /*decompose=*/false, identity_mapping_ub(c),
-                                   /*known_ub=*/nullptr, &ub_labels);
-  if (!ub_labels.feasible) {
+  FlowDriver ub_driver(c, options, ledger);
+  {
+    TraceSpan phase(options.trace, "phase:turbomap-ub");
+    ub_driver.run(turbomap_stages());
+  }
+  const bool have_ub_labels = ub_driver.context().have_labels;
+  auto ub_labels = std::make_shared<LabelResult>(ub_driver.context().labels);
+  FlowResult ub_run = ub_driver.finish();
+  if (!have_ub_labels) {
     // The TurboMap stage was stopped before it proved any ratio feasible:
     // there are no labels to seed the decomposition search, so the anytime
     // answer is the TurboMap stage's own fallback result.
     ub_run.seconds = seconds_since(start);
     return ub_run;
   }
-  FlowResult result = run_mdr_flow(c, options, /*decompose=*/true, ub_run.phi, &ub_labels);
-  accumulate(result.stats, ub_run.stats);
+
+  FlowDriver driver(c, options, ledger);
+  {
+    TraceSpan phase(options.trace, "phase:turbosyn-search");
+    StageList stages;
+    stages.push_back(std::make_unique<UbProbeStage>(ub_run.phi));
+    PhiSearchStage::Config cfg;
+    cfg.schedule = PhiSearchStage::Schedule::kDescending;
+    cfg.mode = LabelMode::kDecomp;
+    cfg.seed = std::move(ub_labels);
+    stages.push_back(std::make_unique<PhiSearchStage>(std::move(cfg)));
+    stages.push_back(std::make_unique<MapGenStage>());
+    stages.push_back(std::make_unique<PackStage>());
+    stages.push_back(
+        std::make_unique<PipelineRetimeStage>(PipelineRetimeStage::Kind::kPipelineRetime));
+    driver.run(stages);
+  }
+  FlowResult result = driver.finish();
+  result.stats.accumulate(ub_run.stats);
   result.status = combine_status(result.status, ub_run.status);
-  fill_diagnostics(result, c);
+  fill_flow_diagnostics(result, c);
+  // One timeline: the TurboMap phase's stages first, then the search phase's.
+  result.stage_metrics.stages.insert(result.stage_metrics.stages.begin(),
+                                     ub_run.stage_metrics.stages.begin(),
+                                     ub_run.stage_metrics.stages.end());
   result.seconds = seconds_since(start);
   return result;
 }
 
 FlowResult run_flowsyn_s(const Circuit& c, const FlowOptions& options) {
   const auto start = Clock::now();
-  FlowResult result;
-  if (options.budget.interrupted()) {
-    // Stopped before the combinational mapping even started: the identity
-    // mapping is the anytime answer, as in the ratio searches.
-    result.status = options.budget.check();
-    finalize(result, options, c);
-    result.phi = static_cast<int>(std::max<std::int64_t>(1, result.exact_mdr.ceil()));
-    fill_diagnostics(result, c);
-    result.seconds = seconds_since(start);
-    return result;
-  }
-
-  const SequentialSplit split = split_at_registers(c);
-  FlowMapOptions fopts;
-  fopts.k = options.k;
-  fopts.enable_decomposition = true;
-  fopts.cmax = options.cmax;
-  fopts.min_cut_height_span = options.height_span;
-  fopts.use_bdd = options.use_bdd;
-  const FlowMapResult mapping = flowmap(split.comb, fopts);
-  const Circuit mapped_comb = generate_mapped_circuit(split.comb, mapping, fopts);
-  Circuit merged = merge_registers(c, split, mapped_comb);
-  finalize(result, options, std::move(merged));
-  // FlowSYN-s has no ratio search; report the ceiling of the measured MDR,
-  // with combinational circuits (MDR 0) reported as their pipelined period 1.
-  result.phi = static_cast<int>(std::max<std::int64_t>(1, result.exact_mdr.ceil()));
-  // flowmap() itself is not budget-aware; report a deadline/cancel that fired
-  // during it (the mapping above is still complete and valid).
-  result.status = combine_status(result.status, options.budget.check());
-  fill_diagnostics(result, c);
+  TraceSpan span(options.trace, "flow:flowsyn-s");
+  FlowDriver driver(c, options);
+  StageList stages;
+  stages.push_back(std::make_unique<FlowSynMapStage>());
+  // FlowSYN-s has no ratio search; phi is the ceiling of the measured MDR.
+  stages.push_back(std::make_unique<PackStage>(/*phi_from_mdr=*/true));
+  // flowmap() itself is not budget-aware; the final budget check reports a
+  // deadline/cancel that fired during it (the mapping is still complete and
+  // valid).
+  stages.push_back(std::make_unique<PipelineRetimeStage>(
+      PipelineRetimeStage::Kind::kPipelineRetime, /*final_budget_check=*/true));
+  driver.run(stages);
+  FlowResult result = driver.finish();
   result.seconds = seconds_since(start);
   return result;
 }
 
 FlowResult run_turbomap_period(const Circuit& c, const FlowOptions& options) {
   const auto start = Clock::now();
-  FlowResult result;
-  const LabelOptions lopts = options.label_options(false);
-
+  TraceSpan span(options.trace, "flow:turbomap-period");
+  FlowDriver driver(c, options);
+  StageList stages;
   // Upper bound: the unmapped circuit's clock period (identity mapping,
   // no retiming) is always achievable.
-  int ub = static_cast<int>(std::max<std::int64_t>(1, circuit_clock_period(c)));
-  LabelEngine engine(c, lopts);
-  LabelResult best;
-  bool have_best = false;
-  int lo = 1;
-  int hi = ub;
-  while (lo <= hi) {
-    if (options.budget.interrupted()) {
-      result.status = combine_status(result.status, options.budget.check());
-      break;
-    }
-    const int mid = lo + (hi - lo) / 2;
-    LabelResult r = engine.compute(mid);
-    accumulate(result.stats, r.stats);
-    result.status = combine_status(result.status, r.status);
-    if (is_interrupt(r.status)) break;  // labels did not converge: unusable
-    if (r.feasible && r.max_po_label <= mid) {
-      best = std::move(r);
-      have_best = true;
-      result.phi = mid;
-      hi = mid - 1;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  FlowOptions no_pipeline = options;
-  no_pipeline.pipeline = false;
-  if (!have_best) {
-    // Only a budget can stop the search before the always-achievable upper
-    // bound is proven; fall back to the identity mapping at that bound.
-    TS_CHECK(result.status != Status::kOk, "clock-period upper bound was not feasible");
-    result.phi = ub;
-    finalize(result, no_pipeline, c);
-    Circuit fallback_retimed = result.mapped;
-    result.period = retime_min_period(fallback_retimed);
-    result.mapped = std::move(fallback_retimed);
-    fill_diagnostics(result, c);
-    result.seconds = seconds_since(start);
-    return result;
-  }
-
-  MapGenOptions mopts;
-  mopts.label_relaxation = options.label_relaxation;
-  mopts.low_cost_cuts = options.low_cost_cuts;
-  mopts.po_label_limit = result.phi;
-  Circuit mapped = generate_sequential_mapping(
-      c, best, result.phi, lopts, mopts, result.stats,
-      options.collect_artifacts ? &result.artifacts.records : nullptr);
-  if (options.collect_artifacts) {
-    result.artifacts.valid = true;
-    result.artifacts.phi = result.phi;
-    result.artifacts.labels = std::move(best);
-  }
-  finalize(result, no_pipeline, std::move(mapped));
-  // Clock-period mode: retiming only.
-  Circuit retimed = result.mapped;
-  result.period = retime_min_period(retimed);
-  result.mapped = std::move(retimed);
-  fill_diagnostics(result, c);
+  stages.push_back(std::make_unique<UbProbeStage>(UbProbeStage::Kind::kClockPeriod));
+  PhiSearchStage::Config cfg;
+  cfg.period_objective = true;
+  stages.push_back(std::make_unique<PhiSearchStage>(std::move(cfg)));
+  stages.push_back(std::make_unique<MapGenStage>(/*po_label_limit=*/true));
+  stages.push_back(std::make_unique<PackStage>());
+  // Clock-period mode: retiming only, no pipelining.
+  stages.push_back(
+      std::make_unique<PipelineRetimeStage>(PipelineRetimeStage::Kind::kRetimeOnly));
+  driver.run(stages);
+  FlowResult result = driver.finish();
   result.seconds = seconds_since(start);
   return result;
 }

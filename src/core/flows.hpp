@@ -16,16 +16,20 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/rational.hpp"
 #include "base/run_budget.hpp"
 #include "core/labeling.hpp"
 #include "core/mapgen.hpp"
+#include "core/probe_ledger.hpp"
 #include "netlist/circuit.hpp"
 #include "retime/pipeline.hpp"
 
 namespace turbosyn {
+
+class TraceSink;
 
 struct FlowOptions {
   int k = 5;
@@ -49,8 +53,32 @@ struct FlowOptions {
   /// bit-identical to the budget-free code.
   RunBudget budget;
   ExpandedOptions expansion;
+  /// Optional trace sink (base/trace.hpp): the flow, each stage and each φ
+  /// probe emit scoped spans and counters into it. Not owned; nullptr (the
+  /// default) disables tracing entirely.
+  TraceSink* trace = nullptr;
 
   LabelOptions label_options(bool enable_decomposition) const;
+};
+
+/// Wall time and counters of one pipeline stage of a flow run. Counters are
+/// stage-local deltas (labels computed, cut tests, flow augmentations,
+/// decomposition attempts/cache hits, retime configurations, ...).
+struct StageMetric {
+  std::string name;
+  double seconds = 0.0;
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  /// Value of a named counter (0 when the stage did not emit it).
+  std::int64_t counter(const std::string& counter_name) const;
+};
+
+/// Per-stage breakdown of a flow run, in execution order. Multi-phase flows
+/// (TurboSYN) concatenate their phases into one timeline.
+struct StageMetrics {
+  std::vector<StageMetric> stages;
+  double total_seconds() const;
+  /// First stage with the given name, or nullptr.
+  const StageMetric* find(const std::string& stage_name) const;
 };
 
 /// Intermediate artifacts of a label-driven flow, kept for independent
@@ -63,6 +91,13 @@ struct FlowArtifacts {
   int phi = 0;                         // the ratio/period the labels certify
   LabelResult labels;                  // winning converged labels (input ids)
   std::vector<MappingRecord> records;  // realizations behind `mapped`
+  /// Update rule the labels converged under — tells the auditor which ledger
+  /// entry certifies them without re-deriving it from flow identity.
+  LabelMode mode = LabelMode::kPlain;
+  /// Clock-period objective: probes additionally required
+  /// max_po_label <= φ, so the minimality witness at φ-1 may be a feasible
+  /// probe rejected on its PO labels rather than an infeasibility.
+  bool po_limited = false;
 };
 
 struct FlowResult {
@@ -89,6 +124,12 @@ struct FlowResult {
   std::vector<std::string> degraded_nodes;
   /// Label/realization artifacts for the auditor (see FlowArtifacts).
   FlowArtifacts artifacts;
+  /// Per-stage wall-time/counter breakdown of the run (see StageMetrics).
+  StageMetrics stage_metrics;
+  /// Full probe ledger of the run: every (mode, φ) label probe with outcome,
+  /// label hash, stats and wall time (empty for FlowSYN-s, which runs no
+  /// ratio search). See core/probe_ledger.hpp for the soundness rules.
+  std::vector<ProbeRecord> probes;
 };
 
 FlowResult run_turbomap(const Circuit& c, const FlowOptions& options);

@@ -74,6 +74,7 @@ std::optional<NodeRealization> try_decomposition(const Circuit& c, std::span<con
   for (int h = 0; h < options.height_span; ++h) {
     net.build(c, labels, phi, v, height - h, options.expansion);
     const auto cut = net.find_cut(options.cmax);
+    stats.flow_augmentations += net.augmentations();
     if (!cut) {
       if (net.flow_budget_hit()) {
         ++stats.flow_budget_hits;
@@ -92,6 +93,7 @@ std::optional<NodeRealization> try_decomposition(const Circuit& c, std::span<con
       memo = &cache->per_node[static_cast<std::size_t>(v)];
       key = attempt_signature(*cut, eff, height);
       if (const auto it = memo->find(key); it != memo->end()) {
+        ++stats.cache_hits;
         if (!it->second) continue;  // this exact attempt already failed
         if (existence_only) return NodeRealization{};
         memoized_success = true;  // re-running a known success; exempt from
@@ -136,8 +138,10 @@ std::optional<NodeRealization> realize_node(const Circuit& c, std::span<const in
   ExpandedNetwork& net = (scratch != nullptr ? *scratch : local).net;
   net.build(c, labels, phi, v, height, options.expansion);
   ++stats.cut_tests;
-  if (auto cut = shared != nullptr ? net.find_low_cost_cut(options.k, *shared)
-                                   : net.find_cut(options.k)) {
+  auto found = shared != nullptr ? net.find_low_cost_cut(options.k, *shared)
+                                 : net.find_cut(options.k);
+  stats.flow_augmentations += net.augmentations();
+  if (auto& cut = found) {
     NodeRealization r;
     r.func = net.cut_function(*cut);
     r.cut = std::move(*cut);
@@ -195,7 +199,9 @@ int label_update(const Circuit& c, std::span<const int> labels, int phi, NodeId 
   ExpandedNetwork& net = (scratch != nullptr ? *scratch : local).net;
   net.build(c, labels, phi, v, target, options.expansion);
   ++stats.cut_tests;
-  if (net.find_cut(options.k).has_value()) return std::max(current, target);
+  const bool have_cut = net.find_cut(options.k).has_value();
+  stats.flow_augmentations += net.augmentations();
+  if (have_cut) return std::max(current, target);
   if (net.flow_budget_hit()) ++stats.flow_budget_hits;
   if (options.enable_decomposition &&
       try_decomposition(c, labels, phi, v, target, options, stats, cache, scratch,
@@ -387,18 +393,24 @@ LabelEngine::LabelEngine(const Circuit& c, const LabelOptions& options)
   }
 }
 
+void LabelStats::accumulate(const LabelStats& from) {
+  sweeps += from.sweeps;
+  node_updates += from.node_updates;
+  cut_tests += from.cut_tests;
+  decomp_attempts += from.decomp_attempts;
+  decomp_successes += from.decomp_successes;
+  cache_hits += from.cache_hits;
+  flow_augmentations += from.flow_augmentations;
+  bdd_budget_hits += from.bdd_budget_hits;
+  decomp_budget_hits += from.decomp_budget_hits;
+  flow_budget_hits += from.flow_budget_hits;
+  degraded_nodes.insert(degraded_nodes.end(), from.degraded_nodes.begin(),
+                        from.degraded_nodes.end());
+}
+
 void LabelEngine::merge_worker_stats(LabelStats& into) {
   for (LabelStats& s : lane_stats_) {
-    into.sweeps += s.sweeps;
-    into.node_updates += s.node_updates;
-    into.cut_tests += s.cut_tests;
-    into.decomp_attempts += s.decomp_attempts;
-    into.decomp_successes += s.decomp_successes;
-    into.bdd_budget_hits += s.bdd_budget_hits;
-    into.decomp_budget_hits += s.decomp_budget_hits;
-    into.flow_budget_hits += s.flow_budget_hits;
-    into.degraded_nodes.insert(into.degraded_nodes.end(), s.degraded_nodes.begin(),
-                               s.degraded_nodes.end());
+    into.accumulate(s);
     s = LabelStats{};
   }
 }

@@ -69,6 +69,8 @@ struct LabelStats {
   std::int64_t cut_tests = 0;        // flow-based K-cut existence tests
   std::int64_t decomp_attempts = 0;  // resynthesis attempts
   std::int64_t decomp_successes = 0;
+  std::int64_t cache_hits = 0;           // decomposition-memo hits
+  std::int64_t flow_augmentations = 0;   // augmenting paths across all cut tests
   // Budget interference counters (all zero on an unlimited run).
   std::int64_t bdd_budget_hits = 0;     // attempts cut short by the BDD node ceiling
   std::int64_t decomp_budget_hits = 0;  // attempts refused by the attempt ceiling
@@ -77,6 +79,9 @@ struct LabelStats {
   /// the nodes that fell back to their plain K-cut label (sound, possibly
   /// weaker). May contain repeats across sweeps; dedupe before reporting.
   std::vector<NodeId> degraded_nodes;
+
+  /// Adds `from`'s counters (and degraded-node list) onto this.
+  void accumulate(const LabelStats& from);
 };
 
 struct LabelResult {

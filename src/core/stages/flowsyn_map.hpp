@@ -1,0 +1,22 @@
+#pragma once
+// FlowSynMapStage: the FlowSYN-s baseline's combinational mapping core.
+
+#include "core/driver.hpp"
+
+namespace turbosyn {
+
+/// Cuts the circuit at all registers, maps each combinational block with
+/// FlowSYN (FlowMap + functional decomposition), and merges the registers
+/// back. No ratio search, no labels — φ is measured afterwards by
+/// PackStage(phi_from_mdr). When the budget already fired on entry the
+/// identity mapping is the anytime answer (flowmap itself is not
+/// budget-aware).
+class FlowSynMapStage final : public Stage {
+ public:
+  const char* name() const override { return "flowsyn-map"; }
+  std::vector<ArtifactId> consumes() const override { return {ArtifactId::kInputCircuit}; }
+  std::vector<ArtifactId> produces() const override { return {ArtifactId::kMappedNetwork}; }
+  void run(FlowContext& ctx) override;
+};
+
+}  // namespace turbosyn

@@ -1,0 +1,20 @@
+#include "core/stages/label_stage.hpp"
+
+#include "base/check.hpp"
+
+namespace turbosyn {
+
+void LabelStage::run(FlowContext& ctx) {
+  TS_CHECK(phi_ >= 1, "label probe ratio must be >= 1");
+  ctx.label_mode = mode_;
+  const LabelOptions lopts = ctx.options.label_options(mode_ == LabelMode::kDecomp);
+  LabelEngine engine(ctx.input, lopts);
+  LabelResult r = ledger_probe(ctx, engine, mode_, phi_);
+  ctx.result.stats.accumulate(r.stats);
+  ctx.result.status = combine_status(ctx.result.status, r.status);
+  ctx.result.phi = phi_;
+  ctx.have_labels = r.feasible;
+  ctx.labels = std::move(r);
+}
+
+}  // namespace turbosyn

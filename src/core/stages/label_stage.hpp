@@ -1,0 +1,29 @@
+#pragma once
+// LabelStage: one fixed-φ label probe (no search).
+
+#include "core/driver.hpp"
+
+namespace turbosyn {
+
+/// Probes a single target ratio φ and publishes its labels. The building
+/// block for custom pipelines (and the driver tests): where PhiSearchStage
+/// schedules many probes, this runs exactly one, still through the ledger.
+/// `have_labels` is set iff the probe was feasible; FlowResult::phi is set
+/// to φ either way, so a downstream MapGenStage maps the certified labels
+/// or falls back to the identity mapping.
+class LabelStage final : public Stage {
+ public:
+  explicit LabelStage(int phi, LabelMode mode = LabelMode::kPlain)
+      : phi_(phi), mode_(mode) {}
+
+  const char* name() const override { return "label"; }
+  std::vector<ArtifactId> consumes() const override { return {ArtifactId::kInputCircuit}; }
+  std::vector<ArtifactId> produces() const override { return {ArtifactId::kWinningLabels}; }
+  void run(FlowContext& ctx) override;
+
+ private:
+  int phi_;
+  LabelMode mode_;
+};
+
+}  // namespace turbosyn

@@ -1,0 +1,36 @@
+#include "core/stages/mapgen_stage.hpp"
+
+#include <utility>
+
+namespace turbosyn {
+
+void MapGenStage::run(FlowContext& ctx) {
+  if (!ctx.have_labels) {
+    // The run was stopped before any probe converged. The identity mapping
+    // (the K-bounded input itself, one LUT per gate) is always valid, so the
+    // anytime answer is the input network at the search's upper bound.
+    ctx.mapped = ctx.input;
+    ctx.count("identity_fallback", 1);
+    return;
+  }
+  const LabelOptions lopts = ctx.options.label_options(ctx.label_mode == LabelMode::kDecomp);
+  MapGenOptions mopts;
+  mopts.label_relaxation = ctx.options.label_relaxation;
+  mopts.low_cost_cuts = ctx.options.low_cost_cuts;
+  if (po_label_limit_) mopts.po_label_limit = ctx.result.phi;
+  Circuit mapped = generate_sequential_mapping(
+      ctx.input, ctx.labels, ctx.result.phi, lopts, mopts, ctx.result.stats,
+      ctx.options.collect_artifacts ? &ctx.result.artifacts.records : nullptr);
+  if (ctx.options.collect_artifacts) {
+    ctx.result.artifacts.valid = true;
+    ctx.result.artifacts.phi = ctx.result.phi;
+    // Copy, not move: multi-phase flows keep reading the context's labels.
+    ctx.result.artifacts.labels = ctx.labels;
+    ctx.result.artifacts.mode = ctx.label_mode;
+    ctx.result.artifacts.po_limited = po_label_limit_;
+  }
+  ctx.count("luts", mapped.num_gates());
+  ctx.mapped = std::move(mapped);
+}
+
+}  // namespace turbosyn

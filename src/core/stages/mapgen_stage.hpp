@@ -1,0 +1,31 @@
+#pragma once
+// MapGenStage: converged labels -> K-LUT network (plus audit artifacts).
+
+#include "core/driver.hpp"
+
+namespace turbosyn {
+
+/// Generates the mapped network from the search stage's winning labels at
+/// FlowResult::phi. When the search published no labels (interrupted before
+/// proving any φ), the identity mapping — the K-bounded input itself — is
+/// the anytime answer at the fallback φ the search left in the result.
+/// With FlowOptions::collect_artifacts, fills FlowArtifacts (labels copy,
+/// records, mode) for the auditor.
+class MapGenStage final : public Stage {
+ public:
+  /// `po_label_limit`: clock-period mode — PO labels must stay within φ,
+  /// which also caps how far relaxation may raise heights.
+  explicit MapGenStage(bool po_label_limit = false) : po_label_limit_(po_label_limit) {}
+
+  const char* name() const override { return "mapgen"; }
+  std::vector<ArtifactId> consumes() const override {
+    return {ArtifactId::kInputCircuit, ArtifactId::kWinningLabels};
+  }
+  std::vector<ArtifactId> produces() const override { return {ArtifactId::kMappedNetwork}; }
+  void run(FlowContext& ctx) override;
+
+ private:
+  bool po_label_limit_;
+};
+
+}  // namespace turbosyn

@@ -1,0 +1,26 @@
+#pragma once
+// PackStage: dedupe + pack the mapped network and extract its metrics.
+
+#include "core/driver.hpp"
+
+namespace turbosyn {
+
+/// Structural LUT deduplication and mpack/flowpack-style packing (each
+/// gated by FlowOptions), followed by the area/ratio metrics: LUT count,
+/// register bits, exact MDR of the packed network.
+class PackStage final : public Stage {
+ public:
+  /// `phi_from_mdr`: flows without a ratio search (FlowSYN-s) report
+  /// φ = max(1, ceil(exact MDR)) measured on the packed network.
+  explicit PackStage(bool phi_from_mdr = false) : phi_from_mdr_(phi_from_mdr) {}
+
+  const char* name() const override { return "pack"; }
+  std::vector<ArtifactId> consumes() const override { return {ArtifactId::kMappedNetwork}; }
+  std::vector<ArtifactId> produces() const override { return {ArtifactId::kPackedNetwork}; }
+  void run(FlowContext& ctx) override;
+
+ private:
+  bool phi_from_mdr_;
+};
+
+}  // namespace turbosyn

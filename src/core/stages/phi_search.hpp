@@ -1,0 +1,61 @@
+#pragma once
+// PhiSearchStage: search for the smallest feasible φ in [1, ub].
+
+#include <memory>
+
+#include "core/driver.hpp"
+
+namespace turbosyn {
+
+/// Runs the φ search over one LabelEngine (all probes share the
+/// decomposition cache; plain-mode probes warm-start from the nearest
+/// previously feasible φ). Every probe goes through the ProbeLedger, so no
+/// φ is probed twice and every verdict is recorded with its provenance.
+/// Publishes the winning labels (kWinningLabels) and sets FlowResult::phi;
+/// when stopped before proving any φ, `have_labels` stays false and phi
+/// falls back to the upper bound (the identity mapping realizes it).
+class PhiSearchStage final : public Stage {
+ public:
+  enum class Schedule {
+    /// Bisection on [1, ub]. Used when ub's feasibility is only implied by
+    /// construction (identity mapping): every probe is fresh.
+    kBisect,
+    /// Descending scan ub-1, ub-2, ... from an imported certificate at ub.
+    /// Feasibility is monotone in φ, so both schedules find the same
+    /// minimum; the scan pays for exactly one infeasible probe (the
+    /// divergence certificate), where bisection would run about half of
+    /// log2(ub) of them — the dominant cost with decomposition, whose
+    /// isolation early-exit is unsound and disabled. An interrupt mid-scan
+    /// simply keeps the last feasible probe as the anytime answer.
+    kDescending,
+  };
+
+  struct Config {
+    Schedule schedule = Schedule::kBisect;
+    LabelMode mode = LabelMode::kPlain;
+    /// Clock-period objective: a probe is accepted only when additionally
+    /// max_po_label <= φ (PO labels bound the un-pipelined period).
+    bool period_objective = false;
+    /// kDescending only: labels already proven feasible at φ == ub by
+    /// another search. Recorded in the ledger as an imported certificate;
+    /// the scan starts at ub-1 and never re-probes ub. Must be feasible —
+    /// the labels themselves witness feasibility, so a degraded feasible
+    /// result is a valid seed (only infeasible verdicts lose certificate
+    /// power under degradation).
+    std::shared_ptr<const LabelResult> seed;
+  };
+
+  explicit PhiSearchStage(Config config) : config_(std::move(config)) {}
+
+  const char* name() const override { return "phi-search"; }
+  std::vector<ArtifactId> consumes() const override {
+    return {ArtifactId::kInputCircuit, ArtifactId::kUpperBound};
+  }
+  std::vector<ArtifactId> produces() const override { return {ArtifactId::kWinningLabels}; }
+  void run(FlowContext& ctx) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace turbosyn

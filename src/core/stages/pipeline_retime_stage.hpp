@@ -1,0 +1,39 @@
+#pragma once
+// PipelineRetimeStage: the timing tail — pipelining + retiming, or plain
+// min-period retiming.
+
+#include "core/driver.hpp"
+
+namespace turbosyn {
+
+/// Finalizes FlowResult::mapped and the (period, stages) claim.
+class PipelineRetimeStage final : public Stage {
+ public:
+  enum class Kind {
+    /// MDR mode: measure the achievable period with input pipelining +
+    /// retiming on a copy (gated by FlowOptions::pipeline); the published
+    /// network stays un-retimed, so it is cycle-accurate equivalent to the
+    /// input from the all-zero state.
+    kPipelineRetime,
+    /// Clock-period mode: min-period retiming applied in place, no
+    /// pipelining (runs regardless of FlowOptions::pipeline).
+    kRetimeOnly,
+  };
+
+  /// `final_budget_check`: flows whose mapping core is not budget-aware
+  /// (FlowSYN-s) fold a deadline/cancel that fired during it into the
+  /// status here, at the very end.
+  explicit PipelineRetimeStage(Kind kind, bool final_budget_check = false)
+      : kind_(kind), final_budget_check_(final_budget_check) {}
+
+  const char* name() const override { return "pipeline-retime"; }
+  std::vector<ArtifactId> consumes() const override { return {ArtifactId::kPackedNetwork}; }
+  std::vector<ArtifactId> produces() const override { return {ArtifactId::kTiming}; }
+  void run(FlowContext& ctx) override;
+
+ private:
+  Kind kind_;
+  bool final_budget_check_;
+};
+
+}  // namespace turbosyn

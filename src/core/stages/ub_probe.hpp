@@ -1,0 +1,33 @@
+#pragma once
+// UbProbeStage: establishes the search upper bound (kUpperBound artifact).
+
+#include "core/driver.hpp"
+
+namespace turbosyn {
+
+/// Computes the upper bound the φ search may start from. All three kinds
+/// are cheap graph computations, not label probes: the identity mapping
+/// (one LUT per gate) realizes any of these bounds.
+class UbProbeStage final : public Stage {
+ public:
+  enum class Kind {
+    kIdentityMdr,  // ceil(MDR of the input): the identity mapping's ratio
+    kClockPeriod,  // the input's clock period (clock-period objective)
+    kFixed,        // externally proven bound (e.g. a previous phase's φ)
+  };
+
+  explicit UbProbeStage(Kind kind) : kind_(kind) {}
+  /// kFixed at the given bound.
+  explicit UbProbeStage(int ub) : kind_(Kind::kFixed), fixed_ub_(ub) {}
+
+  const char* name() const override { return "ub-probe"; }
+  std::vector<ArtifactId> consumes() const override { return {ArtifactId::kInputCircuit}; }
+  std::vector<ArtifactId> produces() const override { return {ArtifactId::kUpperBound}; }
+  void run(FlowContext& ctx) override;
+
+ private:
+  Kind kind_;
+  int fixed_ub_ = 0;
+};
+
+}  // namespace turbosyn

@@ -71,13 +71,14 @@ std::int64_t MaxFlow::compute(int source, int sink, std::int64_t limit,
   source_ = source;
   sink_ = sink;
   std::int64_t flow = 0;
-  std::int64_t augments = 0;
+  augments_ = 0;
   while (build_levels(source, sink)) {
     iter_ = head_;
     while (std::int64_t sent = push(source, sink, kInfinity)) {
       flow += sent;
+      ++augments_;
       if (flow > limit) return flow;
-      if (augment_budget > 0 && ++augments >= augment_budget) {
+      if (augment_budget > 0 && augments_ >= augment_budget) {
         // Give up: report "exceeds the limit" so the caller sees no cut. The
         // verdict is conservative, not proven — see augment_budget_hit().
         augment_budget_hit_ = true;
@@ -95,6 +96,7 @@ void MaxFlow::reset() {
   iter_.clear();
   source_ = -1;
   sink_ = -1;
+  augments_ = 0;
   augment_budget_hit_ = false;
 }
 

@@ -38,6 +38,10 @@ class MaxFlow {
   /// True iff the last compute() was cut short by its augmentation budget.
   bool augment_budget_hit() const { return augment_budget_hit_; }
 
+  /// Number of augmenting paths found by the last compute() (counted whether
+  /// or not a budget was in force) — the natural work metric for cut tests.
+  std::int64_t last_augmentations() const { return augments_; }
+
   /// Clears the network (nodes, arcs, flow state) but keeps every buffer's
   /// capacity, so a reused instance reaches a zero-allocation steady state.
   void reset();
@@ -65,6 +69,7 @@ class MaxFlow {
   std::vector<int> iter_;     // current-arc optimization
   int source_ = -1;
   int sink_ = -1;
+  std::int64_t augments_ = 0;
   bool augment_budget_hit_ = false;
 };
 

@@ -277,13 +277,32 @@ void write_blif(const Circuit& c, std::ostream& out, const std::string& model_na
   // Latch chains: signal name of `driver` delayed by `level` >= 1 latches.
   // All .latch lines are emitted up front (before any .names) so gate covers
   // can reference them.
+  //
+  // A PO fed through latches reserves its display name for the final latch
+  // output of its chain (first PO wins), so `.latch n q 0` + `.outputs q`
+  // round-trips without a buffer gate — the parser would otherwise turn the
+  // writer's `.names n_ff1 q` alias into a real node.
+  std::unordered_set<std::string> taken;
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (!c.is_po(v)) taken.insert(c.name(v));
+  }
+  std::map<std::pair<NodeId, int>, std::string> reserved;
+  for (const NodeId po : c.pos()) {
+    const auto& e = c.edge(c.fanin_edges(po)[0]);
+    if (e.weight == 0) continue;
+    const std::string display = po_display_name(c, po);
+    if (!taken.insert(display).second) continue;  // name already in use
+    reserved.emplace(std::make_pair(e.from, e.weight), display);
+  }
   std::map<std::pair<NodeId, int>, std::string> latch_signal;
   const auto declare_chain = [&](NodeId driver, int weight) {
     std::string prev = c.name(driver);
     for (int lvl = 1; lvl <= weight; ++lvl) {
       auto [it, inserted] = latch_signal.emplace(std::make_pair(driver, lvl), "");
       if (inserted) {
-        it->second = c.name(driver) + "_ff" + std::to_string(lvl);
+        const auto r = reserved.find(std::make_pair(driver, lvl));
+        it->second =
+            r != reserved.end() ? r->second : c.name(driver) + "_ff" + std::to_string(lvl);
         out << ".latch " << prev << ' ' << it->second << " 0\n";
       }
       prev = it->second;

@@ -48,11 +48,13 @@ PipelineResult pipeline_and_retime(Circuit& c, int max_stages, const RunBudget* 
   };
   const std::int64_t fallback =
       min_period_retiming(c.to_digraph(), delay, pinned).period;
+  std::int64_t configs = 0;
   for (std::int64_t target = floor_target; target < fallback && status == Status::kOk;
        ++target) {
     int stages = 1;
     while (stages <= max_stages) {
       if (stopped()) break;
+      ++configs;
       Digraph g = c.to_digraph();
       for (const NodeId pi : c.pis()) {
         for (const EdgeId e : g.fanout_edges(pi)) {
@@ -68,14 +70,14 @@ PipelineResult pipeline_and_retime(Circuit& c, int max_stages, const RunBudget* 
         pipeline_inputs(c, stages);
         pipeline_outputs(c, stages);
         apply_retiming(c, *r);
-        return PipelineResult{target, stages, Status::kOk};
+        return PipelineResult{target, stages, configs, Status::kOk};
       }
       stages *= 2;
     }
   }
   const RetimeResult best = min_period_retiming(c.to_digraph(), delay, pinned);
   apply_retiming(c, best.r);
-  return PipelineResult{best.period, 0, status};
+  return PipelineResult{best.period, 0, configs, status};
 }
 
 }  // namespace turbosyn

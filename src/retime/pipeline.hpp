@@ -24,6 +24,9 @@ void pipeline_outputs(Circuit& c, int stages);
 struct PipelineResult {
   std::int64_t period = 0;  // achieved clock period
   int stages = 0;           // pipeline stages inserted at the PIs
+  /// (target period, depth) configurations tested by feasible retiming —
+  /// the search's work metric, surfaced through trace/StageMetrics.
+  std::int64_t configs_tried = 0;
   /// kOk unless the search was stopped by `budget` before it finished; the
   /// result is then the always-valid no-pipelining fallback.
   Status status = Status::kOk;

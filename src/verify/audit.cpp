@@ -580,6 +580,93 @@ AuditReport audit_flow(const Circuit& input, const FlowResult& result,
       add("equivalence", AuditStatus::kFail, e.what());
     }
   }
+
+  // probes: the ledger is internally consistent and certifies the result —
+  // no (mode, phi) probed twice, no probe more degraded than the flow
+  // admits, the winning phi backed by a feasible record whose label hash
+  // matches the artifacts, and (on an exact run) a rejection witness at
+  // phi - 1 proving minimality.
+  if (result.probes.empty()) {
+    add("probes", AuditStatus::kSkipped,
+        "flow recorded no probe ledger (FlowSYN-s, or a pre-pipeline result)");
+  } else {
+    std::optional<std::string> failure;
+    const auto find_probe = [&result](LabelMode mode, int phi) -> const ProbeRecord* {
+      for (const ProbeRecord& rec : result.probes) {
+        if (rec.mode == mode && rec.phi == phi) return &rec;
+      }
+      return nullptr;
+    };
+    std::map<std::pair<int, int>, int> seen;
+    for (const ProbeRecord& rec : result.probes) {
+      if (++seen[{static_cast<int>(rec.mode), rec.phi}] > 1) {
+        failure = "phi=" + std::to_string(rec.phi) + " (" + label_mode_name(rec.mode) +
+                  ") probed twice in one run";
+        break;
+      }
+      if (combine_status(result.status, rec.status) != result.status) {
+        failure = "probe phi=" + std::to_string(rec.phi) + " (" + label_mode_name(rec.mode) +
+                  ") reported status " + status_name(rec.status) +
+                  ", more severe than the flow's " + status_name(result.status);
+        break;
+      }
+    }
+    if (!failure.has_value() && result.artifacts.valid) {
+      const FlowArtifacts& art = result.artifacts;
+      const ProbeRecord* win = find_probe(art.mode, art.phi);
+      if (win == nullptr) {
+        failure = "no ledger record certifies the winning phi=" + std::to_string(art.phi) +
+                  " (" + std::string(label_mode_name(art.mode)) + ")";
+      } else if (!win->feasible) {
+        failure = "winning phi=" + std::to_string(art.phi) + " is recorded infeasible";
+      } else if (win->label_hash != hash_labels(art.labels.labels)) {
+        failure = "winning label vector hash does not match its ledger record";
+      } else if (result.status == Status::kOk && art.phi > 1) {
+        // Both schedules probe phi - 1 before settling on phi (bisection's
+        // last lo-advance, the descending scan's terminating probe), so an
+        // uninterrupted, undegraded run must carry the rejection witness.
+        const ProbeRecord* reject = find_probe(art.mode, art.phi - 1);
+        const bool rejected =
+            reject != nullptr && (art.po_limited
+                                      ? (!reject->feasible || reject->max_po_label > art.phi - 1)
+                                      : !reject->feasible);
+        if (reject == nullptr) {
+          failure = "exact run has no rejection witness at phi=" + std::to_string(art.phi - 1);
+        } else if (!rejected) {
+          failure = "phi=" + std::to_string(art.phi - 1) +
+                    " was not rejected by its ledger record: minimality unproven";
+        }
+      }
+    }
+    add_outcome("probes", failure,
+                std::to_string(result.probes.size()) + " probe record(s), ledger consistent");
+  }
+
+  // stage-timing: the per-stage wall times are non-negative and account for
+  // (at most) the flow's total wall time, with 5% tolerance for clock skew.
+  if (result.stage_metrics.stages.empty()) {
+    add("stage-timing", AuditStatus::kSkipped, "flow recorded no stage metrics");
+  } else if (result.seconds <= 0.0) {
+    add("stage-timing", AuditStatus::kSkipped,
+        "in-pipeline audit (flow wall time not recorded yet)");
+  } else {
+    std::optional<std::string> failure;
+    double sum = 0.0;
+    for (const StageMetric& s : result.stage_metrics.stages) {
+      if (s.seconds < 0.0) {
+        failure = "stage '" + s.name + "' reports a negative wall time";
+        break;
+      }
+      sum += s.seconds;
+    }
+    if (!failure.has_value() && sum > result.seconds * 1.05 + 1e-3) {
+      failure = "stage wall times sum to " + std::to_string(sum) + "s, exceeding the flow's " +
+                std::to_string(result.seconds) + "s";
+    }
+    add_outcome("stage-timing", failure,
+                std::to_string(result.stage_metrics.stages.size()) +
+                    " stage(s) within the flow wall time");
+  }
   return report;
 }
 

@@ -26,7 +26,14 @@
 //                the retimed period is independently recomputed;
 //   equivalence  the mapped network is zero-state equivalent to the input
 //                (BDD miter when both are register-free, bounded sequential
-//                co-simulation with warm-up otherwise).
+//                co-simulation with warm-up otherwise);
+//   probes       the probe ledger is consistent: no (mode, phi) probed
+//                twice, no probe more degraded than the flow's own status,
+//                the winning phi backed by a feasible record whose label
+//                hash matches the collected artifacts, and — on an exact
+//                run — a rejection witness at phi - 1 proving minimality;
+//   stage-timing the per-stage wall times are non-negative and sum to at
+//                most the flow's total wall time (5% tolerance).
 //
 // Each stage audit is also exposed on its own so tests can seed deliberate
 // violations (a broken cut, an illegal retiming, a phi-violating loop) and

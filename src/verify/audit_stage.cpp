@@ -1,0 +1,14 @@
+#include "verify/audit_stage.hpp"
+
+namespace turbosyn {
+
+void AuditStage::run(FlowContext& ctx) {
+  // finish() re-exports the ledger afterwards; doing it here too lets the
+  // "probes" check audit the records mid-pipeline.
+  ctx.result.probes = ctx.ledger.records();
+  report_ = audit_flow(ctx.input, ctx.result, ctx.options, options_);
+  if (out_ != nullptr) *out_ = report_;
+  ctx.count("audit_failures", report_.failures());
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,35 @@
+#pragma once
+// AuditStage: run the invariant auditor as the last stage of a flow
+// pipeline, so its verdict lands in the same StageMetrics/trace timeline as
+// the stages it re-checks.
+
+#include "core/driver.hpp"
+#include "verify/audit.hpp"
+
+namespace turbosyn {
+
+/// Runs audit_flow() on the driver's in-flight result (after the timing
+/// stage finalized it). Exports the probe ledger into the result first, so
+/// the "probes" check sees the full ledger even before FlowDriver::finish().
+/// The report is kept on the stage (and optionally copied to `out`); the
+/// stage itself never throws on a failed audit — callers inspect
+/// report().passed().
+class AuditStage final : public Stage {
+ public:
+  explicit AuditStage(AuditOptions options = {}, AuditReport* out = nullptr)
+      : options_(options), out_(out) {}
+
+  const char* name() const override { return "audit"; }
+  std::vector<ArtifactId> consumes() const override { return {ArtifactId::kTiming}; }
+  std::vector<ArtifactId> produces() const override { return {}; }
+  void run(FlowContext& ctx) override;
+
+  const AuditReport& report() const { return report_; }
+
+ private:
+  AuditOptions options_;
+  AuditReport* out_;
+  AuditReport report_;
+};
+
+}  // namespace turbosyn

@@ -53,7 +53,7 @@ TEST(AuditFlow, FlowSynSSkipsLabelStagesButPasses) {
   for (const AuditCheck& check : report.checks) {
     if (check.status == AuditStatus::kSkipped) ++skips;
   }
-  EXPECT_EQ(skips, 2);  // labels + cuts: FlowSYN-s runs no label search
+  EXPECT_EQ(skips, 3);  // labels + cuts + probes: FlowSYN-s runs no label search
 }
 
 TEST(AuditFlow, ReportAndCliHelpersWork) {
