@@ -10,8 +10,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "base/rng.hpp"
 #include "bdd/bdd.hpp"
@@ -20,6 +22,8 @@
 #include "core/labeling.hpp"
 #include "decomp/roth_karp.hpp"
 #include "graph/max_flow.hpp"
+#include "netlist/blif.hpp"
+#include "service/batch_runner.hpp"
 #include "sim/simulator.hpp"
 #include "workloads/generator.hpp"
 
@@ -271,6 +275,59 @@ void BM_FlowTurboMapPeriod(benchmark::State& state) {
   set_flow_counters(state, r);
 }
 BENCHMARK(BM_FlowTurboMapPeriod)->Unit(benchmark::kMillisecond);
+
+// Batch multi-circuit scheduler, cold (Arg 0: every iteration starts from an
+// empty artifact cache and populates it) vs warm (Arg 1: the cache is
+// pre-populated once, so every circuit replays its probe ledger). Emit
+// machine-readable results with
+//   micro_bench --benchmark_filter=BM_Batch --benchmark_out=BENCH_batch.json
+//               --benchmark_out_format=json
+void BM_BatchFlow(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const bool warm = state.range(0) == 1;
+  const fs::path dir = fs::temp_directory_path() / "turbosyn_bench_batch";
+  fs::create_directories(dir);
+  std::vector<BatchJob> jobs;
+  for (const BenchmarkSpec& spec : tiny_suite()) {
+    const Circuit c = generate_fsm_circuit(spec);
+    const fs::path path = dir / (spec.name + ".blif");
+    write_blif_file(c, path.string(), spec.name);
+    BatchJob job;
+    job.name = spec.name;
+    job.path = path.string();
+    jobs.push_back(job);
+  }
+  const fs::path cache_dir = dir / (warm ? "cache_warm" : "cache_cold");
+  BatchOptions options;
+  options.num_workers = 1;  // deterministic single-lane schedule
+  if (warm) {
+    fs::remove_all(cache_dir);
+    FlowCache cache(cache_dir.string());
+    options.cache = &cache;
+    (void)run_batch(jobs, options);  // populate once; iterations all hit
+    BatchSummary summary;
+    for (auto _ : state) {
+      summary = run_batch(jobs, options);
+      benchmark::DoNotOptimize(summary);
+    }
+    state.counters["cache_hits"] = benchmark::Counter(static_cast<double>(summary.cache_hits));
+    state.counters["completed"] = benchmark::Counter(static_cast<double>(summary.completed));
+  } else {
+    BatchSummary summary;
+    for (auto _ : state) {
+      state.PauseTiming();
+      fs::remove_all(cache_dir);
+      FlowCache cache(cache_dir.string());
+      options.cache = &cache;
+      state.ResumeTiming();
+      summary = run_batch(jobs, options);
+      benchmark::DoNotOptimize(summary);
+    }
+    state.counters["cache_hits"] = benchmark::Counter(static_cast<double>(summary.cache_hits));
+    state.counters["completed"] = benchmark::Counter(static_cast<double>(summary.completed));
+  }
+}
+BENCHMARK(BM_BatchFlow)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_SequentialSimulation(benchmark::State& state) {
   const Circuit c = generate_fsm_circuit(table1_suite()[0]);

@@ -1,8 +1,11 @@
 // Command-line synthesis flow over BLIF files:
 //
-//   $ ./blif_flow input.blif output.blif [K] [turbosyn|turbomap|flowsyn_s]
+//   $ ./blif_flow input.blif output.blif [K] [turbosyn|turbomap|flowsyn_s|turbomap_period]
 //               [--audit]  (re-verify every invariant of the result)
 //               [--trace-json=PATH]  (per-stage/per-probe trace of the run)
+//               [--cache-dir=PATH]  (persistent flow-artifact cache: a repeat
+//                                    run of an unchanged circuit replays its
+//                                    probe ledger instead of recomputing)
 //               [--deadline-ms N] [--bdd-node-budget N] ...  (run budgets)
 //
 // Reads a SIS-style BLIF netlist, decomposes wide gates to make it
@@ -18,6 +21,7 @@
 
 #include "base/check.hpp"
 #include "base/flow_cli.hpp"
+#include "cache/cached_flow.hpp"
 #include "core/flows.hpp"
 #include "decomp/gate_decomp.hpp"
 #include "netlist/blif.hpp"
@@ -46,6 +50,10 @@ int main(int argc, char** argv) {
         !pos.empty() ? read_blif_file(pos[0]) : read_blif_string(pattern_fsm_blif());
     const int k = pos.size() > 2 ? std::stoi(pos[2]) : 5;
     const std::string flow = pos.size() > 3 ? pos[3] : "turbosyn";
+    FlowKind kind = FlowKind::kTurboSyn;
+    TS_CHECK(flow_kind_from_name(flow, kind),
+             "unknown flow '" << flow
+                              << "' (expected turbomap|turbosyn|flowsyn_s|turbomap_period)");
 
     if (!input.is_k_bounded(k)) {
       std::cout << "decomposing gates wider than " << k << " inputs\n";
@@ -60,13 +68,15 @@ int main(int argc, char** argv) {
     options.budget = cli.budget;
     options.collect_artifacts = cli.audit;
     options.trace = cli.trace();
-    FlowResult result;
-    if (flow == "turbomap") {
-      result = run_turbomap(input, options);
-    } else if (flow == "flowsyn_s") {
-      result = run_flowsyn_s(input, options);
-    } else {
-      result = run_turbosyn(input, options);
+    std::optional<FlowCache> cache;
+    if (!cli.cache_dir.empty()) cache.emplace(cli.cache_dir);
+    CacheRunInfo cache_info;
+    const FlowResult result =
+        run_flow_cached(kind, input, options, cache ? &*cache : nullptr, &cache_info);
+    if (cache) {
+      std::cout << "cache: " << (cache_info.hit ? "hit (probe ledger replayed)"
+                                                : cache_info.stored ? "miss (stored)" : "miss")
+                << " in " << cli.cache_dir << '\n';
     }
     std::cout << flow << ": phi = " << result.phi << ", exact MDR = " << result.exact_mdr
               << ", " << result.luts << " LUTs, " << result.ffs << " FFs, period "

@@ -4,15 +4,18 @@
 //   $ ./quickstart [--threads N]   (0 = all cores, 1 = sequential)
 //                  [--audit]       (re-verify every invariant of the result)
 //                  [--trace-json=PATH]  (per-stage/per-probe trace of the run)
+//                  [--cache-dir=PATH]   (reuse flow artifacts across runs)
 //                  [--deadline-ms N] [--bdd-node-budget N] ...  (run budgets)
 //
 // The circuit is a 3-bit counter with enable (embedded as a string); the
 // same code works for any SIS-style BLIF file via read_blif_file().
 
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "base/flow_cli.hpp"
+#include "cache/cached_flow.hpp"
 #include "core/flows.hpp"
 #include "netlist/blif.hpp"
 #include "retime/cycle_ratio.hpp"
@@ -38,7 +41,11 @@ int main(int argc, char** argv) {
   options.budget = cli.budget;        // unlimited unless budget flags were given
   options.collect_artifacts = cli.audit;
   options.trace = cli.trace();  // nullptr unless --trace-json was given
-  const FlowResult result = run_turbosyn(counter, options);
+  std::optional<FlowCache> cache;  // --cache-dir: persistent artifact store
+  if (!cli.cache_dir.empty()) cache.emplace(cli.cache_dir);
+  CacheRunInfo cache_info;
+  const FlowResult result = run_flow_cached(FlowKind::kTurboSyn, counter, options,
+                                            cache ? &*cache : nullptr, &cache_info);
 
   std::cout << "TurboSYN result:\n";
   std::cout << "  status                 = " << status_name(result.status)
@@ -49,6 +56,12 @@ int main(int argc, char** argv) {
   std::cout << "  clock period after pipelining + retiming = " << result.period << " (with "
             << result.pipeline_stages << " pipeline stages)\n";
   std::cout << "  label sweeps           = " << result.stats.sweeps << "\n";
+  if (cache) {
+    std::cout << "  cache                  = "
+              << (cache_info.hit ? "hit (search replayed from the artifact store)"
+                                 : cache_info.stored ? "miss (entry stored)" : "miss")
+              << '\n';
+  }
 
   // 3. Each flow carries a per-stage wall-time/counter breakdown.
   std::cout << "  stage breakdown        =";

@@ -38,6 +38,10 @@ FlowCli flow_cli_from_args(int argc, char** argv) {
       cli.trace_json_path = a.substr(std::string("--trace-json=").size());
     } else if (a == "--trace-json" && i + 1 < argc) {
       cli.trace_json_path = argv[++i];
+    } else if (a.rfind("--cache-dir=", 0) == 0) {
+      cli.cache_dir = a.substr(std::string("--cache-dir=").size());
+    } else if (a == "--cache-dir" && i + 1 < argc) {
+      cli.cache_dir = argv[++i];
     }
   }
   cli.budget = budget_from_cli(argc, argv);
@@ -48,7 +52,8 @@ FlowCli flow_cli_from_args(int argc, char** argv) {
 std::string flow_cli_help() {
   std::string help =
       "[--threads N] (0 = all cores, 1 = sequential) [--audit] [--quick | --full]\n"
-      "[--trace-json=PATH] (per-stage/per-probe trace of the run)\n";
+      "[--trace-json=PATH] (per-stage/per-probe trace of the run)\n"
+      "[--cache-dir=PATH] (persistent flow-artifact cache)\n";
   help += budget_cli_help();
   return help;
 }

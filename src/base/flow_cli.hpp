@@ -11,6 +11,10 @@
 //   --trace-json=PATH    write a per-stage/per-probe trace of the run(s)
 //                        (see base/trace.hpp for the schema); also accepted
 //                        as "--trace-json PATH"
+//   --cache-dir=PATH     persistent flow-artifact cache directory (see
+//                        cache/flow_cache.hpp); also "--cache-dir PATH".
+//                        Mains construct the FlowCache from `cache_dir`
+//                        themselves (this library does not depend on it).
 //   --deadline-ms N and the other run-budget ceilings (base/budget_cli.hpp);
 //   a SIGINT handler is installed so Ctrl-C cancels cooperatively.
 //
@@ -39,6 +43,7 @@ class FlowCli {
   bool full = false;
   RunBudget budget;
   std::string trace_json_path;  // empty: tracing disabled
+  std::string cache_dir;        // empty: caching disabled
 
   /// The owned trace sink, or nullptr when --trace-json was not given.
   /// Assign to FlowOptions::trace.

@@ -1,0 +1,112 @@
+#include "cache/cached_flow.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "base/trace.hpp"
+#include "core/stages/mapgen_stage.hpp"
+#include "core/stages/pack_stage.hpp"
+#include "core/stages/pipeline_retime_stage.hpp"
+
+namespace turbosyn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A cached entry is usable for this circuit only if its label vector spans
+/// the circuit's nodes; anything else means the key matched a different
+/// world (should be impossible past the collision check, but stay safe).
+bool entry_fits(const CacheEntry& entry, const Circuit& c) {
+  return static_cast<int>(entry.winning_labels.size()) == c.num_nodes() && entry.phi >= 1;
+}
+
+FlowResult replay_from_entry(FlowKind kind, const Circuit& c, const FlowOptions& options,
+                             const CacheEntry& entry) {
+  const auto start = Clock::now();
+  TraceSpan span(options.trace,
+                 std::string("flow:") + flow_kind_name(kind) + " (cache hit)");
+  FlowDriver driver(c, options);
+  StageList stages;
+  stages.push_back(std::make_unique<CachedSearchStage>(entry));
+  stages.push_back(
+      std::make_unique<MapGenStage>(/*po_label_limit=*/kind == FlowKind::kTurboMapPeriod));
+  stages.push_back(std::make_unique<PackStage>());
+  stages.push_back(std::make_unique<PipelineRetimeStage>(
+      kind == FlowKind::kTurboMapPeriod ? PipelineRetimeStage::Kind::kRetimeOnly
+                                        : PipelineRetimeStage::Kind::kPipelineRetime));
+  driver.run(stages);
+  FlowResult result = driver.finish();
+  result.seconds = seconds_since(start);
+  return result;
+}
+
+}  // namespace
+
+void CachedSearchStage::run(FlowContext& ctx) {
+  ctx.label_mode = entry_.mode;
+  ctx.result.phi = entry_.phi;
+  // The replay runs no search, but downstream contracts want the bound the
+  // original search ran under: the largest φ the ledger ever saw.
+  int ub = entry_.phi;
+  for (const CachedProbe& p : entry_.probes) ub = std::max(ub, p.phi);
+  ctx.ub = ub;
+
+  ctx.labels = LabelResult{};
+  ctx.labels.feasible = true;
+  ctx.labels.labels = entry_.winning_labels;
+  ctx.labels.max_po_label = entry_.max_po_label;
+  ctx.labels.status = Status::kOk;
+  ctx.have_labels = true;
+
+  for (const CachedProbe& p : entry_.probes) {
+    ProbeRecord rec;
+    rec.phi = p.phi;
+    rec.mode = p.mode;
+    rec.outcome = p.outcome;
+    rec.status = p.status;
+    rec.feasible = p.feasible;
+    rec.imported = true;  // provenance: this run probed nothing
+    rec.label_hash = p.label_hash;
+    rec.max_po_label = p.max_po_label;
+    ctx.ledger.record(std::move(rec));
+  }
+  ctx.count("imported_probes", static_cast<std::int64_t>(entry_.probes.size()));
+}
+
+FlowResult run_flow_cached(FlowKind kind, const Circuit& c, const FlowOptions& options,
+                           FlowCache* cache, CacheRunInfo* info) {
+  if (info != nullptr) *info = CacheRunInfo{};
+  // FlowSYN-s records no probe ledger and no label artifacts: nothing to
+  // reuse, so it always runs plain.
+  if (cache == nullptr || kind == FlowKind::kFlowSynS) {
+    return run_flow(kind, c, options);
+  }
+
+  const CacheKey key = make_cache_key(c, options, kind);
+  if (const std::optional<CacheEntry> entry = cache->lookup(key);
+      entry.has_value() && entry_fits(*entry, c)) {
+    FlowResult result = replay_from_entry(kind, c, options, *entry);
+    if (!options.collect_artifacts) result.artifacts = FlowArtifacts{};
+    if (info != nullptr) info->hit = true;
+    return result;
+  }
+
+  // Miss: run for real, collecting the winning labels the store needs even
+  // when the caller did not ask for audit artifacts (collection does not
+  // change the mapping — the fuzzer's bit-identity checks cover this).
+  FlowOptions run_options = options;
+  run_options.collect_artifacts = true;
+  FlowResult result = run_flow(kind, c, run_options);
+  const bool stored = cache->store_result(key, result);
+  if (info != nullptr) info->stored = stored;
+  if (!options.collect_artifacts) result.artifacts = FlowArtifacts{};
+  return result;
+}
+
+}  // namespace turbosyn

@@ -1,0 +1,327 @@
+#include "cache/flow_cache.hpp"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <utility>
+
+#include "netlist/blif.hpp"
+#include "netlist/canonical.hpp"
+
+namespace turbosyn {
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+/// Sequential reader over a loaded entry file. Every getter reports failure
+/// through ok(); parsing stops caring about the content once ok() is false.
+class EntryReader {
+ public:
+  explicit EntryReader(std::string content) : content_(std::move(content)) {}
+
+  bool ok() const { return ok_; }
+
+  /// The next whitespace-delimited token.
+  std::string token() {
+    while (pos_ < content_.size() && std::isspace(static_cast<unsigned char>(content_[pos_]))) {
+      ++pos_;
+    }
+    const std::size_t start = pos_;
+    while (pos_ < content_.size() &&
+           !std::isspace(static_cast<unsigned char>(content_[pos_]))) {
+      ++pos_;
+    }
+    if (start == pos_) ok_ = false;
+    return content_.substr(start, pos_ - start);
+  }
+
+  void expect(const char* literal) {
+    if (token() != literal) ok_ = false;
+  }
+
+  std::int64_t integer() {
+    const std::string t = token();
+    if (!ok_) return 0;
+    try {
+      std::size_t used = 0;
+      const std::int64_t value = std::stoll(t, &used);
+      if (used != t.size()) ok_ = false;
+      return value;
+    } catch (...) {
+      ok_ = false;
+      return 0;
+    }
+  }
+
+  std::uint64_t hex() {
+    const std::string t = token();
+    if (!ok_) return 0;
+    try {
+      std::size_t used = 0;
+      const std::uint64_t value = std::stoull(t, &used, 16);
+      if (used != t.size()) ok_ = false;
+      return value;
+    } catch (...) {
+      ok_ = false;
+      return 0;
+    }
+  }
+
+  /// A length-prefixed raw segment: the byte count was just read; one
+  /// separator character follows, then exactly `n` raw bytes.
+  std::string raw(std::int64_t n) {
+    if (n < 0 || pos_ >= content_.size()) {
+      ok_ = false;
+      return {};
+    }
+    ++pos_;  // the single separator after the length token
+    if (pos_ + static_cast<std::size_t>(n) > content_.size()) {
+      ok_ = false;
+      return {};
+    }
+    const std::string segment = content_.substr(pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return segment;
+  }
+
+ private:
+  std::string content_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+bool in_range(std::int64_t value, std::int64_t lo, std::int64_t hi) {
+  return value >= lo && value <= hi;
+}
+
+}  // namespace
+
+CacheKey make_cache_key(const Circuit& c, const FlowOptions& options, FlowKind kind) {
+  std::ostringstream os;
+  os << "flow " << flow_kind_name(kind) << " k " << options.k << " cmax " << options.cmax
+     << " height_span " << options.height_span << " pld " << options.use_pld << " bdd "
+     << options.use_bdd << " relax " << options.label_relaxation << " lowcost "
+     << options.low_cost_cuts << " dedupe " << options.dedupe << " pack " << options.pack
+     << " pipeline " << options.pipeline << " exp " << options.expansion.extra_levels << ' '
+     << options.expansion.node_budget << '\n';
+  CacheKey key;
+  key.text = os.str() + canonical_circuit_form(c).text;
+  key.hash = fnv1a64(key.text);
+  return key;
+}
+
+FlowCache::FlowCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string FlowCache::entry_path(const CacheKey& key) const {
+  return dir_ + "/" + hex64(key.hash) + ".tsce";
+}
+
+bool FlowCache::storable(const FlowResult& result) {
+  return result.status == Status::kOk && !result.timed_out && result.artifacts.valid &&
+         result.artifacts.labels.feasible && !result.probes.empty();
+}
+
+CacheEntry FlowCache::entry_from_result(const FlowResult& result) {
+  CacheEntry entry;
+  entry.phi = result.artifacts.phi;
+  entry.mode = result.artifacts.mode;
+  entry.max_po_label = result.artifacts.labels.max_po_label;
+  entry.winning_labels = result.artifacts.labels.labels;
+  entry.probes.reserve(result.probes.size());
+  for (const ProbeRecord& rec : result.probes) {
+    CachedProbe p;
+    p.phi = rec.phi;
+    p.mode = rec.mode;
+    p.outcome = rec.outcome;
+    p.status = rec.status;
+    p.feasible = rec.feasible;
+    p.label_hash = rec.label_hash;
+    p.max_po_label = rec.max_po_label;
+    entry.probes.push_back(p);
+  }
+  entry.luts = result.luts;
+  entry.ffs = result.ffs;
+  entry.mdr_num = result.exact_mdr.num();
+  entry.mdr_den = result.exact_mdr.den();
+  entry.period = result.period;
+  entry.pipeline_stages = result.pipeline_stages;
+  entry.mapped_blif = write_blif_string(result.mapped, "mapped");
+  return entry;
+}
+
+std::optional<CacheEntry> FlowCache::lookup(const CacheKey& key) const {
+  const auto miss = [this]() -> std::optional<CacheEntry> {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
+  std::ifstream in(entry_path(key), std::ios::binary);
+  if (!in) return miss();
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return miss();
+
+  EntryReader r(buffer.str());
+  r.expect("turbosyn-cache");
+  if (r.integer() != kSchemaVersion) return miss();
+  r.expect("hash");
+  if (r.hex() != key.hash) return miss();
+  r.expect("key");
+  // Collision check: the stored canonical key must match byte for byte.
+  if (r.raw(r.integer()) != key.text) return miss();
+  r.expect("status");
+  if (r.token() != "ok") return miss();  // quarantined (degraded) entry
+
+  CacheEntry entry;
+  r.expect("phi");
+  entry.phi = static_cast<int>(r.integer());
+  r.expect("mode");
+  const std::int64_t mode = r.integer();
+  if (!in_range(mode, 0, 1)) return miss();
+  entry.mode = static_cast<LabelMode>(mode);
+  r.expect("maxpo");
+  entry.max_po_label = static_cast<int>(r.integer());
+  r.expect("result");
+  entry.luts = static_cast<int>(r.integer());
+  entry.ffs = r.integer();
+  entry.mdr_num = r.integer();
+  entry.mdr_den = r.integer();
+  entry.period = r.integer();
+  entry.pipeline_stages = static_cast<int>(r.integer());
+
+  r.expect("probes");
+  const std::int64_t num_probes = r.integer();
+  if (!r.ok() || !in_range(num_probes, 1, 1 << 20)) return miss();
+  entry.probes.reserve(static_cast<std::size_t>(num_probes));
+  for (std::int64_t i = 0; i < num_probes && r.ok(); ++i) {
+    CachedProbe p;
+    r.expect("p");
+    const std::int64_t probe_mode = r.integer();
+    if (!in_range(probe_mode, 0, 1)) return miss();
+    p.mode = static_cast<LabelMode>(probe_mode);
+    p.phi = static_cast<int>(r.integer());
+    const std::int64_t outcome = r.integer();
+    if (!in_range(outcome, 0, 3)) return miss();
+    p.outcome = static_cast<ProbeOutcome>(outcome);
+    const std::int64_t status = r.integer();
+    if (!in_range(status, 0, 4)) return miss();
+    p.status = static_cast<Status>(status);
+    p.feasible = r.integer() != 0;
+    p.label_hash = r.hex();
+    p.max_po_label = static_cast<int>(r.integer());
+    entry.probes.push_back(p);
+  }
+
+  r.expect("labels");
+  const std::int64_t num_labels = r.integer();
+  if (!r.ok() || !in_range(num_labels, 1, 1 << 26)) return miss();
+  entry.winning_labels.reserve(static_cast<std::size_t>(num_labels));
+  for (std::int64_t i = 0; i < num_labels && r.ok(); ++i) {
+    entry.winning_labels.push_back(static_cast<int>(r.integer()));
+  }
+
+  r.expect("blif");
+  entry.mapped_blif = r.raw(r.integer());
+  r.expect("end");
+  if (!r.ok()) return miss();
+
+  // Internal consistency: the winning labels must be certified by a feasible
+  // ledger record whose hash matches them (the same tie the auditor checks).
+  const std::uint64_t winning_hash =
+      hash_labels(std::span<const int>(entry.winning_labels));
+  bool certified = false;
+  for (const CachedProbe& p : entry.probes) {
+    if (p.mode == entry.mode && p.phi == entry.phi) {
+      certified = p.feasible && p.label_hash == winning_hash && p.status == Status::kOk;
+      break;
+    }
+  }
+  if (!certified) return miss();
+
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return entry;
+}
+
+bool FlowCache::store_result(const CacheKey& key, const FlowResult& result) {
+  if (!storable(result)) {
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return store(key, entry_from_result(result));
+}
+
+bool FlowCache::store(const CacheKey& key, const CacheEntry& entry) {
+  if (entry.winning_labels.empty() || entry.probes.empty()) {
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  std::ostringstream os;
+  os << "turbosyn-cache " << kSchemaVersion << '\n';
+  os << "hash " << hex64(key.hash) << '\n';
+  os << "key " << key.text.size() << '\n' << key.text << '\n';
+  os << "status ok\n";
+  os << "phi " << entry.phi << " mode " << static_cast<int>(entry.mode) << " maxpo "
+     << entry.max_po_label << '\n';
+  os << "result " << entry.luts << ' ' << entry.ffs << ' ' << entry.mdr_num << ' '
+     << entry.mdr_den << ' ' << entry.period << ' ' << entry.pipeline_stages << '\n';
+  os << "probes " << entry.probes.size() << '\n';
+  for (const CachedProbe& p : entry.probes) {
+    os << "p " << static_cast<int>(p.mode) << ' ' << p.phi << ' '
+       << static_cast<int>(p.outcome) << ' ' << static_cast<int>(p.status) << ' '
+       << (p.feasible ? 1 : 0) << ' ' << hex64(p.label_hash) << ' ' << p.max_po_label
+       << '\n';
+  }
+  os << "labels " << entry.winning_labels.size() << '\n';
+  for (std::size_t i = 0; i < entry.winning_labels.size(); ++i) {
+    os << entry.winning_labels[i] << (i + 1 == entry.winning_labels.size() ? '\n' : ' ');
+  }
+  os << "blif " << entry.mapped_blif.size() << '\n' << entry.mapped_blif << '\n';
+  os << "end\n";
+
+  // Unique tmp name per writer, then an atomic rename: concurrent stores of
+  // the same key are last-writer-wins with no torn intermediate state.
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  const std::string final_path = entry_path(key);
+  const std::string tmp_path = final_path + ".tmp." + std::to_string(::getpid()) + "." +
+                               std::to_string(tmp_seq.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      rejects_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    out << os.str();
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::filesystem::remove(tmp_path, ec);
+      rejects_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace turbosyn

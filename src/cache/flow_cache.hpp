@@ -1,0 +1,134 @@
+#pragma once
+// Persistent, content-addressed store of flow artifacts.
+//
+// A FlowCache maps a canonical key — the circuit's canonical structural form
+// (netlist/canonical.hpp) plus a fingerprint of every result-relevant flow
+// option — to the artifacts a finished run produced: the probe ledger, the
+// winning per-φ label vector, and the final FlowResult metrics and mapped
+// network. On a later run of the same (circuit, options, flow) the search
+// stage is replaced wholesale: cached probe outcomes re-enter the ledger as
+// imported records and the driver proceeds straight to mapping generation
+// (src/cache/cached_flow.hpp), which is deterministic from the labels, so
+// the cached run is bit-identical to the uncached one.
+//
+// Soundness rules (DESIGN.md §11):
+//   - Only exact runs are stored. store() refuses any result whose status is
+//     not kOk or that was interrupted — a degraded "infeasible" is not a
+//     certificate, so it must never seed a later run's minimality claim
+//     (the quarantine the PR 2 / PR 4 ledger rules require).
+//   - Hash equality is never trusted: every entry carries the full key text
+//     and lookup() compares it byte for byte. A 64-bit collision (or a stale
+//     file reused under a recycled name) degrades to a miss, never to a
+//     wrong artifact.
+//   - Any malformed entry — schema-version mismatch, truncation, corrupted
+//     fields, label vector of the wrong length — is a clean miss: lookup()
+//     never throws and never returns a partially parsed entry.
+//   - Writes are atomic (unique tmp file + rename), so concurrent writers
+//     (batch tasks mapping the same circuit) and readers racing a writer see
+//     either no entry or a complete one, never a torn file.
+//
+// The on-disk format is a versioned, line-oriented text schema (one file per
+// key, named <16-hex-hash>.tsce) chosen for debuggability; entries are a few
+// KB for typical circuits.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/flows.hpp"
+#include "core/probe_ledger.hpp"
+#include "netlist/circuit.hpp"
+
+namespace turbosyn {
+
+/// Cache key: hash for addressing, full text for the collision check.
+struct CacheKey {
+  std::uint64_t hash = 0;
+  std::string text;
+};
+
+/// Canonical key for running `kind` on `c` under `options`. Covers exactly
+/// the options that can change the result (k, cmax, height_span, the
+/// algorithm toggles, expansion limits); excludes num_threads (results are
+/// bit-identical across thread counts by construction), budgets (a budget
+/// that interfered makes the run unstorable; one that did not leaves the
+/// result equal to the unlimited run) and observability knobs.
+CacheKey make_cache_key(const Circuit& c, const FlowOptions& options, FlowKind kind);
+
+/// One serialized probe-ledger record (stats and wall time are dropped: an
+/// imported record never carries them — the originating run does).
+struct CachedProbe {
+  int phi = 0;
+  LabelMode mode = LabelMode::kPlain;
+  ProbeOutcome outcome = ProbeOutcome::kOk;
+  Status status = Status::kOk;
+  bool feasible = false;
+  std::uint64_t label_hash = 0;
+  int max_po_label = 0;
+};
+
+/// Everything a hit needs to replay the flow without label probes.
+struct CacheEntry {
+  int phi = 0;                     // the ratio/period the run settled on
+  LabelMode mode = LabelMode::kPlain;  // update rule of the winning labels
+  int max_po_label = 0;            // of the winning label vector
+  std::vector<CachedProbe> probes; // the full ledger, in record order
+  std::vector<int> winning_labels; // converged labels at `phi` (input ids)
+  // Final-result record (diagnostics and replay cross-checks; the mapped
+  // network is regenerated from the labels on a hit, not parsed from here).
+  int luts = 0;
+  std::int64_t ffs = 0;
+  std::int64_t mdr_num = 0;
+  std::int64_t mdr_den = 1;
+  std::int64_t period = 0;
+  int pipeline_stages = 0;
+  std::string mapped_blif;
+};
+
+class FlowCache {
+ public:
+  /// Entry files live directly under `dir`; the directory (and its parents)
+  /// are created on the first store.
+  explicit FlowCache(std::string dir);
+
+  static constexpr int kSchemaVersion = 1;
+
+  /// The complete, validated entry for `key`, or nullopt (miss). Collision-
+  /// checked against key.text; never throws on malformed files.
+  std::optional<CacheEntry> lookup(const CacheKey& key) const;
+
+  /// Atomically persists `entry` under `key`. Returns false without writing
+  /// when the entry is unstorable (see rejects_ below) or the write failed.
+  bool store(const CacheKey& key, const CacheEntry& entry);
+
+  /// storable() + entry_from_result() + store() in one step; a quarantined
+  /// (unstorable) result counts against rejects(). Returns true iff written.
+  bool store_result(const CacheKey& key, const FlowResult& result);
+
+  /// True iff `result` may be cached: an exact, uninterrupted run whose
+  /// winning labels were collected. Everything else is quarantined.
+  static bool storable(const FlowResult& result);
+
+  /// Builds the entry for a storable result (artifacts must be valid).
+  static CacheEntry entry_from_result(const FlowResult& result);
+
+  const std::string& dir() const { return dir_; }
+  std::string entry_path(const CacheKey& key) const;
+
+  // Monotonic per-process counters (thread-safe; for logs and tests).
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::int64_t stores() const { return stores_.load(std::memory_order_relaxed); }
+  std::int64_t rejects() const { return rejects_.load(std::memory_order_relaxed); }
+
+ private:
+  std::string dir_;
+  mutable std::atomic<std::int64_t> hits_{0};
+  mutable std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> stores_{0};
+  std::atomic<std::int64_t> rejects_{0};
+};
+
+}  // namespace turbosyn

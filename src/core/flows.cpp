@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "base/check.hpp"
 #include "base/trace.hpp"
 #include "core/driver.hpp"
 #include "core/stages/flowsyn_map.hpp"
@@ -177,6 +178,46 @@ FlowResult run_turbomap_period(const Circuit& c, const FlowOptions& options) {
   FlowResult result = driver.finish();
   result.seconds = seconds_since(start);
   return result;
+}
+
+const char* flow_kind_name(FlowKind kind) {
+  switch (kind) {
+    case FlowKind::kTurboMap:
+      return "turbomap";
+    case FlowKind::kTurboSyn:
+      return "turbosyn";
+    case FlowKind::kFlowSynS:
+      return "flowsyn_s";
+    case FlowKind::kTurboMapPeriod:
+      return "turbomap_period";
+  }
+  return "?";
+}
+
+bool flow_kind_from_name(const std::string& name, FlowKind& kind) {
+  for (const FlowKind k : {FlowKind::kTurboMap, FlowKind::kTurboSyn, FlowKind::kFlowSynS,
+                           FlowKind::kTurboMapPeriod}) {
+    if (name == flow_kind_name(k)) {
+      kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+FlowResult run_flow(FlowKind kind, const Circuit& c, const FlowOptions& options) {
+  switch (kind) {
+    case FlowKind::kTurboMap:
+      return run_turbomap(c, options);
+    case FlowKind::kTurboSyn:
+      return run_turbosyn(c, options);
+    case FlowKind::kFlowSynS:
+      return run_flowsyn_s(c, options);
+    case FlowKind::kTurboMapPeriod:
+      return run_turbomap_period(c, options);
+  }
+  TS_CHECK(false, "unknown flow kind");
+  return {};
 }
 
 }  // namespace turbosyn

@@ -137,4 +137,20 @@ FlowResult run_turbosyn(const Circuit& c, const FlowOptions& options);
 FlowResult run_flowsyn_s(const Circuit& c, const FlowOptions& options);
 FlowResult run_turbomap_period(const Circuit& c, const FlowOptions& options);
 
+/// The four public flows as a first-class value, for callers that select a
+/// flow at runtime (the BLIF CLI, the batch scheduler, the artifact cache
+/// key). The names match the CLI spellings.
+enum class FlowKind : std::uint8_t { kTurboMap, kTurboSyn, kFlowSynS, kTurboMapPeriod };
+
+/// CLI spelling of a kind ("turbomap", "turbosyn", "flowsyn_s",
+/// "turbomap_period").
+const char* flow_kind_name(FlowKind kind);
+
+/// Parses a CLI spelling; returns false (leaving `kind` untouched) on an
+/// unknown name.
+bool flow_kind_from_name(const std::string& name, FlowKind& kind);
+
+/// Dispatches to the matching run_* entry point.
+FlowResult run_flow(FlowKind kind, const Circuit& c, const FlowOptions& options);
+
 }  // namespace turbosyn

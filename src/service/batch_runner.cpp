@@ -1,0 +1,230 @@
+#include "service/batch_runner.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "base/check.hpp"
+#include "base/thread_pool.hpp"
+#include "decomp/gate_decomp.hpp"
+#include "netlist/blif.hpp"
+
+namespace turbosyn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string path_stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t start = slash == std::string::npos ? 0 : slash + 1;
+  const std::size_t dot = path.find_last_of('.');
+  const std::size_t end = (dot == std::string::npos || dot <= start) ? path.size() : dot;
+  return path.substr(start, end - start);
+}
+
+void append_json_string(std::string& out, const std::string& value) {
+  out += '"';
+  for (const char ch : value) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// One circuit task: parse, K-bound, run the (cache-aware) flow.
+BatchRecord run_job(const BatchJob& job, const BatchOptions& options) {
+  BatchRecord record;
+  record.name = job.name;
+  record.path = job.path;
+  record.flow = job.flow;
+  record.k = job.k;
+  const auto start = Clock::now();
+  try {
+    Circuit input = read_blif_file(job.path);
+    if (!input.is_k_bounded(job.k)) input = gate_decompose(input, job.k);
+
+    FlowOptions flow_options = options.flow;
+    // The pool schedules whole circuits; nested for_each would deadlock.
+    flow_options.num_threads = 1;
+    // Fresh per-circuit budget slice sharing the batch's cancel token.
+    flow_options.budget = RunBudget();
+    if (options.per_circuit_deadline_ms > 0) {
+      flow_options.budget.set_deadline_after_ms(options.per_circuit_deadline_ms);
+    }
+    if (options.cancel != nullptr) flow_options.budget.set_cancel_token(options.cancel);
+
+    CacheRunInfo info;
+    const FlowResult result =
+        run_flow_cached(job.flow, input, flow_options, options.cache, &info);
+    record.ok = true;
+    record.cache_hit = info.hit;
+    record.phi = result.phi;
+    record.luts = result.luts;
+    record.ffs = result.ffs;
+    record.period = result.period;
+    record.pipeline_stages = result.pipeline_stages;
+    record.status = result.status;
+  } catch (const std::exception& e) {
+    record.ok = false;
+    record.error = e.what();
+  }
+  record.seconds = seconds_since(start);
+  return record;
+}
+
+}  // namespace
+
+std::vector<BatchJob> read_batch_manifest(std::istream& in, const std::string& source_name) {
+  std::vector<BatchJob> jobs;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto context = [&] { return source_name + ":" + std::to_string(line_no) + ": "; };
+    std::istringstream fields(line);
+    BatchJob job;
+    if (!(fields >> job.path) || job.path[0] == '#') continue;
+    std::string flow_name;
+    if (fields >> flow_name) {
+      TS_CHECK(flow_kind_from_name(flow_name, job.flow),
+               context() << "unknown flow '" << flow_name
+                         << "' (expected turbomap|turbosyn|flowsyn_s|turbomap_period)");
+    }
+    std::string k_field;
+    if (fields >> k_field) {
+      try {
+        std::size_t used = 0;
+        job.k = std::stoi(k_field, &used);
+        TS_CHECK(used == k_field.size() && job.k >= 2, "");
+      } catch (...) {
+        throw Error(context() + "bad K '" + k_field + "' (expected an integer >= 2)");
+      }
+    }
+    std::string extra;
+    TS_CHECK(!(fields >> extra), context() << "trailing field '" << extra << "'");
+    job.name = path_stem(job.path);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<BatchJob> read_batch_manifest_file(const std::string& path) {
+  std::ifstream in(path);
+  TS_CHECK(in.good(), "cannot open manifest '" << path << "'");
+  return read_batch_manifest(in, path);
+}
+
+std::string batch_record_json(const BatchRecord& record) {
+  std::string out = "{\"name\":";
+  append_json_string(out, record.name);
+  out += ",\"path\":";
+  append_json_string(out, record.path);
+  out += ",\"flow\":";
+  append_json_string(out, flow_kind_name(record.flow));
+  out += ",\"k\":" + std::to_string(record.k);
+  out += ",\"ok\":";
+  out += record.ok ? "true" : "false";
+  out += ",\"skipped\":";
+  out += record.skipped ? "true" : "false";
+  out += ",\"cache_hit\":";
+  out += record.cache_hit ? "true" : "false";
+  if (record.ok) {
+    out += ",\"phi\":" + std::to_string(record.phi);
+    out += ",\"luts\":" + std::to_string(record.luts);
+    out += ",\"ffs\":" + std::to_string(record.ffs);
+    out += ",\"period\":" + std::to_string(record.period);
+    out += ",\"pipeline_stages\":" + std::to_string(record.pipeline_stages);
+  }
+  out += ",\"status\":";
+  append_json_string(out, status_name(record.status));
+  {
+    std::ostringstream secs;
+    secs << record.seconds;
+    out += ",\"seconds\":" + secs.str();
+  }
+  if (!record.error.empty()) {
+    out += ",\"error\":";
+    append_json_string(out, record.error);
+  }
+  out += "}";
+  return out;
+}
+
+BatchSummary run_batch(const std::vector<BatchJob>& jobs, const BatchOptions& options,
+                       std::ostream* jsonl) {
+  const auto start = Clock::now();
+  BatchSummary summary;
+  summary.records.resize(jobs.size());
+  // Tasks the interrupt skips keep this initializer; finished tasks
+  // overwrite it with their real record.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    summary.records[i].name = jobs[i].name;
+    summary.records[i].path = jobs[i].path;
+    summary.records[i].flow = jobs[i].flow;
+    summary.records[i].k = jobs[i].k;
+    summary.records[i].skipped = true;
+    summary.records[i].status = Status::kCancelled;
+  }
+
+  RunBudget batch_interrupt;
+  if (options.cancel != nullptr) batch_interrupt.set_cancel_token(options.cancel);
+
+  std::mutex sink_mutex;
+  ThreadPool::global().for_each(
+      jobs.size(),
+      [&](std::size_t i, int /*lane*/) {
+        BatchRecord record = run_job(jobs[i], options);
+        if (jsonl != nullptr) {
+          const std::string line = batch_record_json(record);
+          const std::lock_guard<std::mutex> lock(sink_mutex);
+          *jsonl << line << '\n' << std::flush;
+        }
+        summary.records[i] = std::move(record);
+      },
+      options.num_workers, options.cancel != nullptr ? &batch_interrupt : nullptr);
+
+  for (const BatchRecord& record : summary.records) {
+    if (record.skipped) {
+      ++summary.skipped;
+    } else if (record.ok) {
+      ++summary.completed;
+      if (record.cache_hit) ++summary.cache_hits;
+    } else {
+      ++summary.failed;
+    }
+  }
+  summary.seconds = seconds_since(start);
+  return summary;
+}
+
+}  // namespace turbosyn

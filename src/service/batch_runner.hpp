@@ -1,0 +1,108 @@
+#pragma once
+// Batch multi-circuit scheduler: N netlists through the staged flows,
+// concurrently, over the one shared ThreadPool.
+//
+// The batch runner inverts the parallelism axis: instead of one circuit
+// using every core inside the label engine, each circuit-level task runs its
+// flow sequentially (num_threads forced to 1 — the pool does not support
+// nested for_each) and the pool schedules whole circuits across lanes. That
+// is the right shape for serving many small-to-medium workloads: tasks are
+// independent, the flow-artifact cache (src/cache) is shared — so repeated
+// circuits cost one read — and results stream out as JSON-lines records the
+// moment each circuit finishes.
+//
+// Budgeting: every circuit gets its own RunBudget slice (an optional
+// per-circuit wall-clock deadline) wired to one shared CancelToken, so a
+// single Ctrl-C (or a caller-side cancel) drains the whole batch
+// cooperatively: running tasks wind down to their best-so-far mapping,
+// queued tasks are skipped and reported as such.
+//
+// Manifest format (read_batch_manifest): one circuit per line,
+//
+//   path/to/circuit.blif [flow] [K]
+//
+// where `flow` is turbomap | turbosyn | flowsyn_s | turbomap_period
+// (default turbosyn) and K is the LUT input bound (default 5). Blank lines
+// and `#` comments are ignored. Inputs wider than K are decomposed on load.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/run_budget.hpp"
+#include "cache/cached_flow.hpp"
+#include "core/flows.hpp"
+
+namespace turbosyn {
+
+struct BatchJob {
+  std::string name;  // defaults to the path's stem
+  std::string path;  // BLIF netlist
+  FlowKind flow = FlowKind::kTurboSyn;
+  int k = 5;
+};
+
+/// Parses the manifest format above. Throws turbosyn::Error with
+/// "file:line:" context on malformed lines (unknown flow, bad K).
+std::vector<BatchJob> read_batch_manifest(std::istream& in,
+                                          const std::string& source_name = "<manifest>");
+std::vector<BatchJob> read_batch_manifest_file(const std::string& path);
+
+struct BatchOptions {
+  /// Base options for every flow run. num_threads is overridden to 1 per
+  /// task (circuit-level parallelism replaces label-level parallelism) and
+  /// budget is replaced by the per-circuit slice below.
+  FlowOptions flow;
+  /// Shared artifact store (nullptr = uncached).
+  FlowCache* cache = nullptr;
+  /// Circuit-level concurrency: how many pool lanes may run batch tasks
+  /// (0 = all). The calling thread participates.
+  int num_workers = 0;
+  /// Per-circuit wall-clock deadline (0 = none). Each task gets a fresh
+  /// RunBudget with this deadline, so one pathological circuit degrades to
+  /// its best-so-far mapping instead of starving the batch.
+  std::int64_t per_circuit_deadline_ms = 0;
+  /// Cooperative cancel for the whole batch (nullptr = none): running tasks
+  /// drain, queued tasks are skipped.
+  const CancelToken* cancel = nullptr;
+};
+
+/// One finished (or skipped/failed) circuit, as streamed to the JSONL sink.
+struct BatchRecord {
+  std::string name;
+  std::string path;
+  FlowKind flow = FlowKind::kTurboSyn;
+  int k = 5;
+  bool ok = false;         // the flow ran and returned a result
+  bool skipped = false;    // cancelled before the task started
+  bool cache_hit = false;
+  int phi = 0;
+  int luts = 0;
+  std::int64_t ffs = 0;
+  std::int64_t period = 0;
+  int pipeline_stages = 0;
+  Status status = Status::kOk;
+  double seconds = 0.0;
+  std::string error;       // parse/validation failure (ok == false)
+};
+
+/// The record as one JSON object on a single line (no trailing newline).
+std::string batch_record_json(const BatchRecord& record);
+
+struct BatchSummary {
+  std::vector<BatchRecord> records;  // one per job, in manifest order
+  int completed = 0;
+  int failed = 0;    // parse/flow errors
+  int skipped = 0;   // cancelled before starting
+  int cache_hits = 0;
+  double seconds = 0.0;  // batch wall time
+};
+
+/// Runs every job over the shared pool. `jsonl` (optional) receives one
+/// batch_record_json line per circuit, in completion order, as each
+/// finishes; the summary keeps manifest order.
+BatchSummary run_batch(const std::vector<BatchJob>& jobs, const BatchOptions& options,
+                       std::ostream* jsonl = nullptr);
+
+}  // namespace turbosyn

@@ -1,0 +1,495 @@
+// Tests for the persistent flow-artifact cache (src/cache) and the batch
+// multi-circuit scheduler (src/service): canonical keying, hit/miss
+// bit-identity, the malformed-entry and quarantine rules of DESIGN.md §11,
+// concurrent writers, and the batch manifest format.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/check.hpp"
+#include "cache/cached_flow.hpp"
+#include "cache/flow_cache.hpp"
+#include "decomp/gate_decomp.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/canonical.hpp"
+#include "service/batch_runner.hpp"
+#include "verify/audit.hpp"
+#include "workloads/samples.hpp"
+
+namespace turbosyn {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test directory under the gtest temp root.
+fs::path test_dir(const std::string& leaf) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("ts_cache_test_" + leaf);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string fingerprint(const FlowResult& r) {
+  return std::to_string(r.phi) + "|" + std::to_string(r.period) + "|" +
+         std::to_string(r.pipeline_stages) + "|" + write_blif_string(r.mapped, "fp");
+}
+
+FlowOptions small_options() {
+  FlowOptions opt;
+  opt.k = 4;
+  opt.num_threads = 1;
+  return opt;
+}
+
+/// A K-bounded copy of the sample (the flows require K-bounded inputs).
+Circuit bounded_sample(const std::string& blif, int k = 4) {
+  Circuit c = read_blif_string(blif);
+  if (!c.is_k_bounded(k)) c = gate_decompose(c, k);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical form and keying
+
+TEST(CanonicalForm, IndependentOfDeclarationOrder) {
+  // The same two-LUT netlist with the gate declarations (and output list)
+  // permuted: node ids differ, the canonical form must not.
+  const char* forward =
+      ".model t\n.inputs a b\n.outputs y z\n"
+      ".names a b y\n11 1\n"
+      ".names a b z\n10 1\n"
+      ".end\n";
+  const char* reversed =
+      ".model t\n.inputs b a\n.outputs z y\n"
+      ".names a b z\n10 1\n"
+      ".names a b y\n11 1\n"
+      ".end\n";
+  const CanonicalForm lhs = canonical_circuit_form(read_blif_string(forward));
+  const CanonicalForm rhs = canonical_circuit_form(read_blif_string(reversed));
+  EXPECT_EQ(lhs.text, rhs.text);
+  EXPECT_EQ(lhs.hash, rhs.hash);
+}
+
+TEST(CanonicalForm, DistinguishesLogicAndStructure) {
+  const Circuit counter = read_blif_string(counter3_blif());
+  const Circuit fsm = read_blif_string(pattern_fsm_blif());
+  EXPECT_NE(canonical_circuit_form(counter).text, canonical_circuit_form(fsm).text);
+
+  // Same wires, different truth table: must change the form.
+  const char* and_gate = ".model t\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n";
+  const char* or_gate = ".model t\n.inputs a b\n.outputs y\n.names a b y\n1- 1\n-1 1\n.end\n";
+  EXPECT_NE(canonical_circuit_form(read_blif_string(and_gate)).text,
+            canonical_circuit_form(read_blif_string(or_gate)).text);
+}
+
+TEST(CacheKey, CoversResultRelevantOptionsOnly) {
+  const Circuit c = read_blif_string(counter3_blif());
+  FlowOptions opt = small_options();
+  const CacheKey base = make_cache_key(c, opt, FlowKind::kTurboSyn);
+
+  FlowOptions other_k = opt;
+  other_k.k = 5;
+  EXPECT_NE(base.hash, make_cache_key(c, other_k, FlowKind::kTurboSyn).hash);
+  EXPECT_NE(base.text, make_cache_key(c, other_k, FlowKind::kTurboSyn).text);
+
+  EXPECT_NE(base.text, make_cache_key(c, opt, FlowKind::kTurboMap).text);
+
+  // Thread count and observability knobs must not split the key space.
+  FlowOptions threads = opt;
+  threads.num_threads = 8;
+  threads.collect_artifacts = true;
+  EXPECT_EQ(base.text, make_cache_key(c, threads, FlowKind::kTurboSyn).text);
+}
+
+// ---------------------------------------------------------------------------
+// Hit/miss behavior of run_flow_cached
+
+TEST(FlowCacheRun, HitIsBitIdenticalWithUncachedAndAuditsClean) {
+  const fs::path dir = test_dir("hit");
+  const Circuit c = bounded_sample(gray_counter_blif());
+  FlowOptions opt = small_options();
+  opt.collect_artifacts = true;  // for the audit below
+
+  const FlowResult uncached = run_turbosyn(c, opt);
+
+  FlowCache cache(dir.string());
+  CacheRunInfo cold_info;
+  const FlowResult cold = run_flow_cached(FlowKind::kTurboSyn, c, opt, &cache, &cold_info);
+  EXPECT_FALSE(cold_info.hit);
+  EXPECT_TRUE(cold_info.stored);
+  EXPECT_EQ(cache.stores(), 1);
+  EXPECT_EQ(fingerprint(cold), fingerprint(uncached));
+
+  CacheRunInfo warm_info;
+  const FlowResult warm = run_flow_cached(FlowKind::kTurboSyn, c, opt, &cache, &warm_info);
+  EXPECT_TRUE(warm_info.hit);
+  EXPECT_FALSE(warm_info.stored);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(fingerprint(warm), fingerprint(uncached));
+  EXPECT_EQ(write_blif_string(warm.mapped, "m"), write_blif_string(uncached.mapped, "m"));
+
+  // The hit replays the search from imported records only — no label probe
+  // may have run — and the imported ledger must still satisfy the auditor.
+  ASSERT_FALSE(warm.probes.empty());
+  for (const ProbeRecord& probe : warm.probes) EXPECT_TRUE(probe.imported);
+  AuditOptions audit;
+  audit.seq_cycles = 64;
+  audit.seq_runs = 2;
+  const AuditReport report = audit_flow(c, warm, opt, audit);
+  EXPECT_TRUE(report.passed()) << report.breakdown();
+}
+
+TEST(FlowCacheRun, DistinctOptionsMissAndNullCachePassesThrough) {
+  const fs::path dir = test_dir("miss");
+  const Circuit c = read_blif_string(counter3_blif());
+  FlowCache cache(dir.string());
+
+  FlowOptions opt = small_options();
+  CacheRunInfo info;
+  (void)run_flow_cached(FlowKind::kTurboSyn, c, opt, &cache, &info);
+  EXPECT_TRUE(info.stored);
+
+  // A different K is a different key: miss, then its own entry.
+  FlowOptions k5 = opt;
+  k5.k = 5;
+  (void)run_flow_cached(FlowKind::kTurboSyn, c, k5, &cache, &info);
+  EXPECT_FALSE(info.hit);
+  EXPECT_EQ(cache.stores(), 2);
+
+  // FlowSYN-s runs no label search and always passes through uncached.
+  (void)run_flow_cached(FlowKind::kFlowSynS, c, opt, &cache, &info);
+  EXPECT_FALSE(info.hit);
+  EXPECT_FALSE(info.stored);
+
+  // No cache at all: plain run_flow.
+  const FlowResult plain = run_flow_cached(FlowKind::kTurboSyn, c, opt, nullptr, &info);
+  EXPECT_FALSE(info.hit);
+  EXPECT_FALSE(info.stored);
+  EXPECT_GT(plain.luts, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed entries: every corruption is a clean miss
+
+class FlowCacheEntryFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = test_dir("entry_file");
+    circuit_ = read_blif_string(counter3_blif());
+    options_ = small_options();
+    key_ = make_cache_key(circuit_, options_, FlowKind::kTurboSyn);
+    cache_ = std::make_unique<FlowCache>(dir_.string());
+    CacheRunInfo info;
+    (void)run_flow_cached(FlowKind::kTurboSyn, circuit_, options_, cache_.get(), &info);
+    ASSERT_TRUE(info.stored);
+    path_ = cache_->entry_path(key_);
+    ASSERT_TRUE(fs::exists(path_));
+  }
+
+  std::string read_entry() const {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  void write_entry(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  fs::path dir_;
+  Circuit circuit_;
+  FlowOptions options_;
+  CacheKey key_;
+  std::unique_ptr<FlowCache> cache_;
+  std::string path_;
+};
+
+TEST_F(FlowCacheEntryFile, IntactEntryHits) {
+  EXPECT_TRUE(cache_->lookup(key_).has_value());
+}
+
+TEST_F(FlowCacheEntryFile, SchemaVersionMismatchIsACleanMiss) {
+  std::string bytes = read_entry();
+  const std::string header = "turbosyn-cache 1";
+  ASSERT_EQ(bytes.rfind(header, 0), 0u);
+  bytes.replace(0, header.size(), "turbosyn-cache 999");
+  write_entry(bytes);
+  EXPECT_FALSE(cache_->lookup(key_).has_value());
+
+  // The miss is recoverable: a fresh run repopulates and hits again.
+  CacheRunInfo info;
+  (void)run_flow_cached(FlowKind::kTurboSyn, circuit_, options_, cache_.get(), &info);
+  EXPECT_FALSE(info.hit);
+  EXPECT_TRUE(info.stored);
+  EXPECT_TRUE(cache_->lookup(key_).has_value());
+}
+
+TEST_F(FlowCacheEntryFile, TruncatedEntryIsACleanMiss) {
+  const std::string bytes = read_entry();
+  for (const double fraction : {0.25, 0.5, 0.9}) {
+    write_entry(bytes.substr(0, static_cast<std::size_t>(bytes.size() * fraction)));
+    EXPECT_FALSE(cache_->lookup(key_).has_value()) << "fraction " << fraction;
+  }
+}
+
+TEST_F(FlowCacheEntryFile, CorruptedFieldsAreACleanMiss) {
+  const std::string bytes = read_entry();
+  // Flip the stored key hash: content addressing must reject the entry.
+  {
+    std::string hashed = bytes;
+    const auto pos = hashed.find("hash ");
+    ASSERT_NE(pos, std::string::npos);
+    hashed[pos + 5] = hashed[pos + 5] == 'f' ? '0' : 'f';
+    write_entry(hashed);
+    EXPECT_FALSE(cache_->lookup(key_).has_value());
+  }
+  // Non-numeric phi.
+  {
+    std::string garbled = bytes;
+    const auto pos = garbled.find("\nphi ");
+    ASSERT_NE(pos, std::string::npos);
+    garbled[pos + 5] = 'x';
+    write_entry(garbled);
+    EXPECT_FALSE(cache_->lookup(key_).has_value());
+  }
+  // Arbitrary binary garbage.
+  write_entry(std::string(256, '\xff'));
+  EXPECT_FALSE(cache_->lookup(key_).has_value());
+  // Empty file (a writer that never completed its rename cannot produce
+  // this, but a full disk can).
+  write_entry("");
+  EXPECT_FALSE(cache_->lookup(key_).has_value());
+}
+
+TEST_F(FlowCacheEntryFile, KeyTextCollisionIsACleanMiss) {
+  // Same hash, different key text (a simulated 64-bit collision): the
+  // byte-for-byte key comparison must degrade it to a miss.
+  FlowOptions other = options_;
+  other.k = 5;
+  const CacheKey other_key = make_cache_key(circuit_, other, FlowKind::kTurboSyn);
+  CacheKey forged = other_key;
+  forged.hash = key_.hash;  // address the existing entry with foreign text
+  EXPECT_FALSE(cache_->lookup(forged).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine: degraded or interrupted runs are never stored
+
+TEST(FlowCacheQuarantine, StorableRejectsInexactRuns) {
+  const fs::path dir = test_dir("quarantine");
+  const Circuit c = read_blif_string(counter3_blif());
+  FlowOptions opt = small_options();
+  opt.collect_artifacts = true;
+  FlowResult exact = run_turbosyn(c, opt);
+  ASSERT_EQ(exact.status, Status::kOk);
+  ASSERT_TRUE(FlowCache::storable(exact));
+
+  FlowResult degraded = exact;
+  degraded.status = Status::kDegraded;
+  EXPECT_FALSE(FlowCache::storable(degraded));
+
+  FlowResult interrupted = exact;
+  interrupted.timed_out = true;
+  EXPECT_FALSE(FlowCache::storable(interrupted));
+
+  FlowResult no_artifacts = exact;
+  no_artifacts.artifacts.valid = false;
+  EXPECT_FALSE(FlowCache::storable(no_artifacts));
+
+  // store() enforces the same rule and counts the reject.
+  FlowCache cache(dir.string());
+  const CacheKey key = make_cache_key(c, opt, FlowKind::kTurboSyn);
+  EXPECT_FALSE(cache.store(key, FlowCache::entry_from_result(exact)) &&
+               FlowCache::storable(degraded));
+  EXPECT_FALSE(cache.lookup(key).has_value() && !FlowCache::storable(exact));
+}
+
+TEST(FlowCacheQuarantine, ExpiredDeadlineRunIsNotStored) {
+  const fs::path dir = test_dir("deadline");
+  const Circuit c = bounded_sample(gray_counter_blif());
+  FlowOptions opt = small_options();
+  opt.budget.set_deadline_after_ms(0);
+
+  FlowCache cache(dir.string());
+  CacheRunInfo info;
+  const FlowResult result = run_flow_cached(FlowKind::kTurboMap, c, opt, &cache, &info);
+  ASSERT_TRUE(result.timed_out || result.status != Status::kOk);
+  EXPECT_FALSE(info.stored);
+  EXPECT_EQ(cache.stores(), 0);
+  EXPECT_GE(cache.rejects(), 1);
+
+  // And the poisoned attempt left nothing behind: the next (unlimited) run
+  // is a genuine miss, not a stale-certificate hit.
+  FlowOptions unlimited = small_options();
+  CacheRunInfo clean_info;
+  (void)run_flow_cached(FlowKind::kTurboMap, c, unlimited, &cache, &clean_info);
+  EXPECT_FALSE(clean_info.hit);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: racing writers and readers (exercised under TSan in CI)
+
+TEST(FlowCacheConcurrency, RacingWritersAndReadersStaySound) {
+  const fs::path dir = test_dir("race");
+  const Circuit c = read_blif_string(traffic_light_blif());
+  FlowOptions opt = small_options();
+  FlowCache cache(dir.string());
+  const CacheKey key = make_cache_key(c, opt, FlowKind::kTurboSyn);
+
+  // Two batch tasks mapping the same circuit write the same entry while two
+  // readers poll: every lookup must see no entry or a complete one.
+  const int kWriters = 2;
+  const int kReaders = 2;
+  const int kRounds = 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        CacheRunInfo info;
+        const FlowResult result = run_flow_cached(FlowKind::kTurboSyn, c, opt, &cache, &info);
+        ASSERT_GT(result.luts, 0);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds * 4; ++round) {
+        const std::optional<CacheEntry> entry = cache.lookup(key);
+        if (entry.has_value()) {
+          ASSERT_GE(entry->phi, 1);
+          ASSERT_FALSE(entry->winning_labels.empty());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(cache.lookup(key).has_value());
+  EXPECT_GE(cache.hits() + cache.misses(), kWriters * kRounds);
+}
+
+// ---------------------------------------------------------------------------
+// Batch manifest parsing and the batch runner
+
+TEST(BatchManifest, ParsesFlowsDefaultsAndComments) {
+  std::istringstream manifest(
+      "# comment line\n"
+      "\n"
+      "a/counter.blif\n"
+      "b/fsm.blif turbomap\n"
+      "c/deep.blif turbomap_period 6\n");
+  const std::vector<BatchJob> jobs = read_batch_manifest(manifest, "m.txt");
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].name, "counter");
+  EXPECT_EQ(jobs[0].flow, FlowKind::kTurboSyn);
+  EXPECT_EQ(jobs[0].k, 5);
+  EXPECT_EQ(jobs[1].flow, FlowKind::kTurboMap);
+  EXPECT_EQ(jobs[2].flow, FlowKind::kTurboMapPeriod);
+  EXPECT_EQ(jobs[2].k, 6);
+}
+
+TEST(BatchManifest, RejectsMalformedLinesWithContext) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return read_batch_manifest(in, "m.txt");
+  };
+  EXPECT_THROW(parse("x.blif nosuchflow\n"), Error);
+  EXPECT_THROW(parse("x.blif turbosyn banana\n"), Error);
+  EXPECT_THROW(parse("x.blif turbosyn 1\n"), Error);  // K < 2
+  EXPECT_THROW(parse("x.blif turbosyn 5 extra\n"), Error);
+  try {
+    (void)parse("x.blif nosuchflow\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("m.txt:1"), std::string::npos) << e.what();
+  }
+}
+
+TEST(BatchRunner, RunsAManifestThroughTheSharedCache) {
+  const fs::path dir = test_dir("batch");
+  const std::vector<std::pair<std::string, std::string>> samples = {
+      {"counter3", counter3_blif()},
+      {"pattern_fsm", pattern_fsm_blif()},
+      {"gray_counter", gray_counter_blif()},
+  };
+  std::vector<BatchJob> jobs;
+  for (const auto& [name, blif] : samples) {
+    const fs::path path = dir / (name + ".blif");
+    std::ofstream(path) << blif;
+    BatchJob job;
+    job.name = name;
+    job.path = path.string();
+    job.k = 4;
+    jobs.push_back(job);
+  }
+  // One failing job: parse errors are reported per record, not thrown.
+  BatchJob missing;
+  missing.name = "missing";
+  missing.path = (dir / "missing.blif").string();
+  jobs.push_back(missing);
+
+  FlowCache cache((dir / "cache").string());
+  BatchOptions options;
+  options.cache = &cache;
+  std::ostringstream jsonl;
+  const BatchSummary cold = run_batch(jobs, options, &jsonl);
+  EXPECT_EQ(cold.completed, 3);
+  EXPECT_EQ(cold.failed, 1);
+  EXPECT_EQ(cold.cache_hits, 0);
+
+  const BatchSummary warm = run_batch(jobs, options);
+  EXPECT_EQ(warm.completed, 3);
+  EXPECT_EQ(warm.cache_hits, 3);
+  for (std::size_t i = 0; i + 1 < warm.records.size(); ++i) {
+    EXPECT_EQ(warm.records[i].phi, cold.records[i].phi);
+    EXPECT_EQ(warm.records[i].luts, cold.records[i].luts);
+    EXPECT_EQ(warm.records[i].period, cold.records[i].period);
+  }
+
+  // One JSONL object per job, streamed in completion order.
+  int lines = 0;
+  std::string line;
+  std::istringstream stream(jsonl.str());
+  while (std::getline(stream, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(lines, static_cast<int>(jobs.size()));
+  const std::string error_record = batch_record_json(warm.records.back());
+  EXPECT_NE(error_record.find("\"ok\":false"), std::string::npos);
+}
+
+TEST(BatchRunner, CancelSkipsQueuedJobs) {
+  const fs::path dir = test_dir("cancel");
+  const fs::path blif_path = dir / "counter.blif";
+  std::ofstream(blif_path) << counter3_blif();
+  std::vector<BatchJob> jobs(8);
+  for (auto& job : jobs) {
+    job.name = "counter";
+    job.path = blif_path.string();
+    job.k = 4;
+  }
+  CancelToken cancel;
+  cancel.cancel();  // already cancelled: every job is skipped
+  BatchOptions options;
+  options.cancel = &cancel;
+  const BatchSummary summary = run_batch(jobs, options);
+  EXPECT_EQ(summary.completed + summary.failed, 0);
+  EXPECT_EQ(summary.skipped, static_cast<int>(jobs.size()));
+  for (const BatchRecord& record : summary.records) {
+    EXPECT_TRUE(record.skipped);
+    EXPECT_EQ(record.status, Status::kCancelled);
+  }
+}
+
+}  // namespace
+}  // namespace turbosyn

@@ -2,7 +2,7 @@
 // with the invariant auditor as the oracle.
 //
 //   $ flow_fuzz_main [--seeds N | --seeds A..B] [--time-budget SECONDS]
-//                    [--threads N] [--require-all] [--verbose]
+//                    [--threads N] [--through-cache] [--require-all] [--verbose]
 //
 // Per seed it generates a small random FSM circuit (workloads/generator),
 // runs TurboMap and TurboSYN, and checks:
@@ -16,21 +16,31 @@
 //     ceilings) still audit clean and never beat the unlimited phi;
 //   - deadline-interrupted runs (every 5th seed: 0 ms deadline) still audit
 //     clean — the identity fallback must stay equivalent;
-//   - TurboMap and TurboSYN mappings are pairwise bounded-equivalent.
+//   - TurboMap and TurboSYN mappings are pairwise bounded-equivalent;
+//   - with --through-cache, every seed also replays TurboSYN through a fresh
+//     flow-artifact cache (src/cache): the populate run and the cache-hit run
+//     must both be bit-identical with the uncached run, the hit's probe
+//     ledger must contain only imported records, and the hit must pass the
+//     full audit.
 //
 // Exits nonzero on the first failing seed's summary. --time-budget stops
 // early once the budget is spent; with --require-all, not finishing every
 // requested seed is itself a failure (CI uses this to keep the box honest).
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "base/check.hpp"
+#include "cache/cached_flow.hpp"
 #include "core/flows.hpp"
 #include "netlist/blif.hpp"
 #include "verify/audit.hpp"
@@ -46,6 +56,7 @@ struct FuzzConfig {
   std::uint64_t last_seed = 50;
   double time_budget_s = 0.0;  // 0 = unlimited
   int threads = 2;             // the "N" of the 1-vs-N determinism check
+  bool through_cache = false;  // replay every seed through a flow cache
   bool require_all = false;
   bool verbose = false;
 };
@@ -68,13 +79,15 @@ FuzzConfig parse_args(int argc, char** argv) {
       cfg.time_budget_s = std::strtod(argv[++i], nullptr);
     } else if (a == "--threads" && i + 1 < argc) {
       cfg.threads = std::atoi(argv[++i]);
+    } else if (a == "--through-cache") {
+      cfg.through_cache = true;
     } else if (a == "--require-all") {
       cfg.require_all = true;
     } else if (a == "--verbose") {
       cfg.verbose = true;
     } else {
       std::cerr << "usage: flow_fuzz_main [--seeds N|A..B] [--time-budget S] [--threads N]"
-                   " [--require-all] [--verbose]\n";
+                   " [--through-cache] [--require-all] [--verbose]\n";
       std::exit(2);
     }
   }
@@ -129,7 +142,7 @@ std::string fingerprint(const FlowResult& r) {
          std::to_string(r.pipeline_stages) + "|" + write_blif_string(r.mapped, "fp");
 }
 
-SeedOutcome run_seed(std::uint64_t seed, const FuzzConfig& cfg) {
+SeedOutcome run_seed(std::uint64_t seed, const FuzzConfig& cfg, FlowCache* cache) {
   SeedOutcome out;
   const Circuit c = generate_fsm_circuit(spec_for_seed(seed));
 
@@ -188,6 +201,27 @@ SeedOutcome run_seed(std::uint64_t seed, const FuzzConfig& cfg) {
     audit_into(out, c, fallback, expired, "turbomap/expired-deadline", seed, cfg.verbose);
   }
 
+  // Through-cache replay: populating the flow-artifact cache and replaying
+  // the hit must both reproduce the uncached run, bit for bit, and the hit's
+  // imported probe ledger must still satisfy the auditor.
+  if (cache != nullptr) {
+    CacheRunInfo cold_info;
+    const FlowResult cold = run_flow_cached(FlowKind::kTurboSyn, c, opt, cache, &cold_info);
+    expect(out, fingerprint(cold) == fingerprint(ts),
+           "through-cache: populate run differs from the uncached run");
+    expect(out, cold_info.stored || cold_info.hit, "through-cache: populate run not stored");
+    CacheRunInfo warm_info;
+    const FlowResult warm = run_flow_cached(FlowKind::kTurboSyn, c, opt, cache, &warm_info);
+    expect(out, warm_info.hit, "through-cache: second run missed the cache");
+    expect(out, fingerprint(warm) == fingerprint(ts),
+           "through-cache: cache-hit run differs from the uncached run");
+    bool all_imported = !warm.probes.empty();
+    for (const ProbeRecord& probe : warm.probes) all_imported = all_imported && probe.imported;
+    expect(out, !warm_info.hit || all_imported,
+           "through-cache: cache-hit probe ledger has non-imported records");
+    if (warm_info.hit) audit_into(out, c, warm, opt, "turbosyn/through-cache", seed, cfg.verbose);
+  }
+
   // Pairwise: the two mappings of the same input must agree with each other.
   {
     SequentialCheckOptions pairwise;
@@ -216,6 +250,17 @@ int main(int argc, char** argv) {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   };
 
+  // --through-cache: one fresh store per process, shared across seeds (each
+  // seed's circuit is distinct, so first touch misses and the replay hits).
+  std::optional<turbosyn::FlowCache> cache;
+  std::filesystem::path cache_dir;
+  if (cfg.through_cache) {
+    cache_dir = std::filesystem::temp_directory_path() /
+                ("turbosyn_flow_fuzz_cache." + std::to_string(::getpid()));
+    std::filesystem::remove_all(cache_dir);
+    cache.emplace(cache_dir.string());
+  }
+
   std::uint64_t seeds_run = 0;
   std::uint64_t seeds_failed = 0;
   std::uint64_t checks = 0;
@@ -227,7 +272,7 @@ int main(int argc, char** argv) {
     }
     SeedOutcome out;
     try {
-      out = run_seed(seed, cfg);
+      out = run_seed(seed, cfg, cache ? &*cache : nullptr);
     } catch (const std::exception& e) {
       out.failures.push_back(std::string("unhandled exception: ") + e.what());
     }
@@ -240,6 +285,11 @@ int main(int argc, char** argv) {
     } else if (cfg.verbose) {
       std::cerr << "[flow_fuzz] seed " << seed << " ok (" << out.checks << " checks)\n";
     }
+  }
+
+  if (cache) {
+    cache.reset();
+    std::filesystem::remove_all(cache_dir);
   }
 
   const std::uint64_t requested = cfg.last_seed - cfg.first_seed + 1;

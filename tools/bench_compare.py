@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Compare google-benchmark JSON output against a committed baseline.
+
+Usage:
+    bench_compare.py BASELINE CURRENT [BASELINE CURRENT ...]
+                     [--time-tolerance 0.25] [--counter-tolerance 0.05]
+
+Each (BASELINE, CURRENT) pair is a google-benchmark ``--benchmark_out``
+JSON file, ideally produced with ``--benchmark_repetitions=N`` so median
+aggregates are available; without aggregates the median over the raw
+iteration entries is computed here.
+
+Two families of values are gated, with separate tolerances:
+
+  * wall time — the benchmark's ``real_time`` and any counter whose name
+    looks time-like (``s_<stage>``, ``flow_seconds``). Runner-dependent, so
+    the default tolerance is generous (25%), and measurements below the
+    noise floor (default 1 ms) are reported but never gated: a stage that
+    takes tens of microseconds jitters far more than 25% between runs
+    without anything having regressed. Benchmarks matching
+    ``--noisy-pattern`` (default: the multi-threaded ``process_time``
+    variants, whose wall time is scheduler-bound) get the wider
+    ``--noisy-time-tolerance`` instead (default 60%).
+  * algorithm counters — every other user counter (probe counts, labels
+    computed, cache hits, ...). These are deterministic replays of the same
+    workload, so even a small growth is a real regression (default 5%).
+
+A benchmark present in the baseline but missing from the current run is a
+failure (a silently dropped benchmark must not pass the gate); a benchmark
+only in the current run is reported but does not fail. Improvements never
+fail. Exit status: 0 clean, 1 regression, 2 bad invocation/input.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+from statistics import median
+
+TIME_LIKE_COUNTERS = ("flow_seconds",)
+TIME_LIKE_PREFIXES = ("s_",)
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def is_time_like(counter_name):
+    return counter_name in TIME_LIKE_COUNTERS or any(
+        counter_name.startswith(p) for p in TIME_LIKE_PREFIXES
+    )
+
+
+def load_medians(path):
+    """Returns {benchmark name: {"real_time_ns": float, "counters": {...}}}."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_compare: cannot read {path}: {e}")
+    entries = doc.get("benchmarks", [])
+    aggregates = {}
+    iterations = {}
+    for entry in entries:
+        unit = TIME_UNIT_NS.get(entry.get("time_unit", "ns"), 1.0)
+        record = {
+            "real_time_ns": float(entry.get("real_time", 0.0)) * unit,
+            "counters": {
+                k: float(v)
+                for k, v in entry.items()
+                if isinstance(v, (int, float)) and not k.startswith(("real_", "cpu_"))
+                and k not in ("iterations", "repetitions", "repetition_index",
+                              "threads", "family_index", "per_family_instance_index")
+            },
+        }
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                aggregates[entry["run_name"]] = record
+        else:
+            iterations.setdefault(entry.get("run_name", entry["name"]), []).append(record)
+    if aggregates:
+        return aggregates
+    # No aggregates (run without --benchmark_repetitions): take medians here.
+    result = {}
+    for name, records in iterations.items():
+        counters = {}
+        for key in records[0]["counters"]:
+            counters[key] = median(r["counters"].get(key, 0.0) for r in records)
+        result[name] = {
+            "real_time_ns": median(r["real_time_ns"] for r in records),
+            "counters": counters,
+        }
+    return result
+
+
+def compare_value(name, what, base, cur, tolerance, failures, notes, gated=True):
+    if base <= 0.0:
+        return
+    ratio = cur / base
+    line = f"{name}: {what} {base:.6g} -> {cur:.6g} ({ratio - 1.0:+.1%})"
+    if not gated:
+        if ratio > 1.0 + tolerance:
+            notes.append(f"{line} below the noise floor, not gated")
+        return
+    if math.isnan(ratio) or ratio > 1.0 + tolerance:
+        failures.append(f"{line} exceeds +{tolerance:.0%} tolerance")
+    elif ratio > 1.0:
+        notes.append(line)
+
+
+def compare_files(baseline_path, current_path, args, failures, notes):
+    baseline = load_medians(baseline_path)
+    current = load_medians(current_path)
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: present in {baseline_path} but missing from the run")
+            continue
+        floor_ns = args.time_noise_floor_ms * 1e6
+        time_tolerance = (args.noisy_time_tolerance
+                          if re.search(args.noisy_pattern, name) else args.time_tolerance)
+        compare_value(name, "real_time", base["real_time_ns"], cur["real_time_ns"],
+                      time_tolerance, failures, notes,
+                      gated=max(base["real_time_ns"], cur["real_time_ns"]) >= floor_ns)
+        for counter, base_value in sorted(base["counters"].items()):
+            cur_value = cur["counters"].get(counter)
+            if cur_value is None:
+                failures.append(f"{name}: counter {counter} disappeared from the run")
+                continue
+            if is_time_like(counter):
+                # Time-like counters are in seconds.
+                floor_s = args.time_noise_floor_ms * 1e-3
+                compare_value(name, f"counter {counter}", base_value, cur_value,
+                              time_tolerance, failures, notes,
+                              gated=max(base_value, cur_value) >= floor_s)
+            else:
+                compare_value(name, f"counter {counter}", base_value, cur_value,
+                              args.counter_tolerance, failures, notes)
+    for name in sorted(set(current) - set(baseline)):
+        notes.append(f"{name}: new benchmark (no baseline yet)")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+", metavar="BASELINE CURRENT",
+                        help="pairs of baseline and current benchmark JSON files")
+    parser.add_argument("--time-tolerance", type=float, default=0.25,
+                        help="allowed relative wall-time growth (default 0.25)")
+    parser.add_argument("--counter-tolerance", type=float, default=0.05,
+                        help="allowed relative counter growth (default 0.05)")
+    parser.add_argument("--time-noise-floor-ms", type=float, default=1.0,
+                        help="wall-time measurements where both sides are below this "
+                             "many milliseconds are reported but not gated (default 1.0)")
+    parser.add_argument("--noisy-pattern", default=r"process_time",
+                        help="regex for benchmarks whose wall time is scheduler-bound "
+                             "(default: the multi-threaded process_time variants)")
+    parser.add_argument("--noisy-time-tolerance", type=float, default=0.60,
+                        help="wall-time tolerance for --noisy-pattern matches (default 0.60)")
+    args = parser.parse_args(argv)
+    if len(args.files) % 2 != 0:
+        parser.error("expected BASELINE CURRENT pairs")
+
+    failures, notes = [], []
+    for i in range(0, len(args.files), 2):
+        compare_files(args.files[i], args.files[i + 1], args, failures, notes)
+
+    for line in notes:
+        print(f"note: {line}")
+    if failures:
+        print(f"bench_compare: {len(failures)} regression(s):", file=sys.stderr)
+        for line in failures:
+            print(f"  FAIL: {line}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK ({len(notes)} within-tolerance drift note(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
