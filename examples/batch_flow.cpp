@@ -115,6 +115,7 @@ int main(int argc, char** argv) {
     if (demo && cache_dir.empty()) cache_dir = (demo_dir / "cache").string();
     if (!cache_dir.empty()) cache.emplace(cache_dir);
     options.flow.budget = cli.budget;
+    options.flow.incremental = cli.incremental;
     options.cache = cache ? &*cache : nullptr;
     options.cancel = &global_cancel_token();  // Ctrl-C drains the batch
 

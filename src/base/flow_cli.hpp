@@ -15,6 +15,11 @@
 //                        cache/flow_cache.hpp); also "--cache-dir PATH".
 //                        Mains construct the FlowCache from `cache_dir`
 //                        themselves (this library does not depend on it).
+//   --incremental / --no-incremental
+//                        dirty-set incremental label recomputation for
+//                        warm-seeded plain-update probes, plus near-miss
+//                        cache warm starts (default on; results are
+//                        bit-identical either way)
 //   --deadline-ms N and the other run-budget ceilings (base/budget_cli.hpp);
 //   a SIGINT handler is installed so Ctrl-C cancels cooperatively.
 //
@@ -41,6 +46,7 @@ class FlowCli {
   bool audit = false;
   bool quick = false;
   bool full = false;
+  bool incremental = true;  // assign to FlowOptions::incremental
   RunBudget budget;
   std::string trace_json_path;  // empty: tracing disabled
   std::string cache_dir;        // empty: caching disabled

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
@@ -103,89 +104,42 @@ bool in_range(std::int64_t value, std::int64_t lo, std::int64_t hi) {
   return value >= lo && value <= hi;
 }
 
-}  // namespace
-
-CacheKey make_cache_key(const Circuit& c, const FlowOptions& options, FlowKind kind) {
-  std::ostringstream os;
-  os << "flow " << flow_kind_name(kind) << " k " << options.k << " cmax " << options.cmax
-     << " height_span " << options.height_span << " pld " << options.use_pld << " bdd "
-     << options.use_bdd << " relax " << options.label_relaxation << " lowcost "
-     << options.low_cost_cuts << " dedupe " << options.dedupe << " pack " << options.pack
-     << " pipeline " << options.pipeline << " exp " << options.expansion.extra_levels << ' '
-     << options.expansion.node_budget << '\n';
-  CacheKey key;
-  key.text = os.str() + canonical_circuit_form(c).text;
-  key.hash = fnv1a64(key.text);
-  return key;
-}
-
-FlowCache::FlowCache(std::string dir) : dir_(std::move(dir)) {}
-
-std::string FlowCache::entry_path(const CacheKey& key) const {
-  return dir_ + "/" + hex64(key.hash) + ".tsce";
-}
-
-bool FlowCache::storable(const FlowResult& result) {
-  return result.status == Status::kOk && !result.timed_out && result.artifacts.valid &&
-         result.artifacts.labels.feasible && !result.probes.empty();
-}
-
-CacheEntry FlowCache::entry_from_result(const FlowResult& result) {
+/// A fully parsed and internally certified entry file, before any key check.
+struct ParsedEntry {
   CacheEntry entry;
-  entry.phi = result.artifacts.phi;
-  entry.mode = result.artifacts.mode;
-  entry.max_po_label = result.artifacts.labels.max_po_label;
-  entry.winning_labels = result.artifacts.labels.labels;
-  entry.probes.reserve(result.probes.size());
-  for (const ProbeRecord& rec : result.probes) {
-    CachedProbe p;
-    p.phi = rec.phi;
-    p.mode = rec.mode;
-    p.outcome = rec.outcome;
-    p.status = rec.status;
-    p.feasible = rec.feasible;
-    p.label_hash = rec.label_hash;
-    p.max_po_label = rec.max_po_label;
-    entry.probes.push_back(p);
-  }
-  entry.luts = result.luts;
-  entry.ffs = result.ffs;
-  entry.mdr_num = result.exact_mdr.num();
-  entry.mdr_den = result.exact_mdr.den();
-  entry.period = result.period;
-  entry.pipeline_stages = result.pipeline_stages;
-  entry.mapped_blif = write_blif_string(result.mapped, "mapped");
-  return entry;
-}
+  std::string key_text;     // the stored canonical key (options + circuit)
+  std::uint64_t hash = 0;   // the stored key hash
+};
 
-std::optional<CacheEntry> FlowCache::lookup(const CacheKey& key) const {
-  const auto miss = [this]() -> std::optional<CacheEntry> {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
-  };
-  std::ifstream in(entry_path(key), std::ios::binary);
-  if (!in) return miss();
+/// Loads and validates one entry file: schema version, field ranges, and the
+/// internal certification tie between the winning labels and a feasible
+/// ledger record. Does NOT compare against any caller key — exact lookup and
+/// near-miss lookup apply their own checks on top. nullopt on any defect.
+std::optional<ParsedEntry> parse_entry_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  if (!in.good() && !in.eof()) return miss();
+  if (!in.good() && !in.eof()) return std::nullopt;
 
   EntryReader r(buffer.str());
   r.expect("turbosyn-cache");
-  if (r.integer() != kSchemaVersion) return miss();
+  if (r.integer() != FlowCache::kSchemaVersion) return std::nullopt;
+  ParsedEntry parsed;
   r.expect("hash");
-  if (r.hex() != key.hash) return miss();
+  parsed.hash = r.hex();
   r.expect("key");
-  // Collision check: the stored canonical key must match byte for byte.
-  if (r.raw(r.integer()) != key.text) return miss();
+  parsed.key_text = r.raw(r.integer());
+  if (!r.ok() || fnv1a64(parsed.key_text) != parsed.hash) return std::nullopt;
   r.expect("status");
-  if (r.token() != "ok") return miss();  // quarantined (degraded) entry
+  if (r.token() != "ok") return std::nullopt;  // quarantined (degraded) entry
 
-  CacheEntry entry;
+  CacheEntry& entry = parsed.entry;
   r.expect("phi");
   entry.phi = static_cast<int>(r.integer());
   r.expect("mode");
   const std::int64_t mode = r.integer();
-  if (!in_range(mode, 0, 1)) return miss();
+  if (!in_range(mode, 0, 1)) return std::nullopt;
   entry.mode = static_cast<LabelMode>(mode);
   r.expect("maxpo");
   entry.max_po_label = static_cast<int>(r.integer());
@@ -199,20 +153,20 @@ std::optional<CacheEntry> FlowCache::lookup(const CacheKey& key) const {
 
   r.expect("probes");
   const std::int64_t num_probes = r.integer();
-  if (!r.ok() || !in_range(num_probes, 1, 1 << 20)) return miss();
+  if (!r.ok() || !in_range(num_probes, 1, 1 << 20)) return std::nullopt;
   entry.probes.reserve(static_cast<std::size_t>(num_probes));
   for (std::int64_t i = 0; i < num_probes && r.ok(); ++i) {
     CachedProbe p;
     r.expect("p");
     const std::int64_t probe_mode = r.integer();
-    if (!in_range(probe_mode, 0, 1)) return miss();
+    if (!in_range(probe_mode, 0, 1)) return std::nullopt;
     p.mode = static_cast<LabelMode>(probe_mode);
     p.phi = static_cast<int>(r.integer());
     const std::int64_t outcome = r.integer();
-    if (!in_range(outcome, 0, 3)) return miss();
+    if (!in_range(outcome, 0, 3)) return std::nullopt;
     p.outcome = static_cast<ProbeOutcome>(outcome);
     const std::int64_t status = r.integer();
-    if (!in_range(status, 0, 4)) return miss();
+    if (!in_range(status, 0, 4)) return std::nullopt;
     p.status = static_cast<Status>(status);
     p.feasible = r.integer() != 0;
     p.label_hash = r.hex();
@@ -222,7 +176,7 @@ std::optional<CacheEntry> FlowCache::lookup(const CacheKey& key) const {
 
   r.expect("labels");
   const std::int64_t num_labels = r.integer();
-  if (!r.ok() || !in_range(num_labels, 1, 1 << 26)) return miss();
+  if (!r.ok() || !in_range(num_labels, 1, 1 << 26)) return std::nullopt;
   entry.winning_labels.reserve(static_cast<std::size_t>(num_labels));
   for (std::int64_t i = 0; i < num_labels && r.ok(); ++i) {
     entry.winning_labels.push_back(static_cast<int>(r.integer()));
@@ -231,10 +185,11 @@ std::optional<CacheEntry> FlowCache::lookup(const CacheKey& key) const {
   r.expect("blif");
   entry.mapped_blif = r.raw(r.integer());
   r.expect("end");
-  if (!r.ok()) return miss();
+  if (!r.ok()) return std::nullopt;
 
   // Internal consistency: the winning labels must be certified by a feasible
   // ledger record whose hash matches them (the same tie the auditor checks).
+  // v2 stores labels in canonical order; the hash is over that order.
   const std::uint64_t winning_hash =
       hash_labels(std::span<const int>(entry.winning_labels));
   bool certified = false;
@@ -244,18 +199,151 @@ std::optional<CacheEntry> FlowCache::lookup(const CacheKey& key) const {
       break;
     }
   }
-  if (!certified) return miss();
+  if (!certified) return std::nullopt;
+  return parsed;
+}
 
-  hits_.fetch_add(1, std::memory_order_relaxed);
+}  // namespace
+
+CacheKey make_cache_key(const Circuit& c, const FlowOptions& options, FlowKind kind) {
+  std::ostringstream os;
+  os << "flow " << flow_kind_name(kind) << " k " << options.k << " cmax " << options.cmax
+     << " height_span " << options.height_span << " pld " << options.use_pld << " bdd "
+     << options.use_bdd << " relax " << options.label_relaxation << " lowcost "
+     << options.low_cost_cuts << " dedupe " << options.dedupe << " pack " << options.pack
+     << " pipeline " << options.pipeline << " exp " << options.expansion.extra_levels << ' '
+     << options.expansion.node_budget << '\n';
+  CacheKey key;
+  key.text = os.str() + canonical_circuit_form(c).text;
+  key.hash = fnv1a64(key.text);
+  // Near-miss sketch: options line + sorted interface names. Internal edits
+  // (gate logic, wiring, added/removed gates) keep the sketch, so the edited
+  // circuit's miss can still find this entry as a warm-start donor.
+  std::vector<std::string> interface_names;
+  interface_names.reserve(static_cast<std::size_t>(c.num_pis() + c.num_pos()));
+  for (const NodeId v : c.pis()) interface_names.push_back("i " + c.name(v));
+  for (const NodeId v : c.pos()) interface_names.push_back("o " + c.name(v));
+  std::sort(interface_names.begin(), interface_names.end());
+  std::uint64_t sketch = fnv1a64(os.str());
+  for (const std::string& name : interface_names) sketch = fnv1a64(name + "\n", sketch);
+  key.near_sketch = sketch;
+  return key;
+}
+
+FlowCache::FlowCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string FlowCache::entry_path(const CacheKey& key) const {
+  return dir_ + "/" + hex64(key.hash) + ".tsce";
+}
+
+std::string FlowCache::near_index_path(std::uint64_t sketch) const {
+  return dir_ + "/near_" + hex64(sketch) + ".tsni";
+}
+
+bool FlowCache::storable(const FlowResult& result) {
+  return result.status == Status::kOk && !result.timed_out && result.artifacts.valid &&
+         result.artifacts.labels.feasible && !result.probes.empty();
+}
+
+CacheEntry FlowCache::entry_from_result(const FlowResult& result, const Circuit& input) {
+  CacheEntry entry;
+  entry.phi = result.artifacts.phi;
+  entry.mode = result.artifacts.mode;
+  entry.max_po_label = result.artifacts.labels.max_po_label;
+  // Schema v2: labels are persisted in canonical order so they survive
+  // parses that assigned different input ids and can be matched by name
+  // during near-miss transfers.
+  const std::vector<NodeId> order = canonical_node_order(input);
+  const std::vector<int>& by_id = result.artifacts.labels.labels;
+  if (by_id.size() == order.size()) {
+    entry.winning_labels.resize(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      entry.winning_labels[i] = by_id[static_cast<std::size_t>(order[i])];
+    }
+  }
+  const std::uint64_t canon_hash = hash_labels(std::span<const int>(entry.winning_labels));
+  entry.probes.reserve(result.probes.size());
+  for (const ProbeRecord& rec : result.probes) {
+    if (rec.seed_only) continue;  // provenance of this run, not a verdict
+    CachedProbe p;
+    p.phi = rec.phi;
+    p.mode = rec.mode;
+    p.outcome = rec.outcome;
+    p.status = rec.status;
+    p.feasible = rec.feasible;
+    p.label_hash = rec.label_hash;
+    p.max_po_label = rec.max_po_label;
+    // The winning record's hash certifies the labels as stored, i.e. in
+    // canonical order; replay recomputes it over the remapped vector.
+    if (p.mode == entry.mode && p.phi == entry.phi) p.label_hash = canon_hash;
+    entry.probes.push_back(p);
+  }
+  entry.luts = result.luts;
+  entry.ffs = result.ffs;
+  entry.mdr_num = result.exact_mdr.num();
+  entry.mdr_den = result.exact_mdr.den();
+  entry.period = result.period;
+  entry.pipeline_stages = result.pipeline_stages;
+  entry.mapped_blif = write_blif_string(result.mapped, "mapped");
   return entry;
 }
 
-bool FlowCache::store_result(const CacheKey& key, const FlowResult& result) {
+std::optional<CacheEntry> FlowCache::lookup(const CacheKey& key) const {
+  std::optional<ParsedEntry> parsed = parse_entry_file(entry_path(key));
+  // Collision check: the stored canonical key must match byte for byte.
+  if (!parsed.has_value() || parsed->hash != key.hash || parsed->key_text != key.text) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return std::move(parsed->entry);
+}
+
+std::optional<FlowCache::NearMiss> FlowCache::lookup_near(const CacheKey& key) const {
+  // The index file holds the hash of the newest entry stored under this
+  // sketch (last-writer-wins; a stale or corrupt pointer is just no donor).
+  std::ifstream in(near_index_path(key.near_sketch), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string content;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  content = buffer.str();
+  EntryReader r(std::move(content));
+  r.expect("turbosyn-near");
+  if (r.integer() != 1) return std::nullopt;
+  const std::uint64_t donor_hash = r.hex();
+  if (!r.ok()) return std::nullopt;
+  // The donor being this exact key means lookup() already tried (and
+  // rejected) the entry; there is nothing more to transfer from.
+  if (donor_hash == key.hash) return std::nullopt;
+
+  std::optional<ParsedEntry> parsed =
+      parse_entry_file(dir_ + "/" + hex64(donor_hash) + ".tsce");
+  if (!parsed.has_value() || parsed->hash != donor_hash) return std::nullopt;
+  // Donor and requester must agree on the options line (flow kind and every
+  // result-relevant option) — only the circuit itself may differ. The sketch
+  // hash suggests this, the byte comparison proves it.
+  const std::size_t donor_nl = parsed->key_text.find('\n');
+  const std::size_t key_nl = key.text.find('\n');
+  if (donor_nl == std::string::npos || key_nl == std::string::npos ||
+      parsed->key_text.compare(0, donor_nl + 1, key.text, 0, key_nl + 1) != 0) {
+    return std::nullopt;
+  }
+
+  NearMiss near;
+  near.entry = std::move(parsed->entry);
+  near.canonical_text = parsed->key_text.substr(donor_nl + 1);
+  near_hits_.fetch_add(1, std::memory_order_relaxed);
+  return near;
+}
+
+bool FlowCache::store_result(const CacheKey& key, const FlowResult& result,
+                             const Circuit& input) {
   if (!storable(result)) {
     rejects_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  return store(key, entry_from_result(result));
+  return store(key, entry_from_result(result, input));
 }
 
 bool FlowCache::store(const CacheKey& key, const CacheEntry& entry) {
@@ -321,6 +409,25 @@ bool FlowCache::store(const CacheKey& key, const CacheEntry& entry) {
     return false;
   }
   stores_.fetch_add(1, std::memory_order_relaxed);
+
+  // Near-miss index: point this key's sketch at the entry just written.
+  // Best-effort and last-writer-wins — a lost or stale pointer only costs a
+  // warm start, never correctness (lookup_near re-validates the entry).
+  if (key.near_sketch != 0) {
+    const std::string index_path = near_index_path(key.near_sketch);
+    const std::string index_tmp =
+        index_path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(tmp_seq.fetch_add(1, std::memory_order_relaxed));
+    std::ofstream out(index_tmp, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out << "turbosyn-near 1\n" << hex64(key.hash) << '\n';
+      out.flush();
+      const bool good = out.good();
+      out.close();
+      if (good) std::filesystem::rename(index_tmp, index_path, ec);
+      if (!good || ec) std::filesystem::remove(index_tmp, ec);
+    }
+  }
   return true;
 }
 

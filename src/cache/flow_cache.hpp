@@ -47,6 +47,11 @@ namespace turbosyn {
 struct CacheKey {
   std::uint64_t hash = 0;
   std::string text;
+  /// Structural sketch for the near-miss secondary index: a hash of the
+  /// options line plus the sorted PI and PO name sets. Circuits that differ
+  /// by a small internal edit keep the same sketch, so a miss can still
+  /// retrieve the old entry as a warm-start donor (never as a result).
+  std::uint64_t near_sketch = 0;
 };
 
 /// Canonical key for running `kind` on `c` under `options`. Covers exactly
@@ -75,7 +80,12 @@ struct CacheEntry {
   LabelMode mode = LabelMode::kPlain;  // update rule of the winning labels
   int max_po_label = 0;            // of the winning label vector
   std::vector<CachedProbe> probes; // the full ledger, in record order
-  std::vector<int> winning_labels; // converged labels at `phi` (input ids)
+  /// Converged labels at `phi`, in CANONICAL node order (schema v2): entry i
+  /// belongs to the node at canonical_node_order(c)[i]. Canonical order is
+  /// parse-order independent, so a differently-ordered parse of the same
+  /// netlist replays correctly, and near-miss transfers can match labels to
+  /// a different circuit's nodes by name. Callers remap to input ids.
+  std::vector<int> winning_labels;
   // Final-result record (diagnostics and replay cross-checks; the mapped
   // network is regenerated from the labels on a hit, not parsed from here).
   int luts = 0;
@@ -93,26 +103,47 @@ class FlowCache {
   /// are created on the first store.
   explicit FlowCache(std::string dir);
 
-  static constexpr int kSchemaVersion = 1;
+  /// v2: winning labels are stored in canonical node order (see CacheEntry)
+  /// and every store maintains the near-miss secondary index. v1 entries
+  /// parse as a schema mismatch, i.e. a clean miss.
+  static constexpr int kSchemaVersion = 2;
 
   /// The complete, validated entry for `key`, or nullopt (miss). Collision-
   /// checked against key.text; never throws on malformed files.
   std::optional<CacheEntry> lookup(const CacheKey& key) const;
 
-  /// Atomically persists `entry` under `key`. Returns false without writing
-  /// when the entry is unstorable (see rejects_ below) or the write failed.
+  /// A validated donor entry found through the near-miss index: the stored
+  /// run's artifacts plus the canonical text of the circuit it ran on.
+  /// Usable ONLY to derive a warm seed — its labels certify nothing for the
+  /// requesting circuit.
+  struct NearMiss {
+    CacheEntry entry;
+    std::string canonical_text;  // the donor circuit's canonical form
+  };
+
+  /// Donor entry for `key`'s structural sketch, or nullopt. Only consulted
+  /// after lookup() missed; requires the donor to share the exact options
+  /// line (flow kind and all result-relevant options) and to pass the same
+  /// schema/certification validation as an exact hit.
+  std::optional<NearMiss> lookup_near(const CacheKey& key) const;
+
+  /// Atomically persists `entry` under `key` and updates the near-miss
+  /// index. Returns false without writing when the entry is unstorable (see
+  /// rejects_ below) or the write failed.
   bool store(const CacheKey& key, const CacheEntry& entry);
 
   /// storable() + entry_from_result() + store() in one step; a quarantined
   /// (unstorable) result counts against rejects(). Returns true iff written.
-  bool store_result(const CacheKey& key, const FlowResult& result);
+  bool store_result(const CacheKey& key, const FlowResult& result, const Circuit& input);
 
   /// True iff `result` may be cached: an exact, uninterrupted run whose
   /// winning labels were collected. Everything else is quarantined.
   static bool storable(const FlowResult& result);
 
   /// Builds the entry for a storable result (artifacts must be valid).
-  static CacheEntry entry_from_result(const FlowResult& result);
+  /// `input` is the circuit the flow ran on: labels are remapped from input
+  /// ids to canonical order for storage.
+  static CacheEntry entry_from_result(const FlowResult& result, const Circuit& input);
 
   const std::string& dir() const { return dir_; }
   std::string entry_path(const CacheKey& key) const;
@@ -122,13 +153,17 @@ class FlowCache {
   std::int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   std::int64_t stores() const { return stores_.load(std::memory_order_relaxed); }
   std::int64_t rejects() const { return rejects_.load(std::memory_order_relaxed); }
+  std::int64_t near_hits() const { return near_hits_.load(std::memory_order_relaxed); }
 
  private:
+  std::string near_index_path(std::uint64_t sketch) const;
+
   std::string dir_;
   mutable std::atomic<std::int64_t> hits_{0};
   mutable std::atomic<std::int64_t> misses_{0};
   std::atomic<std::int64_t> stores_{0};
   std::atomic<std::int64_t> rejects_{0};
+  mutable std::atomic<std::int64_t> near_hits_{0};
 };
 
 }  // namespace turbosyn

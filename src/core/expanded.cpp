@@ -37,9 +37,17 @@ void ExpandedNetwork::build(const Circuit& c, std::span<const int> labels, int p
   height_limit_ = height_limit;
   options_ = options;
   viable_ = true;
+  has_weighted_copy_ = false;
   flow_budget_hit_ = false;
   augmentations_ = 0;
   num_nodes_ = 0;
+  fanin_pool_.clear();
+  // Pre-size the per-query scratch to the high-water mark of earlier builds,
+  // so a query no larger than any previous one reallocates nothing.
+  slack_.reserve(hw_nodes_);
+  bfs_queue_.reserve(hw_nodes_);
+  fanin_pool_.reserve(hw_nodes_ * 2);
+  cut_side_.reserve(hw_cut_side_);
   // O(1) index clear; on epoch wrap-around the stale stamps must be wiped.
   if (++index_epoch_ == 0) {
     index_epoch_ = 1;
@@ -92,6 +100,7 @@ int ExpandedNetwork::intern(SeqCutNode id) {
     i = (i + 1) & mask;
   }
   const int value = static_cast<int>(num_nodes_);
+  if (id.w > 0) has_weighted_copy_ = true;
   index_slots_[i] = IndexSlot{key, value, index_epoch_};
   ++index_size_;
   if (num_nodes_ == nodes_.size()) {
@@ -101,7 +110,8 @@ int ExpandedNetwork::intern(SeqCutNode id) {
   n.id = id;
   n.allowed = allowed(id);
   n.expanded = false;
-  n.fanins.clear();
+  n.fanin_begin = 0;
+  n.fanin_end = 0;
   ++num_nodes_;
   return value;
 }
@@ -110,7 +120,7 @@ void ExpandedNetwork::expand() {
   // BFS from the root. slack[i] = number of allowed nodes on the best path
   // from the root to node i (the root itself is always interior). Mandatory
   // nodes always expand; allowed nodes expand while slack <= extra_levels.
-  const Circuit& circuit = *circuit_;
+  const CsrTopology& topo = circuit_->topology();
   const int root_idx = intern(SeqCutNode{root_, 0});
   slack_.clear();
   slack_.push_back(0);
@@ -125,7 +135,7 @@ void ExpandedNetwork::expand() {
     const int my_slack = slack_[static_cast<std::size_t>(i)];
     const bool should_expand = is_root || !node_allowed || my_slack <= options_.extra_levels;
     if (!should_expand || nodes_[static_cast<std::size_t>(i)].expanded) continue;
-    if (circuit.is_pi(id.node)) continue;  // sources have no fanins
+    if (topo.flag(id.node, CsrTopology::kIsPi)) continue;  // sources have no fanins
     // Zero-state safety: a register-crossed copy (w >= 1) is only allowed
     // inside a LUT when its function is 0 on the all-zero input. Interior
     // copies at w >= 1 are recomputed for cycles t < w from pre-history
@@ -133,12 +143,15 @@ void ExpandedNetwork::expand() {
     // faithful exactly when all-zero inputs reproduce the stored 0. Copies
     // violating that stay unexpanded frontier nodes: they may be cut inputs
     // (read through real, zero-initialized registers) but never interior.
-    if (id.w > 0 && circuit.function(id.node).bit(0)) continue;
+    if (id.w > 0 && topo.flag(id.node, CsrTopology::kZeroUnsafe)) continue;
     nodes_[static_cast<std::size_t>(i)].expanded = true;
     const int child_slack = my_slack + ((node_allowed && !is_root) ? 1 : 0);
-    for (const EdgeId e : circuit.fanin_edges(id.node)) {
-      const auto& edge = circuit.edge(e);
-      const SeqCutNode child{edge.from, id.w + edge.weight};
+    const std::int32_t fanin_begin = static_cast<std::int32_t>(fanin_pool_.size());
+    const std::int32_t slot_begin = topo.fanin_offset[static_cast<std::size_t>(id.node)];
+    const std::int32_t slot_end = topo.fanin_offset[static_cast<std::size_t>(id.node) + 1];
+    for (std::int32_t s = slot_begin; s < slot_end; ++s) {
+      const SeqCutNode child{topo.fanin_src[static_cast<std::size_t>(s)],
+                             id.w + topo.fanin_weight[static_cast<std::size_t>(s)]};
       const std::size_t before = num_nodes_;
       const int j = intern(child);
       if (num_nodes_ > before) {
@@ -150,13 +163,17 @@ void ExpandedNetwork::expand() {
             child_slack + (nodes_[static_cast<std::size_t>(j)].allowed ? 1 : 0);
         bfs_queue_.push_back(j);  // better slack may unlock expansion
       }
-      nodes_[static_cast<std::size_t>(i)].fanins.push_back(j);
+      fanin_pool_.push_back(j);
       if (static_cast<int>(num_nodes_) > options_.node_budget) {
         viable_ = false;
         return;
       }
     }
+    nodes_[static_cast<std::size_t>(i)].fanin_begin = fanin_begin;
+    nodes_[static_cast<std::size_t>(i)].fanin_end =
+        static_cast<std::int32_t>(fanin_pool_.size());
   }
+  hw_nodes_ = std::max(hw_nodes_, num_nodes_);
 }
 
 std::optional<std::vector<SeqCutNode>> ExpandedNetwork::find_cut_impl(
@@ -180,8 +197,9 @@ std::optional<std::vector<SeqCutNode>> ExpandedNetwork::find_cut_impl(
   }
   for (std::size_t i = 0; i < num_nodes_; ++i) {
     const ExpNode& n = nodes_[i];
-    if (n.expanded && !n.fanins.empty()) {
-      for (const int j : n.fanins) {
+    if (n.expanded && n.fanin_end > n.fanin_begin) {
+      for (std::int32_t s = n.fanin_begin; s < n.fanin_end; ++s) {
+        const int j = fanin_pool_[static_cast<std::size_t>(s)];
         flow_.add_arc(out_id_[static_cast<std::size_t>(j)], in_id_[i], MaxFlow::kInfinity);
       }
     } else if (n.expanded) {
@@ -201,6 +219,7 @@ std::optional<std::vector<SeqCutNode>> ExpandedNetwork::find_cut_impl(
   }
 
   flow_.min_cut_source_side(cut_side_);
+  hw_cut_side_ = std::max(hw_cut_side_, cut_side_.size());
   std::vector<SeqCutNode> cut;
   for (std::size_t i = 0; i < num_nodes_; ++i) {
     if (in_id_[i] == sink || !nodes_[i].allowed) continue;
@@ -245,9 +264,10 @@ TruthTable ExpandedNetwork::cut_function(std::span<const SeqCutNode> cut) const 
     TS_CHECK(circuit_->is_gate(n.id.node) && n.expanded,
              "cut does not cover every path to the root");
     std::vector<TruthTable> inputs;
-    inputs.reserve(n.fanins.size());
-    for (const int j : n.fanins) {
-      inputs.push_back(self(self, nodes_[static_cast<std::size_t>(j)]));
+    inputs.reserve(static_cast<std::size_t>(n.fanin_end - n.fanin_begin));
+    for (std::int32_t s = n.fanin_begin; s < n.fanin_end; ++s) {
+      inputs.push_back(
+          self(self, nodes_[static_cast<std::size_t>(fanin_pool_[static_cast<std::size_t>(s)])]));
     }
     TruthTable result = inputs.empty()
                             ? circuit_->function(n.id.node).remap(arity, {})

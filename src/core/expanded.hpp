@@ -111,12 +111,27 @@ class ExpandedNetwork {
 
   int num_expanded_nodes() const { return static_cast<int>(num_nodes_); }
 
+  /// The i-th copy of the current query (0 <= i < num_expanded_nodes()).
+  /// The base nodes of these copies are exactly the labels the query read:
+  /// expansion and capacity decisions depend on no other label.
+  SeqCutNode copy(int i) const { return nodes_[static_cast<std::size_t>(i)].id; }
+
+  /// True iff the current query interned a register-crossed copy (w > 0).
+  /// When false, every effective height equals a plain label, so the whole
+  /// network — and any cut verdict on it — is independent of phi as long as
+  /// the labels it read are unchanged.
+  bool has_weighted_copy() const { return has_weighted_copy_; }
+
  private:
   struct ExpNode {
     SeqCutNode id;
     bool allowed = false;   // may be a cut node
     bool expanded = false;  // fanins materialized
-    std::vector<int> fanins;  // indices into nodes_
+    // Fanins as a contiguous [begin, end) run in fanin_pool_: nodes expand
+    // one at a time, so each node's child indices land in one run and the
+    // per-node std::vector (and its per-build clear/regrow) disappears.
+    std::int32_t fanin_begin = 0;
+    std::int32_t fanin_end = 0;
   };
 
   int intern(SeqCutNode id);
@@ -136,13 +151,19 @@ class ExpandedNetwork {
   int height_limit_ = 0;
   ExpandedOptions options_;
   bool viable_ = true;
+  bool has_weighted_copy_ = false;
   bool flow_budget_hit_ = false;
   std::int64_t augmentations_ = 0;
 
   // Node store: slots [0, num_nodes_) are live for the current query; the
-  // vector is never shrunk, so per-node fanin arrays keep their capacity.
+  // vector is never shrunk. Fanin indices live in the shared flat pool.
   std::vector<ExpNode> nodes_;
   std::size_t num_nodes_ = 0;
+  std::vector<std::int32_t> fanin_pool_;
+  // High-water marks of the scratch vectors across builds; build() reserves
+  // them up front so repeated cut tests stop reallocating mid-query.
+  std::size_t hw_nodes_ = 0;
+  std::size_t hw_cut_side_ = 0;
 
   // Open-addressing packed-(node, w) -> index map with O(1) epoch clearing.
   struct IndexSlot {
@@ -164,11 +185,17 @@ class ExpandedNetwork {
 };
 
 /// Per-thread scratch arena for the label-computation hot path: a reusable
-/// ExpandedNetwork (node store, hash index, worklists, Dinic state). Thread
-/// one through label_update()/realize_node() to make repeated cut tests
-/// allocation-free; each concurrent thread needs its own instance.
+/// ExpandedNetwork (node store, hash index, worklists, Dinic state) plus the
+/// epoch-cleared buffers of the PLD isolation check. Thread one through
+/// label_update()/realize_node() to make repeated cut tests allocation-free;
+/// each concurrent thread needs its own instance.
 struct CutScratch {
   ExpandedNetwork net;
+  // scc_isolated() scratch (labeling.cpp): per-node grounded stamps with
+  // O(1) epoch clearing, and the BFS worklist.
+  std::vector<std::uint32_t> iso_mark;
+  std::uint32_t iso_epoch = 0;
+  std::vector<NodeId> iso_queue;
 };
 
 }  // namespace turbosyn

@@ -48,6 +48,7 @@ LabelOptions FlowOptions::label_options(bool enable_decomposition) const {
   l.use_pld = use_pld;
   l.use_bdd = use_bdd;
   l.num_threads = num_threads;
+  l.incremental = incremental;
   l.budget = budget;  // copies share state: one budget governs the whole flow
   l.expansion = expansion;
   l.expansion.flow_augment_budget = budget.flow_augment_budget();
@@ -77,6 +78,7 @@ const StageMetric* StageMetrics::find(const std::string& stage_name) const {
 FlowResult run_turbomap(const Circuit& c, const FlowOptions& options) {
   const auto start = Clock::now();
   TraceSpan span(options.trace, "flow:turbomap");
+  span.counter("incremental", options.incremental ? 1 : 0);
   FlowDriver driver(c, options);
   driver.run(turbomap_stages());
   FlowResult result = driver.finish();
@@ -87,6 +89,7 @@ FlowResult run_turbomap(const Circuit& c, const FlowOptions& options) {
 FlowResult run_turbosyn(const Circuit& c, const FlowOptions& options) {
   const auto start = Clock::now();
   TraceSpan flow_span(options.trace, "flow:turbosyn");
+  flow_span.counter("incremental", options.incremental ? 1 : 0);
   // One no-reprobe scope across both phases: plain-mode probes from phase A
   // and decomposition-mode probes from phase B share the ledger.
   ProbeLedger ledger;
@@ -161,6 +164,7 @@ FlowResult run_flowsyn_s(const Circuit& c, const FlowOptions& options) {
 FlowResult run_turbomap_period(const Circuit& c, const FlowOptions& options) {
   const auto start = Clock::now();
   TraceSpan span(options.trace, "flow:turbomap-period");
+  span.counter("incremental", options.incremental ? 1 : 0);
   FlowDriver driver(c, options);
   StageList stages;
   // Upper bound: the unmapped circuit's clock period (identity mapping,

@@ -55,13 +55,17 @@ bool ProbeLedger::contains(LabelMode mode, int phi) const {
 
 const ProbeRecord* ProbeLedger::find(LabelMode mode, int phi) const {
   for (const ProbeRecord& r : records_) {
-    if (r.mode == mode && r.phi == phi) return &r;
+    // Seed-only records are provenance, not verdicts: they never answer a
+    // (mode, phi) query, so a genuine probe at the seed's phi still runs.
+    if (r.mode == mode && r.phi == phi && !r.seed_only) return &r;
   }
   return nullptr;
 }
 
 void ProbeLedger::record(ProbeRecord r) {
-  TS_CHECK(!contains(r.mode, r.phi),
+  // The no-reprobe rule keys on genuine verdicts; seed-only records may
+  // coexist with a later probe at the same (mode, phi).
+  TS_CHECK(r.seed_only || !contains(r.mode, r.phi),
            "phi=" + std::to_string(r.phi) + " (" + label_mode_name(r.mode) +
                ") probed twice in one run");
   records_.push_back(std::move(r));

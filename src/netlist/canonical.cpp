@@ -48,7 +48,7 @@ std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t state) {
   return state;
 }
 
-CanonicalForm canonical_circuit_form(const Circuit& c) {
+std::vector<NodeId> canonical_node_order(const Circuit& c) {
   const int n = c.num_nodes();
   std::vector<NodeId> order(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
@@ -58,6 +58,12 @@ CanonicalForm canonical_circuit_form(const Circuit& c) {
     if (ra != rb) return ra < rb;
     return c.name(a) < c.name(b);
   });
+  return order;
+}
+
+CanonicalForm canonical_circuit_form(const Circuit& c) {
+  const int n = c.num_nodes();
+  const std::vector<NodeId> order = canonical_node_order(c);
   std::vector<int> position(static_cast<std::size_t>(n), 0);
   for (int i = 0; i < n; ++i) position[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "netlist/circuit.hpp"
 
@@ -38,5 +39,13 @@ struct CanonicalForm {
 /// same named nodes, functions and weighted connections maps to the same
 /// text regardless of how it was built.
 CanonicalForm canonical_circuit_form(const Circuit& c);
+
+/// The node ordering the canonical form serializes: sorted by (kind rank,
+/// name) with PIs first, then gates, then POs. Position i of the result is
+/// the input NodeId serialized at canonical index i. The flow cache stores
+/// per-node payloads (label vectors) in this order so they survive parses
+/// that assigned different input ids, and so near-miss transfers can match
+/// nodes of two different circuits by name.
+std::vector<NodeId> canonical_node_order(const Circuit& c);
 
 }  // namespace turbosyn

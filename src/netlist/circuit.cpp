@@ -13,6 +13,7 @@ NodeId Circuit::add_node(NodeKind kind, const std::string& name) {
   const NodeId v = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(Node{kind, name, TruthTable(), true, {}, {}});
   by_name_.emplace(name, v);
+  ++structural_version_;
   return v;
 }
 
@@ -25,6 +26,7 @@ EdgeId Circuit::add_edge(NodeId from, NodeId to, int weight) {
   edges_.push_back(Edge{from, to, weight});
   node(from).fanouts.push_back(e);
   node(to).fanins.push_back(e);
+  ++structural_version_;
   return e;
 }
 
@@ -63,6 +65,7 @@ void Circuit::finish_gate(NodeId v, TruthTable func, std::span<const FaninSpec> 
   node(v).func = std::move(func);
   for (const FaninSpec& f : fanins) add_edge(f.driver, v, f.weight);
   node(v).finished = true;
+  ++structural_version_;  // the function feeds CsrTopology::kZeroUnsafe
 }
 
 int Circuit::num_gates() const {
@@ -97,6 +100,48 @@ const TruthTable& Circuit::function(NodeId v) const {
 void Circuit::set_edge_weight(EdgeId e, int weight) {
   TS_CHECK(weight >= 0, "edge weight must be non-negative");
   edges_[static_cast<std::size_t>(e)].weight = weight;
+  ++structural_version_;
+}
+
+const CsrTopology& Circuit::topology() const {
+  if (topo_version_ == structural_version_ && topo_ != nullptr) return *topo_;
+  auto topo = std::make_shared<CsrTopology>();
+  const std::size_t n = static_cast<std::size_t>(num_nodes());
+  topo->fanin_offset.resize(n + 1);
+  topo->fanout_offset.resize(n + 1);
+  topo->fanin_src.resize(static_cast<std::size_t>(num_edges()));
+  topo->fanin_weight.resize(static_cast<std::size_t>(num_edges()));
+  topo->fanout_dst.resize(static_cast<std::size_t>(num_edges()));
+  topo->fanout_weight.resize(static_cast<std::size_t>(num_edges()));
+  topo->node_flags.resize(n);
+  std::size_t fanin_pos = 0;
+  std::size_t fanout_pos = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    topo->fanin_offset[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(fanin_pos);
+    topo->fanout_offset[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(fanout_pos);
+    for (const EdgeId e : fanin_edges(v)) {
+      topo->fanin_src[fanin_pos] = edge(e).from;
+      topo->fanin_weight[fanin_pos] = edge(e).weight;
+      ++fanin_pos;
+    }
+    for (const EdgeId e : fanout_edges(v)) {
+      topo->fanout_dst[fanout_pos] = edge(e).to;
+      topo->fanout_weight[fanout_pos] = edge(e).weight;
+      ++fanout_pos;
+    }
+    std::uint8_t flags = 0;
+    if (is_pi(v)) flags |= CsrTopology::kIsPi;
+    if (is_gate(v) && !fanin_edges(v).empty()) {
+      flags |= CsrTopology::kUpdatableGate;
+      if (node(v).finished && node(v).func.bit(0)) flags |= CsrTopology::kZeroUnsafe;
+    }
+    topo->node_flags[static_cast<std::size_t>(v)] = flags;
+  }
+  topo->fanin_offset[n] = static_cast<std::int32_t>(fanin_pos);
+  topo->fanout_offset[n] = static_cast<std::int32_t>(fanout_pos);
+  topo_ = std::move(topo);
+  topo_version_ = structural_version_;
+  return *topo_;
 }
 
 NodeId Circuit::find(const std::string& name) const {

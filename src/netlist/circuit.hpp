@@ -9,6 +9,7 @@
 // fanins and 0 to PIs, POs and constants.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -20,6 +21,30 @@
 namespace turbosyn {
 
 enum class NodeKind : std::uint8_t { kPi, kPo, kGate };
+
+/// Flat CSR connectivity of a Circuit for the per-probe hot loops (label
+/// bounds, expanded-network BFS, the PLD isolation check). The per-node
+/// std::vector<EdgeId> representation costs two dependent loads per fanin
+/// (edge id, then the Edge record); the CSR arrays put each node's fanin
+/// drivers and weights in one contiguous run. `node_flags` folds the
+/// per-node predicates those loops branch on into a single byte load.
+struct CsrTopology {
+  static constexpr std::uint8_t kIsPi = 1;            // source: no fanins
+  static constexpr std::uint8_t kUpdatableGate = 2;   // gate with >= 1 fanin
+  static constexpr std::uint8_t kZeroUnsafe = 4;      // gate, f(0..0) == 1
+
+  std::vector<std::int32_t> fanin_offset;   // num_nodes + 1
+  std::vector<NodeId> fanin_src;            // driver per fanin slot, slot order
+  std::vector<std::int32_t> fanin_weight;   // register count per fanin slot
+  std::vector<std::int32_t> fanout_offset;  // num_nodes + 1
+  std::vector<NodeId> fanout_dst;
+  std::vector<std::int32_t> fanout_weight;
+  std::vector<std::uint8_t> node_flags;     // OR of the k* predicate bits
+
+  bool flag(NodeId v, std::uint8_t bit) const {
+    return (node_flags[static_cast<std::size_t>(v)] & bit) != 0;
+  }
+};
 
 class Circuit {
  public:
@@ -97,6 +122,14 @@ class Circuit {
   /// Connectivity as a Digraph with identical node/edge ids.
   Digraph to_digraph() const;
 
+  /// The CSR view of the current structure, built lazily and cached until
+  /// the next structural change (add_node/add_edge/set_edge_weight). The
+  /// steady-state call is a version check plus a pointer dereference, so the
+  /// per-probe hot loops can call it freely. The (re)build itself is NOT
+  /// thread-safe: the first call after a mutation must come from a single
+  /// thread (LabelEngine's constructor primes it before workers start).
+  const CsrTopology& topology() const;
+
  private:
   struct Node {
     NodeKind kind;
@@ -117,6 +150,12 @@ class Circuit {
   std::vector<NodeId> pis_;
   std::vector<NodeId> pos_;
   std::unordered_map<std::string, NodeId> by_name_;
+  // Cached CSR view. Copies share the (immutable) snapshot; a mutation bumps
+  // only the mutated object's structural version, so its next topology()
+  // call rebuilds while other copies keep their still-valid snapshot.
+  std::uint64_t structural_version_ = 1;
+  mutable std::uint64_t topo_version_ = 0;  // 0 = never built
+  mutable std::shared_ptr<const CsrTopology> topo_;
 };
 
 struct CircuitStats {

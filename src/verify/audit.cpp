@@ -591,14 +591,25 @@ AuditReport audit_flow(const Circuit& input, const FlowResult& result,
         "flow recorded no probe ledger (FlowSYN-s, or a pre-pipeline result)");
   } else {
     std::optional<std::string> failure;
+    // Seed-only records are provenance (a warm-start import), not verdicts:
+    // they certify nothing, reject nothing, and may coexist with a genuine
+    // probe at the same (mode, phi) — every verdict check skips them.
     const auto find_probe = [&result](LabelMode mode, int phi) -> const ProbeRecord* {
       for (const ProbeRecord& rec : result.probes) {
-        if (rec.mode == mode && rec.phi == phi) return &rec;
+        if (!rec.seed_only && rec.mode == mode && rec.phi == phi) return &rec;
       }
       return nullptr;
     };
     std::map<std::pair<int, int>, int> seen;
     for (const ProbeRecord& rec : result.probes) {
+      if (rec.seed_only) {
+        if (!rec.imported || rec.feasible) {
+          failure = "seed-only record at phi=" + std::to_string(rec.phi) +
+                    " claims a verdict (must be imported and infeasible)";
+          break;
+        }
+        continue;
+      }
       if (++seen[{static_cast<int>(rec.mode), rec.phi}] > 1) {
         failure = "phi=" + std::to_string(rec.phi) + " (" + label_mode_name(rec.mode) +
                   ") probed twice in one run";

@@ -142,6 +142,40 @@ std::string fingerprint(const FlowResult& r) {
          std::to_string(r.pipeline_stages) + "|" + write_blif_string(r.mapped, "fp");
 }
 
+/// A copy of `c` with one gate's function complemented: the smallest
+/// near-miss edit — same interface and wiring, one local logic change.
+Circuit mutate_one_gate(const Circuit& c, std::uint64_t seed) {
+  std::vector<NodeId> gates;
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (c.is_gate(v) && !c.fanin_edges(v).empty()) gates.push_back(v);
+  }
+  TS_CHECK(!gates.empty(), "generated circuit has no gates to mutate");
+  const NodeId victim = gates[seed % gates.size()];
+
+  Circuit m;
+  std::vector<NodeId> map(static_cast<std::size_t>(c.num_nodes()), kNoNode);
+  const auto mapped = [&map](NodeId v) -> NodeId& { return map[static_cast<std::size_t>(v)]; };
+  for (const NodeId v : c.pis()) mapped(v) = m.add_pi(c.name(v));
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (c.is_gate(v)) mapped(v) = m.declare_gate(c.name(v));
+  }
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (!c.is_gate(v)) continue;
+    std::vector<Circuit::FaninSpec> fanins;
+    for (const EdgeId e : c.fanin_edges(v)) {
+      fanins.push_back({mapped(c.edge(e).from), c.edge(e).weight});
+    }
+    const TruthTable& f = c.function(v);
+    m.finish_gate(mapped(v), v == victim ? ~f : f, fanins);
+  }
+  for (const NodeId v : c.pos()) {
+    const EdgeId e = c.fanin_edges(v)[0];
+    m.add_po(c.name(v), {mapped(c.edge(e).from), c.edge(e).weight});
+  }
+  m.validate();
+  return m;
+}
+
 SeedOutcome run_seed(std::uint64_t seed, const FuzzConfig& cfg, FlowCache* cache) {
   SeedOutcome out;
   const Circuit c = generate_fsm_circuit(spec_for_seed(seed));
@@ -177,6 +211,26 @@ SeedOutcome run_seed(std::uint64_t seed, const FuzzConfig& cfg, FlowCache* cache
   if (seed % 4 == 0) {
     const FlowResult replay = run_turbosyn(c, opt);
     expect(out, fingerprint(replay) == fingerprint(ts), "turbosyn replay is not bit-identical");
+  }
+
+  // Incremental-vs-cold bit-identity: dirty-set warm starts must change the
+  // work counters only — phi, labels and the mapping stay identical. (The
+  // runs above used the default, incremental path.)
+  {
+    FlowOptions cold_opt = opt;
+    cold_opt.incremental = false;
+    const FlowResult tm_cold = run_turbomap(c, cold_opt);
+    expect(out, fingerprint(tm_cold) == fingerprint(tm),
+           "turbomap incremental and cold runs differ");
+    expect(out, tm_cold.artifacts.labels.labels == tm.artifacts.labels.labels,
+           "turbomap incremental and cold label vectors differ");
+    if (seed % 2 == 1) {
+      const FlowResult ts_cold = run_turbosyn(c, cold_opt);
+      expect(out, fingerprint(ts_cold) == fingerprint(ts),
+             "turbosyn incremental and cold runs differ");
+      expect(out, ts_cold.artifacts.labels.labels == ts.artifacts.labels.labels,
+             "turbosyn incremental and cold label vectors differ");
+    }
   }
 
   // Tight resource ceilings: the run may degrade, but the result must still
@@ -220,6 +274,36 @@ SeedOutcome run_seed(std::uint64_t seed, const FuzzConfig& cfg, FlowCache* cache
     expect(out, !warm_info.hit || all_imported,
            "through-cache: cache-hit probe ledger has non-imported records");
     if (warm_info.hit) audit_into(out, c, warm, opt, "turbosyn/through-cache", seed, cfg.verbose);
+
+    // Near-miss warm start: a one-gate edit of the same circuit retrieves
+    // the stored TurboMap entry as a donor seed; the seeded run must match
+    // its own cold (no-incremental) run bit for bit, the seed must never
+    // certify anything, and the result must still audit clean.
+    if (seed % 2 == 0) {
+      CacheRunInfo tm_info;
+      const FlowResult tm_cached =
+          run_flow_cached(FlowKind::kTurboMap, c, opt, cache, &tm_info);
+      expect(out, fingerprint(tm_cached) == fingerprint(tm),
+             "through-cache: turbomap populate run differs from the uncached run");
+      const Circuit edited = mutate_one_gate(c, seed);
+      FlowOptions cold_opt = opt;
+      cold_opt.incremental = false;
+      const FlowResult edited_cold = run_turbomap(edited, cold_opt);
+      CacheRunInfo near_info;
+      const FlowResult seeded =
+          run_flow_cached(FlowKind::kTurboMap, edited, opt, cache, &near_info);
+      expect(out, !near_info.hit, "near-miss: edited circuit hit the exact cache");
+      expect(out, fingerprint(seeded) == fingerprint(edited_cold),
+             "near-miss: seeded run differs from the cold run");
+      bool seed_certifies = false;
+      for (const ProbeRecord& rec : seeded.probes) {
+        if (rec.seed_only && rec.feasible) seed_certifies = true;
+      }
+      expect(out, !seed_certifies, "near-miss: seed-only record claims a verdict");
+      if (near_info.near_miss) {
+        audit_into(out, edited, seeded, opt, "turbomap/near-miss", seed, cfg.verbose);
+      }
+    }
   }
 
   // Pairwise: the two mappings of the same input must agree with each other.
