@@ -12,6 +12,7 @@
 
 #include <filesystem>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -335,32 +336,39 @@ void BM_BatchFlow(benchmark::State& state) {
   const fs::path cache_dir = dir / (warm ? "cache_warm" : "cache_cold");
   BatchOptions options;
   options.num_workers = 1;  // deterministic single-lane schedule
+  std::optional<FlowCache> cache;  // outlives the loop so counters are readable
+  BatchSummary summary;
   if (warm) {
     fs::remove_all(cache_dir);
-    FlowCache cache(cache_dir.string());
-    options.cache = &cache;
+    cache.emplace(cache_dir.string());
+    options.cache = &*cache;
     (void)run_batch(jobs, options);  // populate once; iterations all hit
-    BatchSummary summary;
     for (auto _ : state) {
       summary = run_batch(jobs, options);
       benchmark::DoNotOptimize(summary);
     }
-    state.counters["cache_hits"] = benchmark::Counter(static_cast<double>(summary.cache_hits));
-    state.counters["completed"] = benchmark::Counter(static_cast<double>(summary.completed));
   } else {
-    BatchSummary summary;
     for (auto _ : state) {
       state.PauseTiming();
       fs::remove_all(cache_dir);
-      FlowCache cache(cache_dir.string());
-      options.cache = &cache;
+      cache.emplace(cache_dir.string());
+      options.cache = &*cache;
       state.ResumeTiming();
       summary = run_batch(jobs, options);
       benchmark::DoNotOptimize(summary);
     }
-    state.counters["cache_hits"] = benchmark::Counter(static_cast<double>(summary.cache_hits));
-    state.counters["completed"] = benchmark::Counter(static_cast<double>(summary.completed));
   }
+  state.counters["cache_hits"] = benchmark::Counter(static_cast<double>(summary.cache_hits));
+  state.counters["completed"] = benchmark::Counter(static_cast<double>(summary.completed));
+  // Fault-tolerance counters (DESIGN.md §13): all deterministically zero on a
+  // healthy run, so the bench gate flags any retry/quarantine/recovery churn
+  // sneaking into the hot path.
+  state.counters["retries"] = benchmark::Counter(static_cast<double>(summary.retries));
+  state.counters["quarantined"] = benchmark::Counter(static_cast<double>(summary.quarantined));
+  state.counters["recovered_entries"] =
+      benchmark::Counter(cache ? static_cast<double>(cache->recovered_entries()) : 0.0);
+  state.counters["store_retries"] =
+      benchmark::Counter(cache ? static_cast<double>(cache->retries()) : 0.0);
 }
 BENCHMARK(BM_BatchFlow)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 

@@ -37,19 +37,31 @@ using namespace turbosyn;
 void print_summary(const BatchSummary& summary) {
   std::cout << "batch: " << summary.completed << " completed, " << summary.failed
             << " failed, " << summary.skipped << " skipped, " << summary.cache_hits
-            << " cache hits, " << summary.seconds << " s\n";
+            << " cache hits, " << summary.retries << " retries, " << summary.quarantined
+            << " quarantined, " << summary.seconds << " s\n";
   for (const BatchRecord& record : summary.records) {
     std::cout << "  " << record.name << " [" << flow_kind_name(record.flow)
               << " K=" << record.k << "] ";
     if (record.skipped) {
       std::cout << "skipped\n";
-    } else if (!record.ok) {
-      std::cout << "failed: " << record.error << '\n';
+    } else if (!record.ok || record.status == Status::kFailed) {
+      std::cout << "failed: " << record.error;
+      if (!record.failed_stage.empty()) std::cout << " (stage " << record.failed_stage << ')';
+      if (record.quarantined) {
+        std::cout << " [quarantined after " << record.attempts << " attempt(s)]";
+      }
+      std::cout << '\n';
     } else {
       std::cout << "phi=" << record.phi << " luts=" << record.luts
                 << " period=" << record.period << (record.cache_hit ? " (cache hit)" : "")
-                << " " << record.seconds << " s\n";
+                << (record.attempts > 1 ? " (retried)" : "") << " " << record.seconds
+                << " s\n";
     }
+  }
+  if (!summary.poisoned.empty()) {
+    std::cout << "  poison list:";
+    for (const std::string& name : summary.poisoned) std::cout << ' ' << name;
+    std::cout << '\n';
   }
 }
 
@@ -113,9 +125,20 @@ int main(int argc, char** argv) {
     std::optional<FlowCache> cache;
     std::string cache_dir = cli.cache_dir;
     if (demo && cache_dir.empty()) cache_dir = (demo_dir / "cache").string();
-    if (!cache_dir.empty()) cache.emplace(cache_dir);
+    if (!cache_dir.empty()) {
+      cache.emplace(cache_dir);
+      // Crash recovery before the first lookup: GC stray tmp files, torn
+      // entries and dangling near-miss sidecars a killed run left behind.
+      const FlowCache::RecoveryStats rec = cache->recover();
+      if (rec.total() > 0) {
+        std::cout << "cache recovery: " << rec.stray_tmp << " stray tmp, "
+                  << rec.torn_entries << " torn entries, " << rec.dangling_sidecars
+                  << " dangling sidecars removed\n";
+      }
+    }
     options.flow.budget = cli.budget;
     options.flow.incremental = cli.incremental;
+    options.flow.trace = cli.trace();
     options.cache = cache ? &*cache : nullptr;
     options.cancel = &global_cancel_token();  // Ctrl-C drains the batch
 
@@ -133,6 +156,7 @@ int main(int argc, char** argv) {
       print_summary(run_batch(jobs, options, jsonl));
     }
     if (!jsonl_path.empty()) std::cout << "\nwrote JSONL records to " << jsonl_path << '\n';
+    if (!cli.write_trace()) return 1;
   } catch (const turbosyn::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -70,7 +70,10 @@ int main(int argc, char** argv) {
     options.collect_artifacts = cli.audit;
     options.trace = cli.trace();
     std::optional<FlowCache> cache;
-    if (!cli.cache_dir.empty()) cache.emplace(cli.cache_dir);
+    if (!cli.cache_dir.empty()) {
+      cache.emplace(cli.cache_dir);
+      cache->recover();  // GC leftovers of any earlier crashed run
+    }
     CacheRunInfo cache_info;
     const FlowResult result =
         run_flow_cached(kind, input, options, cache ? &*cache : nullptr, &cache_info);

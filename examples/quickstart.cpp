@@ -43,7 +43,10 @@ int main(int argc, char** argv) {
   options.collect_artifacts = cli.audit;
   options.trace = cli.trace();  // nullptr unless --trace-json was given
   std::optional<FlowCache> cache;  // --cache-dir: persistent artifact store
-  if (!cli.cache_dir.empty()) cache.emplace(cli.cache_dir);
+  if (!cli.cache_dir.empty()) {
+    cache.emplace(cli.cache_dir);
+    cache->recover();  // GC leftovers of any earlier crashed run
+  }
   CacheRunInfo cache_info;
   const FlowResult result = run_flow_cached(FlowKind::kTurboSyn, counter, options,
                                             cache ? &*cache : nullptr, &cache_info);

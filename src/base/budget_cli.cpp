@@ -8,6 +8,7 @@ RunBudget budget_from_cli(int argc, char** argv) {
   RunBudget budget;
   budget.set_cancel_token(&global_cancel_token());
   install_sigint_cancellation();
+  install_sigterm_cancellation();
   for (int i = 1; i + 1 < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--deadline-ms") {

@@ -1,0 +1,115 @@
+#pragma once
+// Deterministic fault injection for the I/O and execution layers.
+//
+// A failpoint is a named site compiled into a code path that can fail in the
+// real world — a cache file write, a BLIF read, a stage boundary. In normal
+// operation every site is disarmed and costs exactly one relaxed atomic load
+// (failpoint::enabled() is false and no site is ever looked up), so the
+// production paths stay bit-identical to the un-instrumented code. Tests and
+// fault drills arm sites with per-site policies and the code paths then
+// exercise their degradation logic deterministically: the same spec and the
+// same execution order reproduce the same faults, which is what lets the
+// fault fuzzer (tests/fault_fuzz_main.cpp) replay a failing schedule.
+//
+// Spec grammar (TS_FAILPOINTS env var, --failpoints= CLI flag, or
+// failpoint::configure()):
+//
+//   spec    := clause (',' clause)*
+//   clause  := site '=' action [':' arg] ['@' from] ['*' count]
+//   action  := off | error | throw | partial | delay | crash
+//
+//   error       the call site simulates its native failure (a failed write,
+//               an unreadable file) and takes its degradation path
+//   throw       check() throws turbosyn::Error("failpoint <site>")
+//   partial     partial write/read: the call site keeps only the first
+//               `arg` bytes (default 16) — a torn file, a truncated record
+//   delay       check() sleeps `arg` milliseconds (default 1) and the call
+//               site proceeds normally — exercises timeout/backoff paths
+//   crash       check() terminates the process immediately via _Exit(arg)
+//               (default 137), skipping destructors and atexit handlers —
+//               a kill -9 between two instructions
+//
+//   @from       first hit (1-based) at which the policy fires (default 1);
+//               "crash@3" is crash-on-3rd-hit
+//   *count      how many hits fire before the site goes quiet (default:
+//               unlimited); "error*2" fails twice then succeeds — the shape
+//               retry-with-backoff tests want
+//
+// Example: TS_FAILPOINTS='cache.entry.write=partial:40,blif.read=error@2'
+//
+// Sites are plain strings; the catalog of compiled-in sites is exported by
+// known_sites() (and documented in DESIGN.md §13) so fuzzers can schedule
+// over it. Every evaluation and every fired policy is counted per site —
+// hits()/triggers() — so tests can assert a fault was actually exercised.
+//
+// Concurrency: check() serializes on one mutex (sites sit on I/O and stage
+// boundaries, never in per-node hot loops). enabled() is lock-free.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace turbosyn {
+namespace failpoint {
+
+enum class Action : std::uint8_t { kOff, kError, kThrow, kPartialWrite, kDelay, kCrash };
+
+/// What a check() evaluation asks the call site to do. kOff: proceed
+/// normally. kError / kPartialWrite: simulate the site's native failure
+/// (arg = bytes to keep for partial). kDelay: the sleep already happened,
+/// proceed. kThrow / kCrash never reach the caller.
+struct Hit {
+  Action action = Action::kOff;
+  std::int64_t arg = 0;
+};
+
+/// True iff any site is armed. One relaxed atomic load — the only cost the
+/// instrumented paths pay in normal operation.
+bool enabled();
+
+/// Evaluates `site` against the armed configuration: counts the hit and
+/// applies the site's policy (see Hit). Call sites gate this on enabled().
+Hit check(const char* site);
+
+/// enabled() + check() in one call, for sites without custom error shapes.
+inline Hit poll(const char* site) { return enabled() ? check(site) : Hit{}; }
+
+/// Arms sites from a spec string (grammar above). Clauses merge into the
+/// current configuration, later clauses winning per site; an `off` action
+/// disarms one site. Returns false (arming nothing from this spec) and
+/// fills `error` on a malformed spec.
+bool configure(const std::string& spec, std::string* error = nullptr);
+
+/// Arms sites from the TS_FAILPOINTS environment variable (no-op when
+/// unset). Returns false on a malformed value, after printing to stderr.
+bool configure_from_env();
+
+/// Disarms every site and resets all hit/trigger counters.
+void clear();
+
+/// Times `site` was evaluated under an armed registry (whether or not a
+/// policy fired).
+std::int64_t hits(const std::string& site);
+
+/// Times a policy actually fired at `site` (the assertion currency of the
+/// fault tests: triggers("x") > 0 proves the fault was exercised).
+std::int64_t triggers(const std::string& site);
+
+/// Every site with a nonzero trigger count, sorted by name.
+std::vector<std::pair<std::string, std::int64_t>> trigger_counts();
+
+/// Catalog of the sites compiled into this binary (for fuzzers and docs).
+std::vector<std::string> known_sites();
+
+/// RAII spec for tests: configures on construction, clear()s on scope exit.
+class Scoped {
+ public:
+  explicit Scoped(const std::string& spec);
+  ~Scoped();
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+};
+
+}  // namespace failpoint
+}  // namespace turbosyn

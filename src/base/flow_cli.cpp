@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "base/budget_cli.hpp"
+#include "base/failpoint.hpp"
 #include "base/trace.hpp"
 
 namespace turbosyn {
@@ -46,6 +47,20 @@ FlowCli flow_cli_from_args(int argc, char** argv) {
       cli.cache_dir = a.substr(std::string("--cache-dir=").size());
     } else if (a == "--cache-dir" && i + 1 < argc) {
       cli.cache_dir = argv[++i];
+    } else if (a.rfind("--failpoints=", 0) == 0) {
+      cli.failpoints = a.substr(std::string("--failpoints=").size());
+    } else if (a == "--failpoints" && i + 1 < argc) {
+      cli.failpoints = argv[++i];
+    }
+  }
+  // Env first, flag second: a flag clause overrides the same site from the
+  // environment. A malformed spec is a usage error, not a silent no-fault run.
+  if (!failpoint::configure_from_env()) std::exit(2);
+  if (!cli.failpoints.empty()) {
+    std::string error;
+    if (!failpoint::configure(cli.failpoints, &error)) {
+      std::cerr << "error: --failpoints: " << error << '\n';
+      std::exit(2);
     }
   }
   cli.budget = budget_from_cli(argc, argv);
@@ -58,7 +73,9 @@ std::string flow_cli_help() {
       "[--threads N] (0 = all cores, 1 = sequential) [--audit] [--quick | --full]\n"
       "[--incremental | --no-incremental] (dirty-set warm-start label reuse; default on)\n"
       "[--trace-json=PATH] (per-stage/per-probe trace of the run)\n"
-      "[--cache-dir=PATH] (persistent flow-artifact cache)\n";
+      "[--cache-dir=PATH] (persistent flow-artifact cache)\n"
+      "[--failpoints=SPEC] (deterministic fault injection, e.g. "
+      "cache.entry.write=error*2; see base/failpoint.hpp)\n";
   help += budget_cli_help();
   return help;
 }

@@ -15,6 +15,11 @@
 //                        cache/flow_cache.hpp); also "--cache-dir PATH".
 //                        Mains construct the FlowCache from `cache_dir`
 //                        themselves (this library does not depend on it).
+//   --failpoints=SPEC    arm deterministic fault-injection sites (see
+//                        base/failpoint.hpp for the spec grammar); also
+//                        "--failpoints SPEC". The TS_FAILPOINTS environment
+//                        variable is applied first, so a flag can override
+//                        individual sites of an env-armed schedule.
 //   --incremental / --no-incremental
 //                        dirty-set incremental label recomputation for
 //                        warm-seeded plain-update probes, plus near-miss
@@ -50,6 +55,7 @@ class FlowCli {
   RunBudget budget;
   std::string trace_json_path;  // empty: tracing disabled
   std::string cache_dir;        // empty: caching disabled
+  std::string failpoints;       // armed spec (env + flag), for logs; may be empty
 
   /// The owned trace sink, or nullptr when --trace-json was not given.
   /// Assign to FlowOptions::trace.

@@ -16,6 +16,8 @@ const char* status_name(Status s) {
       return "deadline_exceeded";
     case Status::kCancelled:
       return "cancelled";
+    case Status::kFailed:
+      return "failed";
   }
   return "unknown";
 }
@@ -41,6 +43,8 @@ extern "C" void sigint_cancel_handler(int sig) {
 }  // namespace
 
 void install_sigint_cancellation() { std::signal(SIGINT, sigint_cancel_handler); }
+
+void install_sigterm_cancellation() { std::signal(SIGTERM, sigint_cancel_handler); }
 
 RunBudget::State& RunBudget::mutable_state() {
   if (!state_) state_ = std::make_shared<State>();

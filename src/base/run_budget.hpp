@@ -33,12 +33,16 @@ enum class Status : std::uint8_t {
   kInvalidInput,       // the input was rejected up front
   kDeadlineExceeded,   // the wall-clock deadline fired; result is best-so-far
   kCancelled,          // the cancellation token fired; result is best-so-far
+  kFailed,             // a stage threw (or an injected fault fired) and the
+                       // driver contained it: the run is not a deliverable,
+                       // never a certificate, never cacheable — see
+                       // FlowResult::failed_stage for the boundary that blew
 };
 
 const char* status_name(Status s);
 
-/// The worse of two outcomes (Cancelled > DeadlineExceeded > InvalidInput >
-/// Degraded > Ok).
+/// The worse of two outcomes (Failed > Cancelled > DeadlineExceeded >
+/// InvalidInput > Degraded > Ok).
 Status combine_status(Status a, Status b);
 
 /// The run was stopped before finishing (vs merely degraded): results are
@@ -69,6 +73,11 @@ CancelToken& global_cancel_token();
 /// wired to that token then drain cooperatively; a second SIGINT restores
 /// the default handler, so it terminates the process as usual.
 void install_sigint_cancellation();
+
+/// Same cooperative-cancel handler for SIGTERM: a service manager's polite
+/// kill drains batches exactly like Ctrl-C (running circuits wind down to
+/// best-so-far, queued circuits are skipped); a second SIGTERM terminates.
+void install_sigterm_cancellation();
 
 class RunBudget {
  public:

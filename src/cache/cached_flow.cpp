@@ -243,6 +243,24 @@ FlowResult replay_from_entry(FlowKind kind, const Circuit& c, const FlowOptions&
   return result;
 }
 
+/// Observability (DESIGN.md §13): the cache's cumulative fault/recovery
+/// counters into the trace stream — recovered_* say how much corruption was
+/// detected and absorbed (never served), retries how many store attempts
+/// re-ran after a transient failure. One span per cached run, so trace
+/// consumers can watch the counters move across a batch.
+void trace_cache_counters(TraceSink* trace, const FlowCache& cache) {
+  if (trace == nullptr) return;
+  TraceSpan span(trace, "cache:counters");
+  span.counter("cache_hits", cache.hits());
+  span.counter("cache_misses", cache.misses());
+  span.counter("cache_stores", cache.stores());
+  span.counter("cache_rejects", cache.rejects());
+  span.counter("recovered_entries", cache.recovered_entries());
+  span.counter("recovered_tmp", cache.recovered_tmp());
+  span.counter("recovered_sidecars", cache.recovered_sidecars());
+  span.counter("retries", cache.retries());
+}
+
 }  // namespace
 
 void CachedSearchStage::run(FlowContext& ctx) {
@@ -292,6 +310,7 @@ FlowResult run_flow_cached(FlowKind kind, const Circuit& c, const FlowOptions& o
     FlowResult result = replay_from_entry(kind, c, options, *entry);
     if (!options.collect_artifacts) result.artifacts = FlowArtifacts{};
     if (info != nullptr) info->hit = true;
+    trace_cache_counters(options.trace, *cache);
     return result;
   }
 
@@ -323,6 +342,7 @@ FlowResult run_flow_cached(FlowKind kind, const Circuit& c, const FlowOptions& o
   const bool stored = cache->store_result(key, result, c);
   if (info != nullptr) info->stored = stored;
   if (!options.collect_artifacts) result.artifacts = FlowArtifacts{};
+  trace_cache_counters(options.trace, *cache);
   return result;
 }
 

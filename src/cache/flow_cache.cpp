@@ -4,13 +4,17 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <span>
 #include <sstream>
+#include <string_view>
+#include <thread>
 #include <utility>
 
+#include "base/failpoint.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/canonical.hpp"
 
@@ -94,11 +98,27 @@ class EntryReader {
     return segment;
   }
 
+  /// Byte offset just past the last consumed token (for the checksum
+  /// trailer's coverage check).
+  std::size_t offset() const { return pos_; }
+
  private:
   std::string content_;
   std::size_t pos_ = 0;
   bool ok_ = true;
 };
+
+/// True when an armed read-path failpoint says this read fails. Reads never
+/// retry — the caller degrades to a miss, which is sound and cheap. A kThrow
+/// policy is absorbed here too: lookup paths never throw.
+bool read_fault(const char* site) {
+  if (!failpoint::enabled()) return false;
+  try {
+    return failpoint::check(site).action == failpoint::Action::kError;
+  } catch (...) {
+    return true;
+  }
+}
 
 bool in_range(std::int64_t value, std::int64_t lo, std::int64_t hi) {
   return value >= lo && value <= hi;
@@ -111,18 +131,24 @@ struct ParsedEntry {
   std::uint64_t hash = 0;   // the stored key hash
 };
 
-/// Loads and validates one entry file: schema version, field ranges, and the
-/// internal certification tie between the winning labels and a feasible
-/// ledger record. Does NOT compare against any caller key — exact lookup and
-/// near-miss lookup apply their own checks on top. nullopt on any defect.
-std::optional<ParsedEntry> parse_entry_file(const std::string& path) {
+/// Loads and validates one entry file: schema version, field ranges, the
+/// checksum trailer, and the internal certification tie between the winning
+/// labels and a feasible ledger record. Does NOT compare against any caller
+/// key — exact lookup and near-miss lookup apply their own checks on top.
+/// nullopt on any defect. `existed` (optional) reports whether a file was
+/// there at all, so callers can tell a plain miss from a torn entry.
+std::optional<ParsedEntry> parse_entry_file(const std::string& path,
+                                            bool* existed = nullptr) {
+  if (existed != nullptr) *existed = false;
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
+  if (existed != nullptr) *existed = true;
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (!in.good() && !in.eof()) return std::nullopt;
+  const std::string content = buffer.str();
 
-  EntryReader r(buffer.str());
+  EntryReader r(content);
   r.expect("turbosyn-cache");
   if (r.integer() != FlowCache::kSchemaVersion) return std::nullopt;
   ParsedEntry parsed;
@@ -165,6 +191,9 @@ std::optional<ParsedEntry> parse_entry_file(const std::string& path) {
     const std::int64_t outcome = r.integer();
     if (!in_range(outcome, 0, 3)) return std::nullopt;
     p.outcome = static_cast<ProbeOutcome>(outcome);
+    // kFailed (5) is deliberately out of range: a contained stage failure can
+    // never belong to a storable (kOk) run, so an entry carrying one is
+    // corruption, not data.
     const std::int64_t status = r.integer();
     if (!in_range(status, 0, 4)) return std::nullopt;
     p.status = static_cast<Status>(status);
@@ -186,6 +215,24 @@ std::optional<ParsedEntry> parse_entry_file(const std::string& path) {
   entry.mapped_blif = r.raw(r.integer());
   r.expect("end");
   if (!r.ok()) return std::nullopt;
+
+  // Checksum trailer (schema v3): "sum <n> <hex64>", FNV-1a over the first n
+  // bytes. Catches torn writes and bit rot that still tokenize — a spliced
+  // or truncated-and-repaired file cannot keep the checksum. The trailer
+  // must cover at least everything parsed above; a shorter span could
+  // validate a file whose tail was swapped out.
+  const std::size_t parsed_bytes = r.offset();
+  r.expect("sum");
+  const std::int64_t sum_len = r.integer();
+  const std::uint64_t sum_hash = r.hex();
+  if (!r.ok() || sum_len < static_cast<std::int64_t>(parsed_bytes) ||
+      sum_len > static_cast<std::int64_t>(content.size())) {
+    return std::nullopt;
+  }
+  if (fnv1a64(std::string_view(content).substr(0, static_cast<std::size_t>(sum_len))) !=
+      sum_hash) {
+    return std::nullopt;
+  }
 
   // Internal consistency: the winning labels must be certified by a feasible
   // ledger record whose hash matches them (the same tie the auditor checks).
@@ -289,9 +336,24 @@ CacheEntry FlowCache::entry_from_result(const FlowResult& result, const Circuit&
 }
 
 std::optional<CacheEntry> FlowCache::lookup(const CacheKey& key) const {
-  std::optional<ParsedEntry> parsed = parse_entry_file(entry_path(key));
+  if (read_fault("cache.entry.read")) {
+    // Transient read failure: degrade to a miss immediately. A miss is
+    // already sound (the flow just recomputes), so the read path never
+    // burns backoff sleeps the way store() does.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  bool existed = false;
+  std::optional<ParsedEntry> parsed = parse_entry_file(entry_path(key), &existed);
+  if (!parsed.has_value()) {
+    // A file that was present but failed parse or checksum is a torn entry
+    // demoted to a clean miss — counted, never served.
+    if (existed) recovered_entries_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
   // Collision check: the stored canonical key must match byte for byte.
-  if (!parsed.has_value() || parsed->hash != key.hash || parsed->key_text != key.text) {
+  if (parsed->hash != key.hash || parsed->key_text != key.text) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
@@ -300,6 +362,7 @@ std::optional<CacheEntry> FlowCache::lookup(const CacheKey& key) const {
 }
 
 std::optional<FlowCache::NearMiss> FlowCache::lookup_near(const CacheKey& key) const {
+  if (read_fault("cache.sidecar.read")) return std::nullopt;
   // The index file holds the hash of the newest entry stored under this
   // sketch (last-writer-wins; a stale or corrupt pointer is just no donor).
   std::ifstream in(near_index_path(key.near_sketch), std::ios::binary);
@@ -310,16 +373,26 @@ std::optional<FlowCache::NearMiss> FlowCache::lookup_near(const CacheKey& key) c
   content = buffer.str();
   EntryReader r(std::move(content));
   r.expect("turbosyn-near");
-  if (r.integer() != 1) return std::nullopt;
-  const std::uint64_t donor_hash = r.hex();
-  if (!r.ok()) return std::nullopt;
+  const bool header_ok = r.ok() && r.integer() == 1;
+  const std::uint64_t donor_hash = header_ok ? r.hex() : 0;
+  if (!header_ok || !r.ok()) {
+    // Truncated or garbage sidecar: no donor, and never a poisoned import —
+    // the warm seed is only ever derived from a fully validated entry.
+    recovered_sidecars_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
   // The donor being this exact key means lookup() already tried (and
   // rejected) the entry; there is nothing more to transfer from.
   if (donor_hash == key.hash) return std::nullopt;
 
+  bool donor_existed = false;
   std::optional<ParsedEntry> parsed =
-      parse_entry_file(dir_ + "/" + hex64(donor_hash) + ".tsce");
-  if (!parsed.has_value() || parsed->hash != donor_hash) return std::nullopt;
+      parse_entry_file(dir_ + "/" + hex64(donor_hash) + ".tsce", &donor_existed);
+  if (!parsed.has_value()) {
+    if (donor_existed) recovered_entries_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (parsed->hash != donor_hash) return std::nullopt;
   // Donor and requester must agree on the options line (flow kind and every
   // result-relevant option) — only the circuit itself may differ. The sketch
   // hash suggests this, the byte comparison proves it.
@@ -381,30 +454,83 @@ bool FlowCache::store(const CacheKey& key, const CacheEntry& entry) {
   os << "blif " << entry.mapped_blif.size() << '\n' << entry.mapped_blif << '\n';
   os << "end\n";
 
+  // Schema v3 trailer: length + FNV-1a checksum over the whole payload, so a
+  // torn write that still renamed is detected on read instead of served.
+  const std::string payload = os.str();
+  const std::string data = payload + "sum " + std::to_string(payload.size()) + ' ' +
+                           hex64(fnv1a64(payload)) + '\n';
+
   // Unique tmp name per writer, then an atomic rename: concurrent stores of
-  // the same key are last-writer-wins with no torn intermediate state.
+  // the same key are last-writer-wins with no torn intermediate state. A
+  // transient write/rename failure (ENOSPC blips, AV/backup scanners holding
+  // the file, injected cache.entry.{write,rename} faults) is retried with a
+  // short deterministic backoff — unlike reads, a lost store costs a full
+  // recompute on every later run, so a couple of millisecond sleeps pay off.
   static std::atomic<std::uint64_t> tmp_seq{0};
   const std::string final_path = entry_path(key);
-  const std::string tmp_path = final_path + ".tmp." + std::to_string(::getpid()) + "." +
-                               std::to_string(tmp_seq.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      rejects_.fetch_add(1, std::memory_order_relaxed);
+
+  const auto attempt_store = [&]() -> bool {
+    std::string_view body = data;
+    try {
+      if (failpoint::enabled()) {
+        const failpoint::Hit w = failpoint::check("cache.entry.write");
+        if (w.action == failpoint::Action::kError) return false;
+        if (w.action == failpoint::Action::kPartialWrite) {
+          // Simulate a torn write that still completes the rename: exactly
+          // the state an fsync-less crash can leave behind.
+          body = body.substr(0, std::min<std::size_t>(
+                                    body.size(),
+                                    w.arg < 0 ? 0 : static_cast<std::size_t>(w.arg)));
+        }
+      }
+    } catch (...) {
+      return false;  // a kThrow policy fails the attempt, never the caller
+    }
+    const std::string tmp_path =
+        final_path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(tmp_seq.fetch_add(1, std::memory_order_relaxed));
+    std::error_code attempt_ec;
+    {
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!out) return false;
+      out.write(body.data(), static_cast<std::streamsize>(body.size()));
+      out.flush();
+      if (!out.good()) {
+        out.close();
+        std::filesystem::remove(tmp_path, attempt_ec);
+        return false;
+      }
+    }
+    try {
+      if (failpoint::enabled() &&
+          failpoint::check("cache.entry.rename").action == failpoint::Action::kError) {
+        std::filesystem::remove(tmp_path, attempt_ec);
+        return false;
+      }
+    } catch (...) {
+      std::filesystem::remove(tmp_path, attempt_ec);
       return false;
     }
-    out << os.str();
-    out.flush();
-    if (!out.good()) {
-      out.close();
-      std::filesystem::remove(tmp_path, ec);
-      rejects_.fetch_add(1, std::memory_order_relaxed);
+    std::filesystem::rename(tmp_path, final_path, attempt_ec);
+    if (attempt_ec) {
+      std::filesystem::remove(tmp_path, attempt_ec);
       return false;
     }
+    return true;
+  };
+
+  constexpr int kMaxAttempts = 3;
+  constexpr std::chrono::milliseconds kBackoff[] = {std::chrono::milliseconds(1),
+                                                    std::chrono::milliseconds(4)};
+  bool written = false;
+  for (int attempt = 0; attempt < kMaxAttempts && !written; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(kBackoff[attempt - 1]);
+    }
+    written = attempt_store();
   }
-  std::filesystem::rename(tmp_path, final_path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp_path, ec);
+  if (!written) {
     rejects_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
@@ -412,8 +538,17 @@ bool FlowCache::store(const CacheKey& key, const CacheEntry& entry) {
 
   // Near-miss index: point this key's sketch at the entry just written.
   // Best-effort and last-writer-wins — a lost or stale pointer only costs a
-  // warm start, never correctness (lookup_near re-validates the entry).
+  // warm start, never correctness (lookup_near re-validates the entry) — so
+  // unlike the entry itself it is not worth a retry.
   if (key.near_sketch != 0) {
+    try {
+      if (failpoint::enabled() &&
+          failpoint::check("cache.sidecar.write").action == failpoint::Action::kError) {
+        return true;  // injected sidecar fault: entry stored, index skipped
+      }
+    } catch (...) {
+      return true;
+    }
     const std::string index_path = near_index_path(key.near_sketch);
     const std::string index_tmp =
         index_path + ".tmp." + std::to_string(::getpid()) + "." +
@@ -429,6 +564,76 @@ bool FlowCache::store(const CacheKey& key, const CacheEntry& entry) {
     }
   }
   return true;
+}
+
+FlowCache::RecoveryStats FlowCache::recover() {
+  RecoveryStats stats;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return stats;  // no directory yet: nothing to recover
+
+  // One scan, three buckets. Tmp files go first, then torn entries, then
+  // sidecars — so a sidecar pointing at an entry GC'd this very pass is seen
+  // as dangling and removed with it.
+  std::vector<std::filesystem::path> tmps;
+  std::vector<std::filesystem::path> entries;
+  std::vector<std::filesystem::path> sidecars;
+  for (const auto& de : it) {
+    if (!de.is_regular_file(ec)) continue;
+    const std::string name = de.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      tmps.push_back(de.path());
+    } else if (name.ends_with(".tsce")) {
+      entries.push_back(de.path());
+    } else if (name.rfind("near_", 0) == 0 && name.ends_with(".tsni")) {
+      sidecars.push_back(de.path());
+    }
+  }
+
+  for (const auto& path : tmps) {
+    // A stray tmp is a writer that died between write and rename; the rename
+    // never happened, so no reader can be depending on it.
+    if (std::filesystem::remove(path, ec) && !ec) {
+      ++stats.stray_tmp;
+      recovered_tmp_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  for (const auto& path : entries) {
+    bool existed = false;
+    const std::optional<ParsedEntry> parsed = parse_entry_file(path.string(), &existed);
+    // Unparseable, checksum-failing, or filed under the wrong name (a stale
+    // rename): lookup would demote it on every read; delete it once here.
+    const bool healthy =
+        parsed.has_value() && path.filename().string() == hex64(parsed->hash) + ".tsce";
+    if (!existed || healthy) continue;
+    if (std::filesystem::remove(path, ec) && !ec) {
+      ++stats.torn_entries;
+      recovered_entries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  for (const auto& path : sidecars) {
+    bool dangling = false;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    EntryReader r(buffer.str());
+    r.expect("turbosyn-near");
+    if (!r.ok() || r.integer() != 1) {
+      dangling = true;
+    } else {
+      const std::uint64_t donor_hash = r.hex();
+      dangling = !r.ok() ||
+                 !std::filesystem::is_regular_file(
+                     dir_ + "/" + hex64(donor_hash) + ".tsce", ec);
+    }
+    if (!dangling) continue;
+    if (std::filesystem::remove(path, ec) && !ec) {
+      ++stats.dangling_sidecars;
+      recovered_sidecars_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return stats;
 }
 
 }  // namespace turbosyn

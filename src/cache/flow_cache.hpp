@@ -27,6 +27,22 @@
 //     (batch tasks mapping the same circuit) and readers racing a writer see
 //     either no entry or a complete one, never a torn file.
 //
+// Crash consistency (DESIGN.md §13): rename is atomic but write is not — a
+// power cut or SIGKILL mid-write leaves a stray tmp file, and a crash after
+// a partial flush that still renamed (or plain disk corruption) leaves a
+// torn entry. Every v3 entry therefore ends in a length + checksum trailer
+// ("sum <n> <hex64>", FNV-1a over the first n bytes); lookup() verifies it,
+// so a torn entry — even one that still tokenizes — demotes to a clean miss
+// and is counted in recovered_entries(). recover() garbage-collects stray
+// tmp files, unparseable entries and dangling near-miss sidecars; store()
+// retries transient write/rename failures with a short deterministic
+// backoff (reads never retry: a miss is already sound and cheap).
+//
+// Fault injection: the read/write/rename/sidecar paths are failpoint sites
+// ("cache.entry.read", "cache.entry.write", "cache.entry.rename",
+// "cache.sidecar.read", "cache.sidecar.write" — see base/failpoint.hpp).
+// With no failpoint armed every site is a single relaxed atomic load.
+//
 // The on-disk format is a versioned, line-oriented text schema (one file per
 // key, named <16-hex-hash>.tsce) chosen for debuggability; entries are a few
 // KB for typical circuits.
@@ -103,10 +119,10 @@ class FlowCache {
   /// are created on the first store.
   explicit FlowCache(std::string dir);
 
-  /// v2: winning labels are stored in canonical node order (see CacheEntry)
-  /// and every store maintains the near-miss secondary index. v1 entries
-  /// parse as a schema mismatch, i.e. a clean miss.
-  static constexpr int kSchemaVersion = 2;
+  /// v3: every entry ends in a length + checksum trailer so torn writes are
+  /// detected (v2 added canonical-order labels and the near-miss index).
+  /// Older entries parse as a schema mismatch, i.e. a clean miss.
+  static constexpr int kSchemaVersion = 3;
 
   /// The complete, validated entry for `key`, or nullopt (miss). Collision-
   /// checked against key.text; never throws on malformed files.
@@ -145,6 +161,24 @@ class FlowCache {
   /// ids to canonical order for storage.
   static CacheEntry entry_from_result(const FlowResult& result, const Circuit& input);
 
+  /// What one recover() pass cleaned out of the cache directory.
+  struct RecoveryStats {
+    std::int64_t stray_tmp = 0;          // *.tmp.* files from crashed writers
+    std::int64_t torn_entries = 0;       // .tsce files failing parse/checksum
+    std::int64_t dangling_sidecars = 0;  // .tsni files malformed or pointing
+                                         // at a missing donor entry
+    std::int64_t total() const { return stray_tmp + torn_entries + dangling_sidecars; }
+  };
+
+  /// Crash recovery: scans the cache directory and deletes stray tmp files,
+  /// entries that fail parse or checksum validation, and near-miss sidecars
+  /// that are malformed or point at a donor entry that no longer exists.
+  /// Never throws; a missing directory is an empty pass. Call at startup —
+  /// running it concurrently with an active writer can GC that writer's
+  /// live tmp file, which the writer then absorbs as a retried store.
+  /// Everything removed also counts into the recovered_* counters.
+  RecoveryStats recover();
+
   const std::string& dir() const { return dir_; }
   std::string entry_path(const CacheKey& key) const;
 
@@ -154,6 +188,22 @@ class FlowCache {
   std::int64_t stores() const { return stores_.load(std::memory_order_relaxed); }
   std::int64_t rejects() const { return rejects_.load(std::memory_order_relaxed); }
   std::int64_t near_hits() const { return near_hits_.load(std::memory_order_relaxed); }
+  /// Torn/corrupt entries demoted to misses (lookup paths) or GC'd
+  /// (recover()) — every one was detected, none was ever served.
+  std::int64_t recovered_entries() const {
+    return recovered_entries_.load(std::memory_order_relaxed);
+  }
+  /// Stray tmp files garbage-collected by recover().
+  std::int64_t recovered_tmp() const {
+    return recovered_tmp_.load(std::memory_order_relaxed);
+  }
+  /// Near-miss sidecars dropped: truncated/garbage on read, dangling on
+  /// recover(). A dropped sidecar only costs a warm start.
+  std::int64_t recovered_sidecars() const {
+    return recovered_sidecars_.load(std::memory_order_relaxed);
+  }
+  /// Store attempts re-run after a transient write/rename failure.
+  std::int64_t retries() const { return retries_.load(std::memory_order_relaxed); }
 
  private:
   std::string near_index_path(std::uint64_t sketch) const;
@@ -164,6 +214,10 @@ class FlowCache {
   std::atomic<std::int64_t> stores_{0};
   std::atomic<std::int64_t> rejects_{0};
   mutable std::atomic<std::int64_t> near_hits_{0};
+  mutable std::atomic<std::int64_t> recovered_entries_{0};
+  std::atomic<std::int64_t> recovered_tmp_{0};
+  mutable std::atomic<std::int64_t> recovered_sidecars_{0};
+  std::atomic<std::int64_t> retries_{0};
 };
 
 }  // namespace turbosyn

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "base/check.hpp"
+#include "base/failpoint.hpp"
 #include "base/trace.hpp"
 
 namespace turbosyn {
@@ -74,6 +75,8 @@ FlowDriver::FlowDriver(const Circuit& c, const FlowOptions& options, ProbeLedger
 }
 
 void FlowDriver::run(Stage& stage) {
+  // Contract violations are programming errors in the flow's stage list and
+  // still throw to the caller; only the stage's own execution is contained.
   for (const ArtifactId a : stage.consumes()) {
     TS_CHECK(ctx_.has(a), "stage '" << stage.name() << "' consumes missing artifact '"
                                     << artifact_name(a) << "'");
@@ -89,7 +92,29 @@ void FlowDriver::run(Stage& stage) {
   TraceSpan span(ctx_.trace, std::string("stage:") + stage.name());
   const auto start = Clock::now();
   ctx_.current_metric_ = &metric;
-  stage.run(ctx_);
+  bool completed = false;
+  // Containment boundary: a stage that throws — a real defect or an armed
+  // "driver.stage" failpoint — is recorded as kFailed with the stage named,
+  // and the driver stops instead of the process dying. A failed run is
+  // never a certificate and never cacheable (FlowCache::storable).
+  try {
+    if (failpoint::enabled()) {
+      const std::string scoped = std::string("driver.stage.") + stage.name();
+      for (const std::string& site : {scoped, std::string("driver.stage")}) {
+        if (failpoint::check(site.c_str()).action == failpoint::Action::kError) {
+          throw Error("failpoint " + site);
+        }
+      }
+    }
+    stage.run(ctx_);
+    completed = true;
+  } catch (const std::exception& e) {
+    ctx_.result.status = combine_status(ctx_.result.status, Status::kFailed);
+    ctx_.result.failed_stage = stage.name();
+    ctx_.result.failure = e.what();
+    span.set_detail(std::string("failed: ") + e.what());
+    add_counter(metric, "failed", 1);
+  }
   ctx_.current_metric_ = nullptr;
   metric.seconds = seconds_since(start);
   const LabelStats& after = ctx_.result.stats;
@@ -102,12 +127,20 @@ void FlowDriver::run(Stage& stage) {
   add_counter(metric, "dirty_rounds", after.dirty_rounds - before.dirty_rounds);
   add_counter(metric, "nodes_skipped", after.nodes_skipped - before.nodes_skipped);
   for (const auto& [name, value] : metric.counters) span.counter(name, value);
-  for (const ArtifactId a : stage.produces()) ctx_.provide(a);
+  // A failed stage provides nothing: downstream consumes-contracts stay
+  // unsatisfied, so even a caller that ignores the status cannot run the
+  // rest of the pipeline on half-initialized artifacts.
+  if (completed) {
+    for (const ArtifactId a : stage.produces()) ctx_.provide(a);
+  }
   ctx_.result.stage_metrics.stages.push_back(std::move(metric));
 }
 
 void FlowDriver::run(const StageList& stages) {
-  for (const auto& stage : stages) run(*stage);
+  for (const auto& stage : stages) {
+    if (ctx_.result.status == Status::kFailed) break;
+    run(*stage);
+  }
 }
 
 FlowResult FlowDriver::finish() {

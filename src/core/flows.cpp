@@ -106,6 +106,12 @@ FlowResult run_turbosyn(const Circuit& c, const FlowOptions& options) {
   const bool have_ub_labels = ub_driver.context().have_labels;
   auto ub_labels = std::make_shared<LabelResult>(ub_driver.context().labels);
   FlowResult ub_run = ub_driver.finish();
+  if (ub_run.status == Status::kFailed) {
+    // A contained phase-A failure ends the flow: whatever labels exist were
+    // produced next to a blown stage boundary, so nothing seeds phase B.
+    ub_run.seconds = seconds_since(start);
+    return ub_run;
+  }
   if (!have_ub_labels) {
     // The TurboMap stage was stopped before it proved any ratio feasible:
     // there are no labels to seed the decomposition search, so the anytime

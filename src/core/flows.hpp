@@ -142,6 +142,14 @@ struct FlowResult {
   /// Convenience flag: the run was stopped by a deadline or cancellation
   /// before the search finished (status is kDeadlineExceeded or kCancelled).
   bool timed_out = false;
+  /// Containment record (status == kFailed): the stage whose run() threw or
+  /// tripped an injected fault, and the exception text. The driver caught
+  /// the failure at the stage boundary and skipped the remaining stages, so
+  /// `mapped` is whatever the last completed stage left behind (the empty
+  /// default when mapping generation never ran) — usable for diagnostics,
+  /// never as a result, never as a certificate, never cacheable.
+  std::string failed_stage;
+  std::string failure;
   /// Deduped names of nodes whose decomposition fell back to the plain K-cut
   /// label under a resource ceiling (empty on an unlimited run).
   std::vector<std::string> degraded_nodes;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "base/check.hpp"
+#include "base/failpoint.hpp"
 
 namespace turbosyn {
 namespace {
@@ -260,6 +261,14 @@ Circuit read_blif_string(const std::string& text, const std::string& source_name
 }
 
 Circuit read_blif_file(const std::string& path) {
+  // Fault-injection site for ingest-path hardening tests: an armed
+  // "blif.read" failpoint makes the read fail exactly as an unreadable file
+  // would (the kThrow/kError policies both surface as turbosyn::Error here,
+  // which batch supervision contains into a failed record).
+  if (failpoint::enabled() &&
+      failpoint::check("blif.read").action == failpoint::Action::kError) {
+    throw Error("failpoint blif.read: cannot read BLIF file '" + path + "'");
+  }
   std::ifstream f(path);
   TS_CHECK(f.good(), "cannot open BLIF file '" << path << "'");
   return read_blif(f, path);

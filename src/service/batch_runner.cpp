@@ -1,14 +1,19 @@
 #include "service/batch_runner.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <mutex>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "base/check.hpp"
+#include "base/failpoint.hpp"
 #include "base/thread_pool.hpp"
+#include "base/trace.hpp"
 #include "decomp/gate_decomp.hpp"
 #include "netlist/blif.hpp"
 
@@ -61,7 +66,10 @@ void append_json_string(std::string& out, const std::string& value) {
   out += '"';
 }
 
-/// One circuit task: parse, K-bound, run the (cache-aware) flow.
+/// One circuit attempt: parse, K-bound, run the (cache-aware) flow. Every
+/// fault — a parse error, a stage failure the driver contained, an injected
+/// "batch.job" fault — lands in the record; this function never throws and
+/// never kills the process.
 BatchRecord run_job(const BatchJob& job, const BatchOptions& options) {
   BatchRecord record;
   record.name = job.name;
@@ -70,10 +78,18 @@ BatchRecord run_job(const BatchJob& job, const BatchOptions& options) {
   record.k = job.k;
   const auto start = Clock::now();
   try {
+    if (failpoint::enabled() &&
+        failpoint::check("batch.job").action == failpoint::Action::kError) {
+      throw Error("failpoint batch.job");
+    }
     Circuit input = read_blif_file(job.path);
     if (!input.is_k_bounded(job.k)) input = gate_decompose(input, job.k);
 
     FlowOptions flow_options = options.flow;
+    // The manifest's per-job K governs the whole run — decomposition above
+    // AND the mapper — not just the input bound (the fault fuzzer caught a
+    // K=5 flow running on a K=4 job).
+    flow_options.k = job.k;
     // The pool schedules whole circuits; nested for_each would deadlock.
     flow_options.num_threads = 1;
     // Fresh per-circuit budget slice sharing the batch's cancel token.
@@ -94,11 +110,59 @@ BatchRecord run_job(const BatchJob& job, const BatchOptions& options) {
     record.period = result.period;
     record.pipeline_stages = result.pipeline_stages;
     record.status = result.status;
+    if (result.status == Status::kFailed) {
+      record.failed_stage = result.failed_stage;
+      record.error = result.failure;
+    }
   } catch (const std::exception& e) {
     record.ok = false;
     record.error = e.what();
   }
   record.seconds = seconds_since(start);
+  return record;
+}
+
+/// A record that should be retried: the attempt faulted (parse/flow
+/// exception, contained stage failure). Interrupts are excluded — a
+/// deadline or cancel is the budget working as designed, and re-running
+/// would just burn the same budget again.
+bool attempt_failed(const BatchRecord& record) {
+  return (!record.ok || record.status == Status::kFailed) && !is_interrupt(record.status);
+}
+
+/// Capped exponential pause before attempt `next_attempt` (2-based), sliced
+/// so a batch cancel cuts the sleep short.
+void retry_backoff(const BatchOptions& options, int next_attempt) {
+  const std::int64_t base = std::max<std::int64_t>(0, options.retry_backoff_ms);
+  const int exponent = std::min(next_attempt - 2, 10);
+  const std::int64_t pause =
+      std::min<std::int64_t>(base << exponent, 1000);
+  const auto until = Clock::now() + std::chrono::milliseconds(pause);
+  while (Clock::now() < until) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+/// Supervised task: run_job with up to max_attempts runs, then quarantine.
+BatchRecord run_supervised(const BatchJob& job, const BatchOptions& options,
+                           std::atomic<int>& retries) {
+  const int max_attempts = std::max(1, options.max_attempts);
+  BatchRecord record;
+  double total_seconds = 0.0;
+  for (int attempt = 1;; ++attempt) {
+    record = run_job(job, options);
+    total_seconds += record.seconds;
+    record.seconds = total_seconds;  // the circuit's cost, not the attempt's
+    record.attempts = attempt;
+    if (!attempt_failed(record) || attempt >= max_attempts) break;
+    if (options.cancel != nullptr && options.cancel->cancelled()) break;
+    retries.fetch_add(1, std::memory_order_relaxed);
+    retry_backoff(options, attempt + 1);
+  }
+  // Failing the last allowed attempt (without an interrupt cutting the
+  // supervision short) marks the circuit deterministically bad.
+  record.quarantined = attempt_failed(record) && record.attempts >= max_attempts;
   return record;
 }
 
@@ -167,6 +231,13 @@ std::string batch_record_json(const BatchRecord& record) {
   }
   out += ",\"status\":";
   append_json_string(out, status_name(record.status));
+  out += ",\"attempts\":" + std::to_string(record.attempts);
+  out += ",\"quarantined\":";
+  out += record.quarantined ? "true" : "false";
+  if (!record.failed_stage.empty()) {
+    out += ",\"failed_stage\":";
+    append_json_string(out, record.failed_stage);
+  }
   {
     std::ostringstream secs;
     secs << record.seconds;
@@ -200,14 +271,36 @@ BatchSummary run_batch(const std::vector<BatchJob>& jobs, const BatchOptions& op
   if (options.cancel != nullptr) batch_interrupt.set_cancel_token(options.cancel);
 
   std::mutex sink_mutex;
+  std::atomic<int> retries{0};
+  std::atomic<int> jsonl_faults{0};
   ThreadPool::global().for_each(
       jobs.size(),
       [&](std::size_t i, int /*lane*/) {
-        BatchRecord record = run_job(jobs[i], options);
+        BatchRecord record = run_supervised(jobs[i], options, retries);
         if (jsonl != nullptr) {
+          // Incremental flush: every record hits the sink (and the OS) the
+          // moment its circuit settles, so a later crash loses at most the
+          // in-flight line. A sink fault (disk full, injected
+          // "batch.jsonl.write" error) is absorbed — the record stays in the
+          // summary, the failbit is cleared, and the batch keeps going.
           const std::string line = batch_record_json(record);
           const std::lock_guard<std::mutex> lock(sink_mutex);
-          *jsonl << line << '\n' << std::flush;
+          bool fault = false;
+          try {
+            if (failpoint::enabled() &&
+                failpoint::check("batch.jsonl.write").action == failpoint::Action::kError) {
+              fault = true;
+            } else {
+              *jsonl << line << '\n' << std::flush;
+              fault = !jsonl->good();
+            }
+          } catch (...) {
+            fault = true;
+          }
+          if (fault) {
+            jsonl->clear();
+            jsonl_faults.fetch_add(1, std::memory_order_relaxed);
+          }
         }
         summary.records[i] = std::move(record);
       },
@@ -216,14 +309,33 @@ BatchSummary run_batch(const std::vector<BatchJob>& jobs, const BatchOptions& op
   for (const BatchRecord& record : summary.records) {
     if (record.skipped) {
       ++summary.skipped;
-    } else if (record.ok) {
+    } else if (record.ok && record.status != Status::kFailed) {
       ++summary.completed;
       if (record.cache_hit) ++summary.cache_hits;
     } else {
       ++summary.failed;
     }
+    if (record.quarantined) {
+      ++summary.quarantined;
+      summary.poisoned.push_back(record.name);
+    }
   }
+  summary.retries = retries.load(std::memory_order_relaxed);
+  summary.jsonl_write_faults = jsonl_faults.load(std::memory_order_relaxed);
   summary.seconds = seconds_since(start);
+
+  // Observability (DESIGN.md §13): the supervision outcome into the trace
+  // stream. Emitted after the pool joins, so the counters are settled.
+  if (options.flow.trace != nullptr) {
+    TraceSpan span(options.flow.trace, "batch:summary");
+    span.counter("completed", summary.completed);
+    span.counter("failed", summary.failed);
+    span.counter("skipped", summary.skipped);
+    span.counter("cache_hits", summary.cache_hits);
+    span.counter("retries", summary.retries);
+    span.counter("quarantined", summary.quarantined);
+    span.counter("jsonl_write_faults", summary.jsonl_write_faults);
+  }
   return summary;
 }
 

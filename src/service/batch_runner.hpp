@@ -13,9 +13,18 @@
 //
 // Budgeting: every circuit gets its own RunBudget slice (an optional
 // per-circuit wall-clock deadline) wired to one shared CancelToken, so a
-// single Ctrl-C (or a caller-side cancel) drains the whole batch
+// single Ctrl-C or SIGTERM (or a caller-side cancel) drains the whole batch
 // cooperatively: running tasks wind down to their best-so-far mapping,
 // queued tasks are skipped and reported as such.
+//
+// Supervision (DESIGN.md §13): one circuit's fault never takes the batch
+// down. A parse error, a stage failure the driver contained (kFailed), or an
+// injected "batch.job" fault becomes a failed JSONL record; the circuit is
+// retried with capped exponential backoff (BatchOptions::max_attempts) and,
+// if it fails deterministically on every attempt, quarantined into the
+// summary's poison list. Records stream to the JSONL sink per circuit with
+// an explicit flush, so a later crash loses at most the in-flight record;
+// sink write failures are absorbed and counted, never fatal.
 //
 // Manifest format (read_batch_manifest): one circuit per line,
 //
@@ -66,6 +75,18 @@ struct BatchOptions {
   /// Cooperative cancel for the whole batch (nullptr = none): running tasks
   /// drain, queued tasks are skipped.
   const CancelToken* cancel = nullptr;
+  /// Supervision: how many times one circuit may run before it is
+  /// quarantined (>= 1). A task whose flow failed in containment (or whose
+  /// parse threw) is re-run up to this many attempts; interrupts
+  /// (deadline/cancel) are never retried — they are the budget working as
+  /// designed, not a fault. A circuit still failing on its last attempt is
+  /// quarantined: recorded as failed, listed in BatchSummary::poisoned, and
+  /// never crashes the batch.
+  int max_attempts = 2;
+  /// Base pause before a retry, growing exponentially per extra attempt and
+  /// capped at 1s. The sleep polls `cancel`, so Ctrl-C is never held hostage
+  /// by a backing-off retry.
+  std::int64_t retry_backoff_ms = 10;
 };
 
 /// One finished (or skipped/failed) circuit, as streamed to the JSONL sink.
@@ -83,8 +104,11 @@ struct BatchRecord {
   std::int64_t period = 0;
   int pipeline_stages = 0;
   Status status = Status::kOk;
-  double seconds = 0.0;
-  std::string error;       // parse/validation failure (ok == false)
+  double seconds = 0.0;    // across every attempt
+  std::string error;       // parse/flow failure text (ok == false or kFailed)
+  std::string failed_stage;  // stage the driver contained (status == kFailed)
+  int attempts = 1;          // runs this circuit took (> 1: it was retried)
+  bool quarantined = false;  // failed deterministically on every attempt
 };
 
 /// The record as one JSON object on a single line (no trailing newline).
@@ -93,9 +117,17 @@ std::string batch_record_json(const BatchRecord& record);
 struct BatchSummary {
   std::vector<BatchRecord> records;  // one per job, in manifest order
   int completed = 0;
-  int failed = 0;    // parse/flow errors
+  int failed = 0;    // parse/flow errors (every quarantined circuit is here)
   int skipped = 0;   // cancelled before starting
   int cache_hits = 0;
+  int retries = 0;       // extra attempts across all circuits
+  int quarantined = 0;   // circuits that failed every attempt
+  /// Names of the quarantined circuits, in manifest order — the poison list
+  /// a wrapping service should exclude from resubmission.
+  std::vector<std::string> poisoned;
+  /// JSONL sink write failures absorbed (the record still lands in
+  /// `records`; the sink's failbit is cleared and the batch continues).
+  int jsonl_write_faults = 0;
   double seconds = 0.0;  // batch wall time
 };
 

@@ -473,6 +473,29 @@ AuditReport audit_flow(const Circuit& input, const FlowResult& result,
   };
   const Circuit& mapped = result.mapped;
 
+  // containment: a contained stage failure (status == kFailed) is not a
+  // result — the audit verifies the containment record is coherent (a
+  // failing stage is named iff the status says so) and skips every product
+  // check, since there is no product to verify. Runs that merely recovered
+  // (cache demotions to misses, batch retries that then succeeded) carry an
+  // ordinary status and audit as clean runs; this branch never sees them.
+  if (result.status == Status::kFailed || !result.failed_stage.empty()) {
+    std::optional<std::string> failure;
+    if (result.status != Status::kFailed) {
+      failure = "failing stage '" + result.failed_stage + "' recorded on a " +
+                std::string(status_name(result.status)) + " result";
+    } else if (result.failed_stage.empty()) {
+      failure = "status is failed but no failing stage was recorded";
+    }
+    add_outcome("containment", failure,
+                "stage '" + result.failed_stage + "' contained: " + result.failure);
+    for (const char* name : {"structure", "interface", "labels", "cuts", "mdr", "period",
+                             "equivalence", "probes", "stage-timing"}) {
+      add(name, AuditStatus::kSkipped, "run failed in containment; no result to verify");
+    }
+    return report;
+  }
+
   // structure: the network validates (arity, PO fanins, registered loops)
   // and every LUT is K-feasible.
   try {

@@ -8,6 +8,11 @@
 // FlowArtifacts when FlowOptions::collect_artifacts was set) and
 // independently re-derives every claimed property:
 //
+//   containment  (failed runs only) the containment record is coherent — a
+//                failing stage is named iff status == kFailed — and every
+//                product check is skipped, since a contained failure has no
+//                result to verify; recovered/retried runs that ultimately
+//                succeeded carry ordinary statuses and audit as clean runs;
 //   structure    the mapped network validates and is K-bounded;
 //   interface    PI names and PO display names match the input;
 //   labels       the label vector is a fixpoint of the Bellman-style
