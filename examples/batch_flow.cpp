@@ -102,9 +102,20 @@ int main(int argc, char** argv) {
       } else if (a.rfind("--jsonl=", 0) == 0) {
         jsonl_path = a.substr(std::string("--jsonl=").size());
       } else if (a == "--workers" && i + 1 < argc) {
-        options.num_workers = std::stoi(argv[++i]);
+        // Strict: "--workers abc" must not stoi-crash or silently misparse.
+        if (!parse_int_strict(argv[++i], 0, 1 << 16, options.num_workers)) {
+          std::cerr << "error: --workers expects an integer in [0, " << (1 << 16)
+                    << "], got '" << argv[i] << "'\n";
+          return 2;
+        }
       } else if (a == "--per-circuit-deadline-ms" && i + 1 < argc) {
-        options.per_circuit_deadline_ms = std::stoll(argv[++i]);
+        long long deadline = 0;
+        if (!parse_int_strict(argv[++i], 0, 1LL << 40, deadline)) {
+          std::cerr << "error: --per-circuit-deadline-ms expects an integer in [0, "
+                    << (1LL << 40) << "], got '" << argv[i] << "'\n";
+          return 2;
+        }
+        options.per_circuit_deadline_ms = deadline;
       } else if (a.rfind("--", 0) == 0) {
         if (a.find('=') == std::string::npos && i + 1 < argc) ++i;  // flag value
       } else {

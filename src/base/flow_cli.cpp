@@ -1,13 +1,52 @@
 #include "base/flow_cli.hpp"
 
+#include <cstddef>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 
 #include "base/budget_cli.hpp"
 #include "base/failpoint.hpp"
 #include "base/trace.hpp"
 
 namespace turbosyn {
+
+bool parse_int_strict(std::string_view text, long long lo, long long hi, long long& out) {
+  if (text.empty()) return false;
+  std::size_t pos = 0;
+  bool negative = false;
+  if (text[0] == '-') {
+    negative = true;
+    pos = 1;
+  }
+  if (pos >= text.size()) return false;
+  long long value = 0;
+  for (; pos < text.size(); ++pos) {
+    const char ch = text[pos];
+    if (ch < '0' || ch > '9') return false;
+    // Overflow-safe accumulate against the relevant bound.
+    const int digit = ch - '0';
+    if (negative) {
+      if (value < (std::numeric_limits<long long>::min() + digit) / 10) return false;
+      value = value * 10 - digit;
+    } else {
+      if (value > (std::numeric_limits<long long>::max() - digit) / 10) return false;
+      value = value * 10 + digit;
+    }
+  }
+  if (value < lo || value > hi) return false;
+  out = value;
+  return true;
+}
+
+bool parse_int_strict(std::string_view text, int lo, int hi, int& out) {
+  long long wide = 0;
+  if (!parse_int_strict(text, static_cast<long long>(lo), static_cast<long long>(hi), wide)) {
+    return false;
+  }
+  out = static_cast<int>(wide);
+  return true;
+}
 
 FlowCli::FlowCli() = default;
 FlowCli::~FlowCli() = default;
@@ -28,7 +67,13 @@ FlowCli flow_cli_from_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--threads" && i + 1 < argc) {
-      cli.threads = std::atoi(argv[++i]);
+      // Strict: "--threads abc" used to atoi() to 0 and silently grab every
+      // core, and negative counts were accepted; both are usage errors now.
+      if (!parse_int_strict(argv[++i], 0, 1 << 16, cli.threads)) {
+        std::cerr << "error: --threads expects an integer in [0, " << (1 << 16) << "], got '"
+                  << argv[i] << "' (0 = all cores, 1 = sequential)\n";
+        std::exit(2);
+      }
     } else if (a == "--audit") {
       cli.audit = true;
     } else if (a == "--quick") {

@@ -33,6 +33,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "base/run_budget.hpp"
 
@@ -71,9 +72,22 @@ class FlowCli {
   std::unique_ptr<TraceSink> trace_sink_;
 };
 
+/// Strict base-10 integer parsing for CLI flags and protocol fields:
+/// optional leading '-', digits only, the whole token consumed, result
+/// within [lo, hi]. Returns false (leaving `out` untouched) on anything
+/// else. Unlike std::atoi, "abc" never silently becomes 0 and "3x" never
+/// becomes 3 — the daemon's request parser and every flag that feeds a
+/// thread/worker count share this one validator.
+bool parse_int_strict(std::string_view text, long long lo, long long hi, long long& out);
+
+/// parse_int_strict for int-sized flags.
+bool parse_int_strict(std::string_view text, int lo, int hi, int& out);
+
 /// Scans argv for the flags above (ignoring unrelated arguments), wires the
 /// budget to global_cancel_token(), and installs the SIGINT handler. Call
-/// once at the top of main().
+/// once at the top of main(). Exits with status 2 (after printing to
+/// stderr) on a malformed value for a recognized flag — "--threads abc"
+/// must never silently run as "--threads 0" (all cores).
 FlowCli flow_cli_from_args(int argc, char** argv);
 
 /// Usage blurb for the flags flow_cli_from_args() understands (includes the

@@ -1,0 +1,65 @@
+#pragma once
+// Shared JSON helpers for every emitter and the daemon protocol parser.
+//
+// Three independent emitters grew their own JSON escaping (the batch
+// runner's record lines, the trace sink, and now the mapping daemon's
+// protocol replies), and two of them disagreed on '\r' — a carriage return
+// in a circuit name would round-trip through one file but not the other.
+// This header is the single definition all of them share, plus:
+//
+//   - json_double(): a round-trippable decimal rendering of a double (the
+//     shortest of %.15g/%.16g/%.17g that strtod()s back to the exact same
+//     bits). Default ostream formatting keeps 6 significant digits, which
+//     silently loses precision for any run longer than ~16 minutes worth of
+//     seconds — enough to break "sum of per-record seconds == ledger total"
+//     checks downstream.
+//   - parse_flat_json_object(): a strict parser for the one-line, flat
+//     (non-nested) JSON objects the mapping daemon's request protocol uses.
+//     Numbers keep their raw spelling so callers can apply their own range
+//     validation (parse_int_strict in base/flow_cli.hpp).
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace turbosyn {
+
+/// Appends the JSON string-escaped form of `s` (without surrounding
+/// quotes): explicit short escapes for " \ \n \t \r, \u00XX for the other
+/// control characters, everything else verbatim.
+void json_escape(std::string& out, std::string_view s);
+
+/// Appends `s` as a quoted, escaped JSON string.
+void json_append_string(std::string& out, std::string_view s);
+
+/// `s` as a quoted, escaped JSON string.
+std::string json_quote(std::string_view s);
+
+/// Decimal rendering of `value` that parses back to the exact same double
+/// (shortest of precision 15..17). Non-finite values render as "0" — JSON
+/// has no spelling for them and every emitted quantity here is a duration
+/// or counter, where 0 is the honest fallback.
+std::string json_double(double value);
+
+/// One scalar value of a flat protocol object. Numbers are NOT converted:
+/// `text` keeps the raw spelling ("12", "-3.5e2") so the caller can run its
+/// own strict/range validation instead of inheriting atoi semantics.
+struct JsonScalar {
+  enum class Kind { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string text;     // decoded string content, or the raw number spelling
+  bool boolean = false; // kBool only
+};
+
+/// Parses one flat JSON object — string/number/true/false/null values only,
+/// no nested objects or arrays — into (key, value) pairs in source order.
+/// Strings decode the escapes json_escape() emits (including \u00XX for
+/// codepoints below 0x80; anything else is rejected rather than silently
+/// mangled). Returns false and sets `error` (if non-null) on any deviation:
+/// trailing garbage, duplicate-comma, unterminated string, nesting.
+bool parse_flat_json_object(std::string_view line,
+                            std::vector<std::pair<std::string, JsonScalar>>& fields,
+                            std::string* error = nullptr);
+
+}  // namespace turbosyn

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "base/json_util.hpp"
+
 namespace turbosyn {
 namespace {
 
@@ -14,23 +16,14 @@ using Clock = std::chrono::steady_clock;
 thread_local TraceSpan* t_current_span = nullptr;
 thread_local int t_depth = 0;
 
+/// One escaper for every JSON emitter (base/json_util.hpp): the trace sink
+/// must render names byte-for-byte like the batch/daemon record emitters,
+/// or the same circuit appears under two spellings across artifacts.
 void json_escape(std::ostream& os, const std::string& s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
+  std::string out;
+  out.reserve(s.size());
+  turbosyn::json_escape(out, s);
+  os << out;
 }
 
 void json_counters(std::ostream& os,

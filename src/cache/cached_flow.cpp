@@ -259,6 +259,8 @@ void trace_cache_counters(TraceSink* trace, const FlowCache& cache) {
   span.counter("recovered_tmp", cache.recovered_tmp());
   span.counter("recovered_sidecars", cache.recovered_sidecars());
   span.counter("retries", cache.retries());
+  span.counter("hot_hits", cache.hot_hits());
+  span.counter("hot_evictions", cache.hot_evictions());
 }
 
 }  // namespace

@@ -279,6 +279,91 @@ CacheKey make_cache_key(const Circuit& c, const FlowOptions& options, FlowKind k
 
 FlowCache::FlowCache(std::string dir) : dir_(std::move(dir)) {}
 
+namespace {
+
+/// Estimated resident size of one hot-tier entry: the dominant heap blocks
+/// (key text, mapped BLIF, labels, probes) plus the bookkeeping structs.
+/// An estimate is enough — the cap bounds memory to the right order, it is
+/// not an allocator ledger.
+std::size_t hot_entry_size(const std::string& key_text, const CacheEntry& entry) {
+  return sizeof(CacheEntry) + 2 * sizeof(void*) + key_text.size() +
+         entry.mapped_blif.size() + entry.winning_labels.size() * sizeof(int) +
+         entry.probes.size() * sizeof(CachedProbe);
+}
+
+}  // namespace
+
+void FlowCache::enable_hot_tier(std::size_t max_bytes, std::size_t max_entries) {
+  const std::lock_guard<std::mutex> lock(hot_mu_);
+  hot_max_bytes_ = max_bytes;
+  hot_max_entries_ = max_entries;
+  if (hot_max_bytes_ == 0) {
+    hot_index_.clear();
+    hot_lru_.clear();
+    hot_bytes_now_ = 0;
+    return;
+  }
+  hot_evict_locked();  // shrinking the caps evicts down immediately
+}
+
+bool FlowCache::hot_tier_enabled() const {
+  const std::lock_guard<std::mutex> lock(hot_mu_);
+  return hot_max_bytes_ > 0;
+}
+
+std::int64_t FlowCache::hot_entries() const {
+  const std::lock_guard<std::mutex> lock(hot_mu_);
+  return static_cast<std::int64_t>(hot_lru_.size());
+}
+
+std::int64_t FlowCache::hot_bytes() const {
+  const std::lock_guard<std::mutex> lock(hot_mu_);
+  return static_cast<std::int64_t>(hot_bytes_now_);
+}
+
+void FlowCache::hot_evict_locked() const {
+  while (!hot_lru_.empty() &&
+         (hot_bytes_now_ > hot_max_bytes_ ||
+          (hot_max_entries_ > 0 && hot_lru_.size() > hot_max_entries_))) {
+    const HotEntry& victim = hot_lru_.back();
+    hot_bytes_now_ -= std::min(hot_bytes_now_, victim.bytes);
+    hot_index_.erase(victim.hash);
+    hot_lru_.pop_back();
+    hot_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::optional<CacheEntry> FlowCache::hot_lookup(const CacheKey& key) const {
+  const std::lock_guard<std::mutex> lock(hot_mu_);
+  if (hot_max_bytes_ == 0) return std::nullopt;
+  const auto it = hot_index_.find(key.hash);
+  if (it == hot_index_.end()) return std::nullopt;
+  // Same rule as disk: hash equality is never trusted. A 64-bit collision
+  // degrades to a (disk) miss for the colliding key, never a wrong artifact.
+  if (it->second->key_text != key.text) return std::nullopt;
+  hot_lru_.splice(hot_lru_.begin(), hot_lru_, it->second);  // bump to MRU
+  hot_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->entry;  // a copy: callers remap their copy in place
+}
+
+void FlowCache::hot_insert(const CacheKey& key, const CacheEntry& entry) const {
+  const std::lock_guard<std::mutex> lock(hot_mu_);
+  if (hot_max_bytes_ == 0) return;
+  const std::size_t bytes = hot_entry_size(key.text, entry);
+  if (bytes > hot_max_bytes_) return;  // would evict everything and still not fit
+  if (const auto it = hot_index_.find(key.hash); it != hot_index_.end()) {
+    // Re-admit under the same hash (refresh, or a collision's last-writer-
+    // wins, mirroring the on-disk entry file): replace in place at MRU.
+    hot_bytes_now_ -= std::min(hot_bytes_now_, it->second->bytes);
+    hot_lru_.erase(it->second);
+    hot_index_.erase(it);
+  }
+  hot_lru_.push_front(HotEntry{key.hash, key.text, entry, bytes});
+  hot_index_[key.hash] = hot_lru_.begin();
+  hot_bytes_now_ += bytes;
+  hot_evict_locked();
+}
+
 std::string FlowCache::entry_path(const CacheKey& key) const {
   return dir_ + "/" + hex64(key.hash) + ".tsce";
 }
@@ -336,6 +421,13 @@ CacheEntry FlowCache::entry_from_result(const FlowResult& result, const Circuit&
 }
 
 std::optional<CacheEntry> FlowCache::lookup(const CacheKey& key) const {
+  // Hot tier first: a resident entry was already validated on its way in,
+  // so the whole filesystem path (and its failpoint, which models the file
+  // read) is skipped.
+  if (std::optional<CacheEntry> hot = hot_lookup(key); hot.has_value()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return hot;
+  }
   if (read_fault("cache.entry.read")) {
     // Transient read failure: degrade to a miss immediately. A miss is
     // already sound (the flow just recomputes), so the read path never
@@ -358,6 +450,7 @@ std::optional<CacheEntry> FlowCache::lookup(const CacheKey& key) const {
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  hot_insert(key, parsed->entry);  // the next lookup skips the file entirely
   return std::move(parsed->entry);
 }
 
@@ -535,6 +628,9 @@ bool FlowCache::store(const CacheKey& key, const CacheEntry& entry) {
     return false;
   }
   stores_.fetch_add(1, std::memory_order_relaxed);
+  // Write-through admission: the entry just certified storable is exactly
+  // what a repeat request will ask for.
+  hot_insert(key, entry);
 
   // Near-miss index: point this key's sketch at the entry just written.
   // Best-effort and last-writer-wins — a lost or stale pointer only costs a

@@ -46,11 +46,24 @@
 // The on-disk format is a versioned, line-oriented text schema (one file per
 // key, named <16-hex-hash>.tsce) chosen for debuggability; entries are a few
 // KB for typical circuits.
+//
+// Hot tier (enable_hot_tier): an optional in-memory LRU layer over the
+// persistent store, for long-lived processes (the mapping daemon) where the
+// same circuits recur and re-reading + re-parsing the entry file per request
+// is the dominant hit cost. The tier holds validated CacheEntry copies
+// keyed by hash with the full key text retained, so the collision rule
+// above applies to memory exactly as to disk. It is write-through: store()
+// and disk hits populate it, eviction (byte- and entry-capped) never loses
+// anything the disk doesn't still have.
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <list>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/flows.hpp"
@@ -125,8 +138,24 @@ class FlowCache {
   static constexpr int kSchemaVersion = 3;
 
   /// The complete, validated entry for `key`, or nullopt (miss). Collision-
-  /// checked against key.text; never throws on malformed files.
+  /// checked against key.text; never throws on malformed files. With the hot
+  /// tier enabled, a resident entry is served from memory (no file read, no
+  /// re-parse) — still byte-compared against key.text, because hash equality
+  /// is never trusted, in RAM or on disk.
   std::optional<CacheEntry> lookup(const CacheKey& key) const;
+
+  /// In-memory hot tier: keeps recently looked-up / stored entries resident
+  /// so a repeated circuit skips the file read, parse, and checksum entirely
+  /// (the mapping daemon's steady-state path). LRU eviction from the cold
+  /// end whenever the tier exceeds `max_bytes` (estimated resident size) or
+  /// `max_entries` (0 = no entry-count cap). `max_bytes` == 0 disables the
+  /// tier and drops everything resident. The tier is a pure cache over the
+  /// persistent store — eviction never loses data, and every hot entry was
+  /// validated through the full parse/checksum path when it entered.
+  /// Thread-safe; an entry larger than `max_bytes` on its own is simply
+  /// never admitted.
+  void enable_hot_tier(std::size_t max_bytes, std::size_t max_entries = 0);
+  bool hot_tier_enabled() const;
 
   /// A validated donor entry found through the near-miss index: the stored
   /// run's artifacts plus the canonical text of the circuit it ran on.
@@ -205,10 +234,49 @@ class FlowCache {
   /// Store attempts re-run after a transient write/rename failure.
   std::int64_t retries() const { return retries_.load(std::memory_order_relaxed); }
 
+  // Hot-tier counters. hot_hits is a subset of hits(): every hot hit is a
+  // hit, served without touching the filesystem.
+  std::int64_t hot_hits() const { return hot_hits_.load(std::memory_order_relaxed); }
+  std::int64_t hot_evictions() const {
+    return hot_evictions_.load(std::memory_order_relaxed);
+  }
+  /// Currently resident entries / estimated resident bytes (point-in-time,
+  /// not monotonic).
+  std::int64_t hot_entries() const;
+  std::int64_t hot_bytes() const;
+
  private:
   std::string near_index_path(std::uint64_t sketch) const;
 
+  /// One resident entry: the full key text rides along for the collision
+  /// check, `bytes` is the admission-time size estimate eviction accounts.
+  struct HotEntry {
+    std::uint64_t hash = 0;
+    std::string key_text;
+    CacheEntry entry;
+    std::size_t bytes = 0;
+  };
+
+  /// Resident copy for `key` (byte-compared), bumping it to the MRU end.
+  std::optional<CacheEntry> hot_lookup(const CacheKey& key) const;
+  /// Admits a validated entry, evicting LRU victims past the caps. No-op
+  /// when the tier is disabled or the entry alone exceeds max_bytes.
+  void hot_insert(const CacheKey& key, const CacheEntry& entry) const;
+  /// Evicts from the LRU end until the caps hold. Caller holds hot_mu_.
+  void hot_evict_locked() const;
+
   std::string dir_;
+
+  // Hot tier (all guarded by hot_mu_ except the atomic counters; mutable:
+  // lookup() is const but bumps recency and admits disk hits).
+  mutable std::mutex hot_mu_;
+  mutable std::list<HotEntry> hot_lru_;  // front = most recently used
+  mutable std::unordered_map<std::uint64_t, std::list<HotEntry>::iterator> hot_index_;
+  std::size_t hot_max_bytes_ = 0;    // 0 = tier disabled
+  std::size_t hot_max_entries_ = 0;  // 0 = no entry-count cap
+  mutable std::size_t hot_bytes_now_ = 0;
+  mutable std::atomic<std::int64_t> hot_hits_{0};
+  mutable std::atomic<std::int64_t> hot_evictions_{0};
   mutable std::atomic<std::int64_t> hits_{0};
   mutable std::atomic<std::int64_t> misses_{0};
   std::atomic<std::int64_t> stores_{0};

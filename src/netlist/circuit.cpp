@@ -104,8 +104,15 @@ void Circuit::set_edge_weight(EdgeId e, int weight) {
 }
 
 const CsrTopology& Circuit::topology() const {
-  if (topo_version_ == structural_version_ && topo_ != nullptr) return *topo_;
+  // Lock-free steady state; racing first calls fall through to the rebuild
+  // lock below, where the loser reuses the winner's snapshot.
+  const CsrTopology* cached = topo_cache_.ptr.load(std::memory_order_acquire);
+  if (cached != nullptr && cached->built_version == structural_version_) return *cached;
+  const std::lock_guard<std::mutex> lock(topo_cache_.mu);
+  cached = topo_cache_.ptr.load(std::memory_order_relaxed);
+  if (cached != nullptr && cached->built_version == structural_version_) return *cached;
   auto topo = std::make_shared<CsrTopology>();
+  topo->built_version = structural_version_;
   const std::size_t n = static_cast<std::size_t>(num_nodes());
   topo->fanin_offset.resize(n + 1);
   topo->fanout_offset.resize(n + 1);
@@ -139,9 +146,9 @@ const CsrTopology& Circuit::topology() const {
   }
   topo->fanin_offset[n] = static_cast<std::int32_t>(fanin_pos);
   topo->fanout_offset[n] = static_cast<std::int32_t>(fanout_pos);
-  topo_ = std::move(topo);
-  topo_version_ = structural_version_;
-  return *topo_;
+  topo_cache_.snap = std::move(topo);
+  topo_cache_.ptr.store(topo_cache_.snap.get(), std::memory_order_release);
+  return *topo_cache_.snap;
 }
 
 NodeId Circuit::find(const std::string& name) const {

@@ -8,8 +8,10 @@
 // K-LUT network. The unit delay model assigns delay 1 to every gate with
 // fanins and 0 to PIs, POs and constants.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -40,6 +42,7 @@ struct CsrTopology {
   std::vector<NodeId> fanout_dst;
   std::vector<std::int32_t> fanout_weight;
   std::vector<std::uint8_t> node_flags;     // OR of the k* predicate bits
+  std::uint64_t built_version = 0;          // structural_version_ at build time
 
   bool flag(NodeId v, std::uint8_t bit) const {
     return (node_flags[static_cast<std::size_t>(v)] & bit) != 0;
@@ -124,10 +127,11 @@ class Circuit {
 
   /// The CSR view of the current structure, built lazily and cached until
   /// the next structural change (add_node/add_edge/set_edge_weight). The
-  /// steady-state call is a version check plus a pointer dereference, so the
-  /// per-probe hot loops can call it freely. The (re)build itself is NOT
-  /// thread-safe: the first call after a mutation must come from a single
-  /// thread (LabelEngine's constructor primes it before workers start).
+  /// steady-state call is one acquire load plus a version check, so the
+  /// per-probe hot loops can call it freely. Priming is thread-safe:
+  /// concurrent first calls race to the rebuild lock, one builds, the rest
+  /// reuse its snapshot (mutations themselves still require exclusivity,
+  /// as for any other method).
   const CsrTopology& topology() const;
 
  private:
@@ -145,17 +149,38 @@ class Circuit {
   NodeId add_node(NodeKind kind, const std::string& name);
   EdgeId add_edge(NodeId from, NodeId to, int weight);
 
+  // Cached CSR view. Copies share the (immutable) snapshot; a mutation bumps
+  // only the mutated object's structural version, so its next topology()
+  // call rebuilds while other copies keep their still-valid snapshot.
+  // `ptr` is the lock-free fast path (always equals snap.get()); `mu`
+  // serializes rebuilds so concurrent read-only priming is safe.
+  struct TopoCache {
+    TopoCache() = default;
+    TopoCache(const TopoCache& other) { *this = other; }
+    TopoCache& operator=(const TopoCache& other) {
+      if (this == &other) return *this;
+      std::shared_ptr<const CsrTopology> shared = other.snapshot();
+      const std::lock_guard<std::mutex> lock(mu);
+      snap = std::move(shared);
+      ptr.store(snap.get(), std::memory_order_release);
+      return *this;
+    }
+    std::shared_ptr<const CsrTopology> snapshot() const {
+      const std::lock_guard<std::mutex> lock(mu);
+      return snap;
+    }
+    mutable std::mutex mu;
+    std::shared_ptr<const CsrTopology> snap;        // guarded by mu
+    std::atomic<const CsrTopology*> ptr{nullptr};   // == snap.get()
+  };
+
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
   std::vector<NodeId> pis_;
   std::vector<NodeId> pos_;
   std::unordered_map<std::string, NodeId> by_name_;
-  // Cached CSR view. Copies share the (immutable) snapshot; a mutation bumps
-  // only the mutated object's structural version, so its next topology()
-  // call rebuilds while other copies keep their still-valid snapshot.
   std::uint64_t structural_version_ = 1;
-  mutable std::uint64_t topo_version_ = 0;  // 0 = never built
-  mutable std::shared_ptr<const CsrTopology> topo_;
+  mutable TopoCache topo_cache_;
 };
 
 struct CircuitStats {

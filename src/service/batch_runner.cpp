@@ -9,9 +9,13 @@
 #include <ostream>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "base/check.hpp"
 #include "base/failpoint.hpp"
+#include "base/flow_cli.hpp"
+#include "base/json_util.hpp"
 #include "base/thread_pool.hpp"
 #include "base/trace.hpp"
 #include "decomp/gate_decomp.hpp"
@@ -34,36 +38,42 @@ std::string path_stem(const std::string& path) {
   return path.substr(start, end - start);
 }
 
-void append_json_string(std::string& out, const std::string& value) {
-  out += '"';
-  for (const char ch : value) {
-    switch (ch) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(ch));
-          out += buf;
-        } else {
-          out += ch;
+/// Splits one manifest line into fields. A field is either a bare
+/// whitespace-delimited token or a double-quoted string (spaces allowed;
+/// \" and \\ escapes). Throws with `context` on an unterminated quote.
+std::vector<std::string> split_manifest_fields(const std::string& line,
+                                               const std::string& context) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+    if (pos >= line.size()) break;
+    std::string field;
+    if (line[pos] == '"') {
+      ++pos;
+      bool closed = false;
+      while (pos < line.size()) {
+        const char ch = line[pos++];
+        if (ch == '"') {
+          closed = true;
+          break;
         }
+        if (ch == '\\' && pos < line.size() &&
+            (line[pos] == '"' || line[pos] == '\\')) {
+          field += line[pos++];
+        } else {
+          field += ch;
+        }
+      }
+      TS_CHECK(closed, context << "unterminated quote in field " << fields.size() + 1);
+    } else {
+      while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') {
+        field += line[pos++];
+      }
     }
+    fields.push_back(std::move(field));
   }
-  out += '"';
+  return fields;
 }
 
 /// One circuit attempt: parse, K-bound, run the (cache-aware) flow. Every
@@ -82,7 +92,8 @@ BatchRecord run_job(const BatchJob& job, const BatchOptions& options) {
         failpoint::check("batch.job").action == failpoint::Action::kError) {
       throw Error("failpoint batch.job");
     }
-    Circuit input = read_blif_file(job.path);
+    Circuit input = job.blif.empty() ? read_blif_file(job.path)
+                                     : read_blif_string(job.blif, job.name);
     if (!input.is_k_bounded(job.k)) input = gate_decompose(input, job.k);
 
     FlowOptions flow_options = options.flow;
@@ -110,6 +121,11 @@ BatchRecord run_job(const BatchJob& job, const BatchOptions& options) {
     record.period = result.period;
     record.pipeline_stages = result.pipeline_stages;
     record.status = result.status;
+    record.probes = static_cast<int>(result.probes.size());
+    for (const ProbeRecord& probe : result.probes) {
+      if (probe.imported) ++record.imported_probes;
+    }
+    record.stage_metrics = result.stage_metrics;
     if (result.status == Status::kFailed) {
       record.failed_stage = result.failed_stage;
       record.error = result.failure;
@@ -144,12 +160,14 @@ void retry_backoff(const BatchOptions& options, int next_attempt) {
   }
 }
 
-/// Supervised task: run_job with up to max_attempts runs, then quarantine.
-BatchRecord run_supervised(const BatchJob& job, const BatchOptions& options,
-                           std::atomic<int>& retries) {
+}  // namespace
+
+BatchRecord run_supervised_job(const BatchJob& job, const BatchOptions& options,
+                               int* retries_out) {
   const int max_attempts = std::max(1, options.max_attempts);
   BatchRecord record;
   double total_seconds = 0.0;
+  int retries = 0;
   for (int attempt = 1;; ++attempt) {
     record = run_job(job, options);
     total_seconds += record.seconds;
@@ -157,16 +175,37 @@ BatchRecord run_supervised(const BatchJob& job, const BatchOptions& options,
     record.attempts = attempt;
     if (!attempt_failed(record) || attempt >= max_attempts) break;
     if (options.cancel != nullptr && options.cancel->cancelled()) break;
-    retries.fetch_add(1, std::memory_order_relaxed);
+    ++retries;
     retry_backoff(options, attempt + 1);
   }
   // Failing the last allowed attempt (without an interrupt cutting the
   // supervision short) marks the circuit deterministically bad.
   record.quarantined = attempt_failed(record) && record.attempts >= max_attempts;
+  if (retries_out != nullptr) *retries_out = retries;
   return record;
 }
 
-}  // namespace
+bool JsonlSink::write(const std::string& line) {
+  if (os_ == nullptr) return true;
+  const std::lock_guard<std::mutex> lock(mu_);
+  bool fault = false;
+  try {
+    if (failpoint::enabled() &&
+        failpoint::check("batch.jsonl.write").action == failpoint::Action::kError) {
+      fault = true;
+    } else {
+      *os_ << line << '\n' << std::flush;
+      fault = !os_->good();
+    }
+  } catch (...) {
+    fault = true;
+  }
+  if (fault) {
+    os_->clear();
+    faults_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return !fault;
+}
 
 std::vector<BatchJob> read_batch_manifest(std::istream& in, const std::string& source_name) {
   std::vector<BatchJob> jobs;
@@ -174,30 +213,46 @@ std::vector<BatchJob> read_batch_manifest(std::istream& in, const std::string& s
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    const auto context = [&] { return source_name + ":" + std::to_string(line_no) + ": "; };
-    std::istringstream fields(line);
+    const std::string context = source_name + ":" + std::to_string(line_no) + ": ";
+    const std::vector<std::string> fields = split_manifest_fields(line, context);
+    if (fields.empty() || fields[0][0] == '#') continue;
     BatchJob job;
-    if (!(fields >> job.path) || job.path[0] == '#') continue;
-    std::string flow_name;
-    if (fields >> flow_name) {
-      TS_CHECK(flow_kind_from_name(flow_name, job.flow),
-               context() << "unknown flow '" << flow_name
-                         << "' (expected turbomap|turbosyn|flowsyn_s|turbomap_period)");
+    job.path = fields[0];
+    TS_CHECK(!job.path.empty(), context << "empty path in field 1");
+    if (fields.size() >= 2) {
+      // Name the offending field: an unquoted path with spaces lands its
+      // tail here, and "unknown flow 'b.blif'" with no field context sent
+      // users hunting through the flow table instead of their path.
+      TS_CHECK(flow_kind_from_name(fields[1], job.flow),
+               context << "unknown flow '" << fields[1]
+                       << "' in field 2 (expected turbomap|turbosyn|flowsyn_s|"
+                          "turbomap_period; a path containing spaces must be "
+                          "double-quoted)");
     }
-    std::string k_field;
-    if (fields >> k_field) {
-      try {
-        std::size_t used = 0;
-        job.k = std::stoi(k_field, &used);
-        TS_CHECK(used == k_field.size() && job.k >= 2, "");
-      } catch (...) {
-        throw Error(context() + "bad K '" + k_field + "' (expected an integer >= 2)");
-      }
+    if (fields.size() >= 3) {
+      TS_CHECK(parse_int_strict(fields[2], 2, 32, job.k),
+               context << "bad K '" << fields[2]
+                       << "' in field 3 (expected an integer in [2, 32])");
     }
-    std::string extra;
-    TS_CHECK(!(fields >> extra), context() << "trailing field '" << extra << "'");
+    TS_CHECK(fields.size() <= 3, context << "trailing field '" << fields[3] << "'");
     job.name = path_stem(job.path);
     jobs.push_back(std::move(job));
+  }
+
+  // De-duplicate record names: two entries sharing a path stem (a/x.blif,
+  // b/x.blif) used to stream indistinguishable JSONL records and an
+  // ambiguous poison list — and the daemon's resubmission guard keys off
+  // these names. Later duplicates get a ~N suffix in manifest order.
+  std::unordered_set<std::string> taken;
+  std::unordered_map<std::string, int> suffix;
+  for (BatchJob& job : jobs) {
+    std::string name = job.name;
+    int& n = suffix[job.name];
+    while (!taken.insert(name).second) {
+      ++n;
+      name = job.name + "~" + std::to_string(n + 1);
+    }
+    job.name = std::move(name);
   }
   return jobs;
 }
@@ -210,11 +265,11 @@ std::vector<BatchJob> read_batch_manifest_file(const std::string& path) {
 
 std::string batch_record_json(const BatchRecord& record) {
   std::string out = "{\"name\":";
-  append_json_string(out, record.name);
+  json_append_string(out, record.name);
   out += ",\"path\":";
-  append_json_string(out, record.path);
+  json_append_string(out, record.path);
   out += ",\"flow\":";
-  append_json_string(out, flow_kind_name(record.flow));
+  json_append_string(out, flow_kind_name(record.flow));
   out += ",\"k\":" + std::to_string(record.k);
   out += ",\"ok\":";
   out += record.ok ? "true" : "false";
@@ -230,22 +285,18 @@ std::string batch_record_json(const BatchRecord& record) {
     out += ",\"pipeline_stages\":" + std::to_string(record.pipeline_stages);
   }
   out += ",\"status\":";
-  append_json_string(out, status_name(record.status));
+  json_append_string(out, status_name(record.status));
   out += ",\"attempts\":" + std::to_string(record.attempts);
   out += ",\"quarantined\":";
   out += record.quarantined ? "true" : "false";
   if (!record.failed_stage.empty()) {
     out += ",\"failed_stage\":";
-    append_json_string(out, record.failed_stage);
+    json_append_string(out, record.failed_stage);
   }
-  {
-    std::ostringstream secs;
-    secs << record.seconds;
-    out += ",\"seconds\":" + secs.str();
-  }
+  out += ",\"seconds\":" + json_double(record.seconds);
   if (!record.error.empty()) {
     out += ",\"error\":";
-    append_json_string(out, record.error);
+    json_append_string(out, record.error);
   }
   out += "}";
   return out;
@@ -270,38 +321,20 @@ BatchSummary run_batch(const std::vector<BatchJob>& jobs, const BatchOptions& op
   RunBudget batch_interrupt;
   if (options.cancel != nullptr) batch_interrupt.set_cancel_token(options.cancel);
 
-  std::mutex sink_mutex;
+  JsonlSink sink(jsonl);
   std::atomic<int> retries{0};
-  std::atomic<int> jsonl_faults{0};
   ThreadPool::global().for_each(
       jobs.size(),
       [&](std::size_t i, int /*lane*/) {
-        BatchRecord record = run_supervised(jobs[i], options, retries);
-        if (jsonl != nullptr) {
-          // Incremental flush: every record hits the sink (and the OS) the
-          // moment its circuit settles, so a later crash loses at most the
-          // in-flight line. A sink fault (disk full, injected
-          // "batch.jsonl.write" error) is absorbed — the record stays in the
-          // summary, the failbit is cleared, and the batch keeps going.
-          const std::string line = batch_record_json(record);
-          const std::lock_guard<std::mutex> lock(sink_mutex);
-          bool fault = false;
-          try {
-            if (failpoint::enabled() &&
-                failpoint::check("batch.jsonl.write").action == failpoint::Action::kError) {
-              fault = true;
-            } else {
-              *jsonl << line << '\n' << std::flush;
-              fault = !jsonl->good();
-            }
-          } catch (...) {
-            fault = true;
-          }
-          if (fault) {
-            jsonl->clear();
-            jsonl_faults.fetch_add(1, std::memory_order_relaxed);
-          }
-        }
+        int job_retries = 0;
+        BatchRecord record = run_supervised_job(jobs[i], options, &job_retries);
+        retries.fetch_add(job_retries, std::memory_order_relaxed);
+        // Incremental flush: every record hits the sink (and the OS) the
+        // moment its circuit settles, so a later crash loses at most the
+        // in-flight line. A sink fault (disk full, injected
+        // "batch.jsonl.write" error) is absorbed — the record stays in the
+        // summary and the batch keeps going.
+        if (sink.attached()) sink.write(batch_record_json(record));
         summary.records[i] = std::move(record);
       },
       options.num_workers, options.cancel != nullptr ? &batch_interrupt : nullptr);
@@ -321,7 +354,7 @@ BatchSummary run_batch(const std::vector<BatchJob>& jobs, const BatchOptions& op
     }
   }
   summary.retries = retries.load(std::memory_order_relaxed);
-  summary.jsonl_write_faults = jsonl_faults.load(std::memory_order_relaxed);
+  summary.jsonl_write_faults = sink.faults();
   summary.seconds = seconds_since(start);
 
   // Observability (DESIGN.md §13): the supervision outcome into the trace

@@ -33,9 +33,17 @@
 // where `flow` is turbomap | turbosyn | flowsyn_s | turbomap_period
 // (default turbosyn) and K is the LUT input bound (default 5). Blank lines
 // and `#` comments are ignored. Inputs wider than K are decomposed on load.
+// A path containing spaces must be double-quoted ("a b/x.blif", with \" and
+// \\ escapes inside); an unquoted space used to shear the path into a bogus
+// flow field and a misleading "unknown flow" error. Record names default to
+// the path's stem and are de-duplicated in manifest order (a/x.blif and
+// b/x.blif stream as "x" and "x~2"), so JSONL records and the summary's
+// poison list always identify exactly one manifest entry.
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,8 +54,11 @@
 namespace turbosyn {
 
 struct BatchJob {
-  std::string name;  // defaults to the path's stem
-  std::string path;  // BLIF netlist
+  std::string name;  // defaults to the path's stem (de-duplicated per batch)
+  std::string path;  // BLIF netlist; a display name when `blif` is inline
+  /// Inline netlist text: when non-empty the job parses this instead of
+  /// reading `path` (the mapping daemon ships circuits in-band this way).
+  std::string blif;
   FlowKind flow = FlowKind::kTurboSyn;
   int k = 5;
 };
@@ -109,10 +120,52 @@ struct BatchRecord {
   std::string failed_stage;  // stage the driver contained (status == kFailed)
   int attempts = 1;          // runs this circuit took (> 1: it was retried)
   bool quarantined = false;  // failed deterministically on every attempt
+  // Ledger/stage aggregates of the final attempt, for service-level STATS
+  // rollups (not serialized into the JSONL record).
+  int probes = 0;            // probe-ledger records of the run
+  int imported_probes = 0;   // of those, replayed from the cache
+  StageMetrics stage_metrics;
 };
 
 /// The record as one JSON object on a single line (no trailing newline).
+/// `seconds` is emitted round-trippable (shortest decimal that parses back
+/// to the same double) — the default 6-significant-digit ostream rendering
+/// silently truncated long runs.
 std::string batch_record_json(const BatchRecord& record);
+
+/// One supervised job, exactly as run_batch() executes each manifest entry:
+/// parse + flow with containment, capped-backoff retries up to
+/// options.max_attempts, quarantine marking on a deterministic failure.
+/// Never throws; `retries_out` (optional) receives the extra attempts taken.
+/// The mapping daemon runs every admitted request through this.
+BatchRecord run_supervised_job(const BatchJob& job, const BatchOptions& options,
+                               int* retries_out = nullptr);
+
+/// Hardened JSON-lines sink shared by the batch runner and the mapping
+/// daemon: writes are serialized and flushed per record, so a later crash
+/// loses at most the in-flight line; a write fault (disk full, an injected
+/// "batch.jsonl.write" error, a throwing streambuf) is absorbed and
+/// counted, never fatal — the record still exists in memory upstream.
+class JsonlSink {
+ public:
+  /// `os` may be nullptr (detached sink: every write succeeds as a no-op).
+  explicit JsonlSink(std::ostream* os) : os_(os) {}
+
+  bool attached() const { return os_ != nullptr; }
+
+  /// Writes `line` + '\n' and flushes. Returns false when the write
+  /// faulted (absorbed: the stream's failbit is cleared and the sink stays
+  /// usable for the next record).
+  bool write(const std::string& line);
+
+  /// Faults absorbed so far.
+  int faults() const { return faults_.load(std::memory_order_relaxed); }
+
+ private:
+  std::ostream* os_;
+  std::mutex mu_;
+  std::atomic<int> faults_{0};
+};
 
 struct BatchSummary {
   std::vector<BatchRecord> records;  // one per job, in manifest order

@@ -1,0 +1,866 @@
+#include "service/mapping_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <string_view>
+#include <utility>
+
+#include "base/check.hpp"
+#include "base/failpoint.hpp"
+#include "base/flow_cli.hpp"
+#include "base/json_util.hpp"
+#include "netlist/canonical.hpp"
+
+namespace turbosyn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+ParsedLine protocol_error(std::string message) {
+  ParsedLine out;
+  out.kind = ParsedLine::Kind::kError;
+  out.error = std::move(message);
+  return out;
+}
+
+}  // namespace
+
+ParsedLine parse_protocol_line(const std::string& line) {
+  const std::string_view s = trim(line);
+  if (s.empty()) return protocol_error("empty request line");
+
+  if (s[0] != '{') {
+    // Bare verbs: STATS | PING | SHUTDOWN | CANCEL <id>.
+    const std::size_t space = s.find(' ');
+    const std::string_view verb = s.substr(0, space);
+    const std::string_view rest =
+        space == std::string_view::npos ? std::string_view{} : trim(s.substr(space + 1));
+    ParsedLine out;
+    if (verb == "STATS" && rest.empty()) {
+      out.kind = ParsedLine::Kind::kStats;
+      return out;
+    }
+    if (verb == "PING" && rest.empty()) {
+      out.kind = ParsedLine::Kind::kPing;
+      return out;
+    }
+    if (verb == "SHUTDOWN" && rest.empty()) {
+      out.kind = ParsedLine::Kind::kShutdown;
+      return out;
+    }
+    if (verb == "CANCEL") {
+      long long id = 0;
+      if (!parse_int_strict(rest, 0, std::numeric_limits<long long>::max() / 2, id)) {
+        return protocol_error("CANCEL expects a non-negative integer id, got '" +
+                              std::string(rest) + "'");
+      }
+      out.cancel_id = id;
+      out.kind = ParsedLine::Kind::kCancel;
+      return out;
+    }
+    return protocol_error("unknown verb '" + std::string(verb) +
+                          "' (expected STATS, PING, CANCEL <id>, SHUTDOWN, or a JSON "
+                          "request object)");
+  }
+
+  std::vector<std::pair<std::string, JsonScalar>> fields;
+  std::string json_error;
+  if (!parse_flat_json_object(s, fields, &json_error)) {
+    return protocol_error("bad request JSON: " + json_error);
+  }
+
+  ParsedLine out;
+  std::string op;
+  bool has_id = false;
+  for (const auto& [key, value] : fields) {
+    const auto want_string = [&](std::string* into) -> bool {
+      if (value.kind != JsonScalar::Kind::kString) return false;
+      *into = value.text;
+      return true;
+    };
+    if (key == "op") {
+      if (!want_string(&op)) return protocol_error("field 'op': expected a string");
+    } else if (key == "id") {
+      long long id = 0;
+      if (value.kind != JsonScalar::Kind::kNumber ||
+          !parse_int_strict(value.text, 0, std::numeric_limits<long long>::max() / 2,
+                            id)) {
+        return protocol_error("field 'id': expected a non-negative integer, got '" +
+                              value.text + "'");
+      }
+      out.map.id = id;
+      has_id = true;
+      out.cancel_id = out.map.id;
+    } else if (key == "client") {
+      if (!want_string(&out.map.client)) {
+        return protocol_error("field 'client': expected a string");
+      }
+    } else if (key == "path") {
+      if (!want_string(&out.map.path)) {
+        return protocol_error("field 'path': expected a string");
+      }
+    } else if (key == "blif") {
+      if (!want_string(&out.map.blif)) {
+        return protocol_error("field 'blif': expected a string");
+      }
+    } else if (key == "flow") {
+      if (value.kind != JsonScalar::Kind::kString ||
+          !flow_kind_from_name(value.text, out.map.flow)) {
+        return protocol_error(
+            "field 'flow': expected turbomap|turbosyn|flowsyn_s|turbomap_period, got '" +
+            value.text + "'");
+      }
+    } else if (key == "k") {
+      if (value.kind != JsonScalar::Kind::kNumber ||
+          !parse_int_strict(value.text, 2, 32, out.map.k)) {
+        return protocol_error("field 'k': expected an integer in [2, 32], got '" +
+                              value.text + "'");
+      }
+    } else if (key == "deadline_ms") {
+      long long deadline = 0;
+      if (value.kind != JsonScalar::Kind::kNumber ||
+          !parse_int_strict(value.text, 0, 1LL << 40, deadline)) {
+        return protocol_error(
+            "field 'deadline_ms': expected a non-negative integer, got '" + value.text +
+            "'");
+      }
+      out.map.deadline_ms = deadline;
+    } else {
+      return protocol_error("unknown field '" + key + "'");
+    }
+  }
+
+  if (op == "map") {
+    if (out.map.blif.empty() && out.map.path.empty()) {
+      return protocol_error("map request needs 'blif' (inline netlist) or 'path'");
+    }
+    out.kind = ParsedLine::Kind::kMap;
+  } else if (op == "stats") {
+    out.kind = ParsedLine::Kind::kStats;
+  } else if (op == "ping") {
+    out.kind = ParsedLine::Kind::kPing;
+  } else if (op == "shutdown") {
+    out.kind = ParsedLine::Kind::kShutdown;
+  } else if (op == "cancel") {
+    if (!has_id) return protocol_error("cancel request needs 'id'");
+    out.kind = ParsedLine::Kind::kCancel;
+  } else {
+    return protocol_error("field 'op': expected map|stats|ping|cancel|shutdown, got '" +
+                          op + "'");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- queue ----
+
+AdmissionQueue::AdmissionQueue(std::size_t max_depth, int per_client)
+    : max_depth_(std::max<std::size_t>(1, max_depth)),
+      per_client_(std::max(1, per_client)) {}
+
+bool AdmissionQueue::push(Ticket ticket) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || depth_ >= max_depth_) return false;
+    const std::string& client = ticket.request.client;
+    auto [it, inserted] = queues_.try_emplace(client);
+    if (inserted) round_robin_.push_back(client);
+    it->second.push_back(std::move(ticket));
+    ++depth_;
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<AdmissionQueue::Ticket> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (closed_) return std::nullopt;
+    const std::size_t n = round_robin_.size();
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t idx = (rr_cursor_ + step) % n;
+      const std::string& client = round_robin_[idx];
+      const auto qit = queues_.find(client);
+      if (qit == queues_.end() || qit->second.empty()) continue;
+      if (in_flight_[client] >= per_client_) continue;
+      Ticket ticket = std::move(qit->second.front());
+      qit->second.pop_front();
+      --depth_;
+      ++in_flight_[client];
+      running_[{client, ticket.request.id}] = ticket.cancel;
+      // Resume the next scan just past the served client, so every client
+      // with pending work gets a turn before anyone gets a second one.
+      rr_cursor_ = (idx + 1) % n;
+      return ticket;
+    }
+    ready_.wait(lock);
+  }
+}
+
+void AdmissionQueue::complete(const std::string& client, std::int64_t id) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = in_flight_.find(client);
+    if (it != in_flight_.end() && it->second > 0) --it->second;
+    running_.erase({client, id});
+  }
+  // A freed in-flight slot can make a queued ticket eligible.
+  ready_.notify_all();
+}
+
+void AdmissionQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::vector<AdmissionQueue::Ticket> AdmissionQueue::drain() {
+  std::vector<Ticket> out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [client, queue] : queues_) {
+    for (Ticket& ticket : queue) out.push_back(std::move(ticket));
+    queue.clear();
+  }
+  depth_ = 0;
+  std::sort(out.begin(), out.end(),
+            [](const Ticket& a, const Ticket& b) { return a.seq < b.seq; });
+  return out;
+}
+
+bool AdmissionQueue::cancel(const std::string& client, std::int64_t id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (const auto qit = queues_.find(client); qit != queues_.end()) {
+    for (Ticket& ticket : qit->second) {
+      if (ticket.request.id == id) {
+        // The ticket stays queued: the worker that pops it observes the
+        // token and reports cancelled without running, so the admission is
+        // still answered by exactly one record.
+        ticket.cancel->cancel();
+        return true;
+      }
+    }
+  }
+  if (const auto rit = running_.find({client, id}); rit != running_.end()) {
+    rit->second->cancel();
+    return true;
+  }
+  return false;
+}
+
+void AdmissionQueue::cancel_all() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [client, queue] : queues_) {
+    for (Ticket& ticket : queue) ticket.cancel->cancel();
+  }
+  for (auto& [key, token] : running_) token->cancel();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return depth_;
+}
+
+int AdmissionQueue::in_flight() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  int total = 0;
+  for (const auto& [client, count] : in_flight_) total += count;
+  return total;
+}
+
+// ----------------------------------------------------------------- pool ----
+
+BudgetPool::BudgetPool(std::int64_t total_ms, std::int64_t per_request_ms)
+    : total_ms_(std::max<std::int64_t>(0, total_ms)),
+      per_request_ms_(std::max<std::int64_t>(0, per_request_ms)),
+      remaining_ms_(total_ms_) {}
+
+std::int64_t BudgetPool::carve(std::int64_t requested_ms) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t want = requested_ms > 0 ? requested_ms : per_request_ms_;
+  if (per_request_ms_ > 0 && (want == 0 || want > per_request_ms_)) {
+    want = per_request_ms_;
+  }
+  if (total_ms_ == 0) return want;  // unlimited pool: the ceiling alone governs
+  std::int64_t slice = want > 0 ? std::min(want, remaining_ms_) : remaining_ms_;
+  // An exhausted pool still serves: a 1ms slice makes the request report
+  // kDeadlineExceeded honestly instead of hanging admission on refunds.
+  if (slice < 1) slice = 1;
+  remaining_ms_ -= std::min(slice, remaining_ms_);
+  return slice;
+}
+
+void BudgetPool::refund(std::int64_t carved_ms, std::int64_t used_ms) {
+  if (total_ms_ == 0 || carved_ms <= 0) return;
+  const std::int64_t unused = std::max<std::int64_t>(0, carved_ms - std::max<std::int64_t>(0, used_ms));
+  const std::lock_guard<std::mutex> lock(mu_);
+  remaining_ms_ = std::min(total_ms_, remaining_ms_ + unused);
+}
+
+std::int64_t BudgetPool::remaining() const {
+  if (total_ms_ == 0) return -1;
+  const std::lock_guard<std::mutex> lock(mu_);
+  return remaining_ms_;
+}
+
+// --------------------------------------------------------------- server ----
+
+namespace {
+
+/// Binds a Unix-domain stream listener at `path` (re-binding over a stale
+/// socket file). Returns -1 with `error` set on failure.
+int bind_unix_listener(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + path;
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket(AF_UNIX): ") + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    *error = "bind/listen(" + path + "): " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Binds a TCP loopback listener (port 0 = ephemeral); reports the bound
+/// port through `bound_port`. Returns -1 with `error` set on failure.
+int bind_tcp_listener(int port, int* bound_port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket(AF_INET): ") + std::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    *error = "bind/listen(127.0.0.1:" + std::to_string(port) +
+             "): " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+BatchRecord request_shell_record(const MapRequest& request, const std::string& display_path) {
+  BatchRecord record;
+  record.name = request.client + "#" + std::to_string(request.id);
+  record.path = display_path;
+  record.flow = request.flow;
+  record.k = request.k;
+  return record;
+}
+
+}  // namespace
+
+MappingServer::MappingServer(MappingServerOptions options) : options_(std::move(options)) {
+  queue_ = std::make_unique<AdmissionQueue>(options_.max_queue,
+                                            options_.per_client_in_flight);
+  pool_ = std::make_unique<BudgetPool>(options_.global_budget_ms,
+                                       options_.per_request_deadline_ms);
+  sink_ = std::make_unique<JsonlSink>(options_.jsonl);
+}
+
+MappingServer::~MappingServer() {
+  request_shutdown();
+  wait();
+}
+
+std::string MappingServer::poison_key(const MapRequest& request) {
+  if (!request.blif.empty()) return "blif:" + hex64(fnv1a64(request.blif));
+  std::error_code ec;
+  const std::filesystem::path canonical = std::filesystem::weakly_canonical(request.path, ec);
+  return "path:" + (ec ? request.path : canonical.string());
+}
+
+std::int64_t MappingServer::jsonl_faults() const { return sink_->faults(); }
+
+void MappingServer::start() {
+  TS_CHECK(!started_.exchange(true), "MappingServer::start() called twice");
+  TS_CHECK(!options_.socket_path.empty() || options_.tcp_port >= 0,
+           "MappingServer needs a unix socket path or a TCP port");
+  std::string error;
+  if (!options_.socket_path.empty()) {
+    const int fd = bind_unix_listener(options_.socket_path, &error);
+    TS_CHECK(fd >= 0, error);
+    listen_fds_.push_back(fd);
+  }
+  if (options_.tcp_port >= 0) {
+    const int fd = bind_tcp_listener(options_.tcp_port, &tcp_port_bound_, &error);
+    if (fd < 0) {
+      for (const int open_fd : listen_fds_) ::close(open_fd);
+      listen_fds_.clear();
+      throw Error(error);
+    }
+    listen_fds_.push_back(fd);
+  }
+  for (const int fd : listen_fds_) {
+    accept_threads_.emplace_back([this, fd] { accept_loop(fd); });
+  }
+  const int workers = std::max(1, options_.workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+int MappingServer::port() const { return tcp_port_bound_; }
+
+bool MappingServer::draining() const { return draining_.load(std::memory_order_relaxed); }
+
+void MappingServer::accept_loop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (drain) or fatally broken
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      const std::lock_guard<std::mutex> lock(conn_mu_);
+      conn->id = next_connection_id_++;
+      conn->default_client = "conn-" + std::to_string(conn->id);
+      connections_[conn->id] = conn;
+    }
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+  }
+}
+
+void MappingServer::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      handle_line(conn, buffer.substr(start, nl - start));
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+    // A flood of unterminated bytes is a broken or hostile peer, not a
+    // request. 64 MiB comfortably fits any realistic inline netlist.
+    if (buffer.size() > (std::size_t{64} << 20)) break;
+  }
+  const std::lock_guard<std::mutex> lock(conn->write_mu);
+  conn->open = false;
+  ::close(conn->fd);
+  conn->fd = -1;
+}
+
+void MappingServer::send_reply(const std::shared_ptr<Connection>& conn,
+                               const std::string& line) {
+  if (conn == nullptr) return;
+  const std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!conn->open || conn->fd < 0) return;
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(conn->fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      conn->open = false;  // the peer is gone; records still reach the JSONL
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::shared_ptr<MappingServer::Connection> MappingServer::connection(int id) const {
+  const std::lock_guard<std::mutex> lock(conn_mu_);
+  const auto it = connections_.find(id);
+  return it == connections_.end() ? nullptr : it->second;
+}
+
+void MappingServer::handle_line(const std::shared_ptr<Connection>& conn,
+                                const std::string& line) {
+  if (trim(line).empty()) return;  // blank keep-alives are not errors
+  ParsedLine parsed = parse_protocol_line(line);
+  switch (parsed.kind) {
+    case ParsedLine::Kind::kError: {
+      std::string reply = "{\"reply\":\"error\",\"error\":";
+      json_append_string(reply, parsed.error);
+      reply += "}";
+      send_reply(conn, reply);
+      return;
+    }
+    case ParsedLine::Kind::kPing:
+      send_reply(conn, "{\"reply\":\"pong\"}");
+      return;
+    case ParsedLine::Kind::kStats:
+      send_reply(conn, stats_json());
+      return;
+    case ParsedLine::Kind::kShutdown:
+      send_reply(conn, "{\"reply\":\"shutdown\",\"draining\":true}");
+      request_shutdown();
+      return;
+    case ParsedLine::Kind::kCancel: {
+      const std::string client =
+          parsed.map.client.empty() ? conn->default_client : parsed.map.client;
+      const bool found = queue_->cancel(client, parsed.cancel_id);
+      std::string reply = "{\"reply\":\"cancel\",\"id\":" + std::to_string(parsed.cancel_id) +
+                          ",\"found\":";
+      reply += found ? "true" : "false";
+      reply += "}";
+      send_reply(conn, reply);
+      return;
+    }
+    case ParsedLine::Kind::kMap:
+      if (parsed.map.client.empty()) parsed.map.client = conn->default_client;
+      handle_map(conn, std::move(parsed.map));
+      return;
+  }
+}
+
+void MappingServer::handle_map(const std::shared_ptr<Connection>& conn,
+                               MapRequest request) {
+  const std::string key = poison_key(request);
+  {
+    const std::lock_guard<std::mutex> lock(poison_mu_);
+    if (poison_.count(key) > 0) {
+      // Resubmission of a quarantined circuit: answered immediately, never
+      // re-run — the whole point of the poison list.
+      poison_blocked_.fetch_add(1, std::memory_order_relaxed);
+      BatchRecord record = request_shell_record(
+          request, request.blif.empty() ? request.path : key);
+      record.status = Status::kFailed;
+      record.quarantined = true;
+      record.attempts = 0;
+      record.error = "circuit is quarantined (failed deterministically in an earlier run)";
+      AdmissionQueue::Ticket shell;
+      shell.request = request;
+      shell.connection = conn != nullptr ? conn->id : -1;
+      emit_record(shell, record);
+      return;
+    }
+  }
+  if (draining_.load(std::memory_order_relaxed)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    std::string reply = "{\"reply\":\"error\",\"id\":" + std::to_string(request.id) +
+                        ",\"error\":\"server is draining\"}";
+    send_reply(conn, reply);
+    return;
+  }
+  AdmissionQueue::Ticket ticket;
+  ticket.request = std::move(request);
+  ticket.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ticket.connection = conn != nullptr ? conn->id : -1;
+  ticket.cancel = std::make_shared<CancelToken>();
+  const std::int64_t id = ticket.request.id;
+  if (!queue_->push(std::move(ticket))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    std::string reply = "{\"reply\":\"error\",\"id\":" + std::to_string(id) +
+                        ",\"error\":\"admission queue is full\"}";
+    send_reply(conn, reply);
+    return;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  std::string reply = "{\"reply\":\"queued\",\"id\":" + std::to_string(id) +
+                      ",\"queue_depth\":" + std::to_string(queue_->depth()) + "}";
+  send_reply(conn, reply);
+}
+
+void MappingServer::worker_loop() {
+  while (std::optional<AdmissionQueue::Ticket> ticket = queue_->pop()) {
+    const std::string client = ticket->request.client;
+    const std::int64_t id = ticket->request.id;
+    run_ticket(std::move(*ticket));
+    queue_->complete(client, id);
+  }
+}
+
+void MappingServer::run_ticket(AdmissionQueue::Ticket ticket) {
+  const MapRequest& request = ticket.request;
+  const std::string key = poison_key(request);
+  const std::string display_path =
+      request.blif.empty() ? request.path : "blif:" + hex64(fnv1a64(request.blif));
+
+  if (ticket.cancel->cancelled()) {
+    // Cancelled while queued (CANCEL verb or drain): one honest record,
+    // zero compute.
+    BatchRecord record = request_shell_record(request, display_path);
+    record.skipped = true;
+    record.status = Status::kCancelled;
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    emit_record(ticket, record);
+    return;
+  }
+
+  BatchJob job;
+  job.name = request.client + "#" + std::to_string(request.id);
+  job.path = display_path;
+  job.blif = request.blif;
+  job.flow = request.flow;
+  job.k = request.k;
+
+  BatchOptions options;
+  options.flow = options_.flow;
+  options.cache = options_.cache;
+  options.max_attempts = options_.max_attempts;
+  options.retry_backoff_ms = options_.retry_backoff_ms;
+  options.cancel = ticket.cancel.get();
+  const std::int64_t slice_ms = pool_->carve(request.deadline_ms);
+  options.per_circuit_deadline_ms = slice_ms;
+
+  const auto start = Clock::now();
+  int retries = 0;
+  BatchRecord record = run_supervised_job(job, options, &retries);
+  retries_.fetch_add(retries, std::memory_order_relaxed);
+  const auto used_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - start).count();
+  pool_->refund(slice_ms, used_ms);
+
+  if (record.quarantined) {
+    const std::lock_guard<std::mutex> lock(poison_mu_);
+    poison_.insert(key);
+  }
+  if (record.skipped || record.status == Status::kCancelled) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  } else if (record.ok && record.status != Status::kFailed) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    total_probes_ += record.probes;
+    imported_probes_ += record.imported_probes;
+    flow_seconds_ += record.seconds;
+    for (const StageMetric& stage : record.stage_metrics.stages) {
+      stage_seconds_[stage.name] += stage.seconds;
+      stage_runs_[stage.name] += 1;
+    }
+  }
+  emit_record(ticket, record);
+}
+
+void MappingServer::emit_record(const AdmissionQueue::Ticket& ticket,
+                                const BatchRecord& record) {
+  const std::string body = batch_record_json(record);  // "{...}"
+  // The JSONL record and the wire reply share the record body byte for
+  // byte; only the envelope differs.
+  std::string jsonl_line = "{\"seq\":" + std::to_string(ticket.seq) +
+                           ",\"id\":" + std::to_string(ticket.request.id) +
+                           ",\"client\":";
+  json_append_string(jsonl_line, ticket.request.client);
+  jsonl_line += ",";
+  jsonl_line += body.substr(1);
+  sink_->write(jsonl_line);
+
+  std::string reply = "{\"reply\":\"result\",\"id\":" + std::to_string(ticket.request.id) +
+                      ",\"client\":";
+  json_append_string(reply, ticket.request.client);
+  reply += ",";
+  reply += body.substr(1);
+  send_reply(connection(ticket.connection), reply);
+}
+
+void MappingServer::monitor_loop() {
+  while (!draining_.load(std::memory_order_relaxed)) {
+    if (options_.external_shutdown != nullptr && options_.external_shutdown->cancelled()) {
+      request_shutdown();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+void MappingServer::request_shutdown() {
+  if (draining_.exchange(true)) return;
+  if (!started_.load(std::memory_order_relaxed)) return;
+  // 1. Stop the intake: closed listeners end the accept loops, a closed
+  //    queue ends the workers once their current request finishes.
+  for (const int fd : listen_fds_) ::shutdown(fd, SHUT_RDWR);
+  // 2. Cancel everything queued or running — running flows wind down to
+  //    best-so-far under their budgets' cancel checks.
+  queue_->cancel_all();
+  queue_->close();
+  // 3. Every still-queued admission gets its record now: the JSONL stream
+  //    stays complete across the drain (the fork drill asserts exactly
+  //    this), and connected clients hear why their request ended.
+  for (AdmissionQueue::Ticket& ticket : queue_->drain()) {
+    BatchRecord record = request_shell_record(
+        ticket.request, ticket.request.blif.empty()
+                            ? ticket.request.path
+                            : "blif:" + hex64(fnv1a64(ticket.request.blif)));
+    record.skipped = true;
+    record.status = Status::kCancelled;
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    emit_record(ticket, record);
+  }
+}
+
+void MappingServer::wait() {
+  if (!started_.load(std::memory_order_relaxed)) return;
+  if (drained_.exchange(true)) return;
+  for (std::thread& t : accept_threads_) {
+    if (t.joinable()) t.join();
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  if (monitor_.joinable()) monitor_.join();
+  // Readers block in read(): shut the sockets down to unblock them, then
+  // join. The fds themselves are closed by each reader as it exits.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [id, conn] : connections_) conns.push_back(conn);
+  }
+  for (const auto& conn : conns) {
+    const std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (const auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  for (const int fd : listen_fds_) ::close(fd);
+  listen_fds_.clear();
+  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+}
+
+std::string MappingServer::stats_json() const {
+  std::string s = "{\"reply\":\"stats\",\"server\":{";
+  s += "\"admitted\":" + std::to_string(admitted());
+  s += ",\"completed\":" + std::to_string(completed());
+  s += ",\"failed\":" + std::to_string(failed());
+  s += ",\"cancelled\":" + std::to_string(cancelled());
+  s += ",\"rejected\":" + std::to_string(rejected());
+  s += ",\"poison_blocked\":" + std::to_string(poison_blocked());
+  s += ",\"retries\":" + std::to_string(retries_.load(std::memory_order_relaxed));
+  s += ",\"queue_depth\":" + std::to_string(queue_->depth());
+  s += ",\"in_flight\":" + std::to_string(queue_->in_flight());
+  s += ",\"workers\":" + std::to_string(std::max(1, options_.workers));
+  s += ",\"draining\":";
+  s += draining() ? "true" : "false";
+  s += ",\"jsonl_faults\":" + std::to_string(jsonl_faults());
+  s += "},\"budget\":{\"total_ms\":" + std::to_string(pool_->total());
+  s += ",\"remaining_ms\":" + std::to_string(pool_->remaining());
+  s += "}";
+  if (options_.cache != nullptr) {
+    const FlowCache& cache = *options_.cache;
+    s += ",\"cache\":{";
+    s += "\"hits\":" + std::to_string(cache.hits());
+    s += ",\"misses\":" + std::to_string(cache.misses());
+    s += ",\"stores\":" + std::to_string(cache.stores());
+    s += ",\"rejects\":" + std::to_string(cache.rejects());
+    s += ",\"near_hits\":" + std::to_string(cache.near_hits());
+    s += ",\"recovered_entries\":" + std::to_string(cache.recovered_entries());
+    s += ",\"recovered_tmp\":" + std::to_string(cache.recovered_tmp());
+    s += ",\"recovered_sidecars\":" + std::to_string(cache.recovered_sidecars());
+    s += ",\"store_retries\":" + std::to_string(cache.retries());
+    s += ",\"hot_hits\":" + std::to_string(cache.hot_hits());
+    s += ",\"hot_evictions\":" + std::to_string(cache.hot_evictions());
+    s += ",\"hot_entries\":" + std::to_string(cache.hot_entries());
+    s += ",\"hot_bytes\":" + std::to_string(cache.hot_bytes());
+    s += "}";
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    s += ",\"ledger\":{\"probes\":" + std::to_string(total_probes_);
+    s += ",\"imported_probes\":" + std::to_string(imported_probes_);
+    s += "},\"flow_seconds\":" + json_double(flow_seconds_);
+    s += ",\"stages\":{";
+    bool first = true;
+    for (const auto& [name, seconds] : stage_seconds_) {
+      if (!first) s += ",";
+      first = false;
+      json_append_string(s, name);
+      s += ":{\"seconds\":" + json_double(seconds);
+      const auto runs = stage_runs_.find(name);
+      s += ",\"runs\":" +
+           std::to_string(runs == stage_runs_.end() ? 0 : runs->second) + "}";
+    }
+    s += "}";
+  }
+  {
+    s += ",\"failpoints\":{";
+    bool first = true;
+    for (const auto& [site, count] : failpoint::trigger_counts()) {
+      if (!first) s += ",";
+      first = false;
+      json_append_string(s, site);
+      s += ":" + std::to_string(count);
+    }
+    s += "}";
+  }
+  if (options_.flow.trace != nullptr) {
+    s += ",\"trace\":{";
+    bool first = true;
+    for (const auto& [name, value] : options_.flow.trace->totals()) {
+      if (!first) s += ",";
+      first = false;
+      json_append_string(s, name);
+      s += ":" + std::to_string(value);
+    }
+    s += "}";
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace turbosyn

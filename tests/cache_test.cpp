@@ -479,6 +479,44 @@ TEST(FlowCacheConcurrency, RacingWritersAndReadersStaySound) {
   EXPECT_GE(cache.hits() + cache.misses(), kWriters * kRounds);
 }
 
+TEST(FlowCacheConcurrency, HotTierRacingLookupsStayCoherent) {
+  // Many threads hammering a two-entry hot tier with three circuits: splices
+  // and evictions race, but every result must stay bit-identical to the
+  // single-threaded baseline and the tier must respect its caps throughout.
+  const fs::path dir = test_dir("hot_race");
+  FlowOptions opt = small_options();
+  FlowCache cache(dir.string());
+  cache.enable_hot_tier(8u << 20, 2);
+
+  std::vector<Circuit> circuits;
+  circuits.push_back(bounded_sample(counter3_blif()));
+  circuits.push_back(bounded_sample(traffic_light_blif()));
+  circuits.push_back(bounded_sample(gray_counter_blif()));
+  std::vector<std::string> baseline;
+  for (const Circuit& c : circuits) {
+    baseline.push_back(fingerprint(run_flow_cached(FlowKind::kTurboSyn, c, opt, &cache)));
+  }
+
+  const int kThreads = 4;
+  const int kRounds = 24;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t i = static_cast<std::size_t>(t + round) % circuits.size();
+        const FlowResult result =
+            run_flow_cached(FlowKind::kTurboSyn, circuits[i], opt, &cache);
+        ASSERT_EQ(fingerprint(result), baseline[i]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GE(cache.hot_hits(), 1);
+  EXPECT_LE(cache.hot_entries(), 2);
+  EXPECT_GE(cache.hot_evictions(), 1);  // three circuits through two slots
+}
+
 // ---------------------------------------------------------------------------
 // Batch manifest parsing and the batch runner
 
