@@ -7,7 +7,9 @@
 //
 // The manifest lists one circuit per line: `path.blif [flow] [K]` where
 // `flow` is turbomap | turbosyn | flowsyn_s | turbomap_period (default
-// turbosyn) and K defaults to 5; `#` comments and blank lines are ignored.
+// turbosyn) or a comma-separated engine list ("turbosyn,turbomap") raced as
+// a sequential portfolio, and K defaults to 5; `#` comments and blank lines
+// are ignored.
 // Each circuit runs its flow sequentially while the pool schedules whole
 // circuits across cores; one JSONL record streams out per circuit as it
 // finishes. Ctrl-C drains the batch cooperatively: running circuits return
@@ -40,7 +42,8 @@ void print_summary(const BatchSummary& summary) {
             << " cache hits, " << summary.retries << " retries, " << summary.quarantined
             << " quarantined, " << summary.seconds << " s\n";
   for (const BatchRecord& record : summary.records) {
-    std::cout << "  " << record.name << " [" << flow_kind_name(record.flow)
+    std::cout << "  " << record.name << " ["
+              << (record.portfolio.empty() ? flow_kind_name(record.flow) : "portfolio")
               << " K=" << record.k << "] ";
     if (record.skipped) {
       std::cout << "skipped\n";
@@ -53,7 +56,9 @@ void print_summary(const BatchSummary& summary) {
       std::cout << '\n';
     } else {
       std::cout << "phi=" << record.phi << " luts=" << record.luts
-                << " period=" << record.period << (record.cache_hit ? " (cache hit)" : "")
+                << " period=" << record.period
+                << (record.engine.empty() ? "" : " winner=" + record.engine)
+                << (record.cache_hit ? " (cache hit)" : "")
                 << (record.attempts > 1 ? " (retried)" : "") << " " << record.seconds
                 << " s\n";
     }

@@ -1,6 +1,10 @@
 // Command-line synthesis flow over BLIF files:
 //
 //   $ ./blif_flow input.blif output.blif [K] [turbosyn|turbomap|flowsyn_s|turbomap_period]
+//               [--portfolio=E1,E2,...]  (race registry engines, keep the best
+//                                         certified result; overrides the
+//                                         positional flow name)
+//               [--engines-list]  (print the engine registry and exit)
 //               [--audit]  (re-verify every invariant of the result)
 //               [--trace-json=PATH]  (per-stage/per-probe trace of the run)
 //               [--cache-dir=PATH]  (persistent flow-artifact cache: a repeat
@@ -22,7 +26,9 @@
 #include "base/check.hpp"
 #include "base/flow_cli.hpp"
 #include "cache/cached_flow.hpp"
+#include "core/engines.hpp"
 #include "core/flows.hpp"
+#include "core/portfolio.hpp"
 #include "decomp/gate_decomp.hpp"
 #include "netlist/blif.hpp"
 #include "retime/cycle_ratio.hpp"
@@ -46,14 +52,28 @@ int main(int argc, char** argv) {
       pos.push_back(a);
     }
     const FlowCli cli = flow_cli_from_args(argc, argv);
+    if (cli.engines_list) {
+      std::cout << engine_list_text();
+      return 0;
+    }
+    std::vector<const EngineSpec*> engines;
+    if (!cli.portfolio.empty()) {
+      const std::string invalid = parse_portfolio(cli.portfolio, engines);
+      if (!invalid.empty()) {
+        std::cerr << "error: --portfolio: " << invalid << '\n';
+        return 2;
+      }
+    }
     Circuit input =
         !pos.empty() ? read_blif_file(pos[0]) : read_blif_string(pattern_fsm_blif());
     const int k = pos.size() > 2 ? std::stoi(pos[2]) : 5;
     const std::string flow = pos.size() > 3 ? pos[3] : "turbosyn";
     FlowKind kind = FlowKind::kTurboSyn;
-    TS_CHECK(flow_kind_from_name(flow, kind),
-             "unknown flow '" << flow
-                              << "' (expected turbomap|turbosyn|flowsyn_s|turbomap_period)");
+    if (engines.empty()) {
+      TS_CHECK(flow_kind_from_name(flow, kind),
+               "unknown flow '" << flow
+                                << "' (expected turbomap|turbosyn|flowsyn_s|turbomap_period)");
+    }
 
     if (!input.is_k_bounded(k)) {
       std::cout << "decomposing gates wider than " << k << " inputs\n";
@@ -76,13 +96,25 @@ int main(int argc, char** argv) {
     }
     CacheRunInfo cache_info;
     const FlowResult result =
-        run_flow_cached(kind, input, options, cache ? &*cache : nullptr, &cache_info);
+        engines.empty()
+            ? run_flow_cached(kind, input, options, cache ? &*cache : nullptr, &cache_info)
+            : run_portfolio_cached(engines, input, options, PortfolioOptions{},
+                                   cache ? &*cache : nullptr, &cache_info);
     if (cache) {
       std::cout << "cache: " << (cache_info.hit ? "hit (probe ledger replayed)"
                                                 : cache_info.stored ? "miss (stored)" : "miss")
                 << " in " << cli.cache_dir << '\n';
     }
-    std::cout << flow << ": phi = " << result.phi << ", exact MDR = " << result.exact_mdr
+    const std::string tag = engines.empty() ? flow : "portfolio";
+    if (!engines.empty()) {
+      std::cout << "portfolio: winner " << result.engine << " among " << cli.portfolio << '\n';
+      for (const EngineRun& row : result.portfolio) {
+        std::cout << "  " << row.name << ": status " << status_name(row.status)
+                  << (row.certified ? ", certified phi " + std::to_string(row.phi) : "")
+                  << (row.cancelled ? ", cancelled" : "") << ", " << row.seconds << " s\n";
+      }
+    }
+    std::cout << tag << ": phi = " << result.phi << ", exact MDR = " << result.exact_mdr
               << ", " << result.luts << " LUTs, " << result.ffs << " FFs, period "
               << result.period << " after pipelining, " << result.seconds << " s, status "
               << status_name(result.status) << '\n';
@@ -93,7 +125,16 @@ int main(int argc, char** argv) {
       std::cout << "note: " << result.degraded_nodes.size()
                 << " node(s) degraded to plain K-cut labels under resource ceilings\n";
     }
-    if (cli.audit && !audit_and_report(input, result, options, flow, std::cout)) return 1;
+    if (cli.audit) {
+      // A portfolio result is audited under the winner's effective options
+      // (its registry deltas applied), since those produced the artifacts.
+      FlowOptions audit_options = options;
+      if (!engines.empty()) {
+        const EngineSpec* winner = find_engine(result.engine);
+        if (winner != nullptr) audit_options = winner->apply(options);
+      }
+      if (!audit_and_report(input, result, audit_options, tag, std::cout)) return 1;
+    }
 
     if (pos.size() > 1) {
       write_blif_file(result.mapped, pos[1], "mapped");

@@ -5,9 +5,9 @@
 //
 //   $ ./fsm_optimization [gates]        (default 250)
 
-#include <cstdlib>
 #include <iostream>
 
+#include "base/flow_cli.hpp"
 #include "base/rng.hpp"
 #include "core/flows.hpp"
 #include "sim/simulator.hpp"
@@ -21,7 +21,12 @@ int main(int argc, char** argv) {
   spec.seed = 4242;
   spec.num_pis = 6;
   spec.num_pos = 4;
-  spec.num_gates = argc > 1 ? std::atoi(argv[1]) : 250;
+  spec.num_gates = 250;
+  if (argc > 1 && !parse_int_strict(argv[1], 1, 1 << 20, spec.num_gates)) {
+    std::cerr << "error: [gates] expects an integer in [1, " << (1 << 20) << "], got '"
+              << argv[1] << "'\n";
+    return 2;
+  }
   spec.feedback = 0.05;
   const Circuit fsm = generate_fsm_circuit(spec);
   const CircuitStats stats = compute_stats(fsm);

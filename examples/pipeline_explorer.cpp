@@ -7,9 +7,9 @@
 //
 //   $ ./pipeline_explorer [gates]      (default 150)
 
-#include <cstdlib>
 #include <iostream>
 
+#include "base/flow_cli.hpp"
 #include "core/flows.hpp"
 #include "retime/cycle_ratio.hpp"
 #include "retime/pipeline.hpp"
@@ -24,7 +24,12 @@ int main(int argc, char** argv) {
   spec.seed = 616;
   spec.num_pis = 6;
   spec.num_pos = 4;
-  spec.num_gates = argc > 1 ? std::atoi(argv[1]) : 150;
+  spec.num_gates = 150;
+  if (argc > 1 && !parse_int_strict(argv[1], 1, 1 << 20, spec.num_gates)) {
+    std::cerr << "error: [gates] expects an integer in [1, " << (1 << 20) << "], got '"
+              << argv[1] << "'\n";
+    return 2;
+  }
   spec.feedback = 0.04;
   spec.exotic_gate_ratio = 0.2;
   const Circuit c = generate_fsm_circuit(spec);

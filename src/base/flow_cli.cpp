@@ -96,6 +96,12 @@ FlowCli flow_cli_from_args(int argc, char** argv) {
       cli.failpoints = a.substr(std::string("--failpoints=").size());
     } else if (a == "--failpoints" && i + 1 < argc) {
       cli.failpoints = argv[++i];
+    } else if (a.rfind("--portfolio=", 0) == 0) {
+      cli.portfolio = a.substr(std::string("--portfolio=").size());
+    } else if (a == "--portfolio" && i + 1 < argc) {
+      cli.portfolio = argv[++i];
+    } else if (a == "--engines-list") {
+      cli.engines_list = true;
     }
   }
   // Env first, flag second: a flag clause overrides the same site from the
@@ -120,7 +126,10 @@ std::string flow_cli_help() {
       "[--trace-json=PATH] (per-stage/per-probe trace of the run)\n"
       "[--cache-dir=PATH] (persistent flow-artifact cache)\n"
       "[--failpoints=SPEC] (deterministic fault injection, e.g. "
-      "cache.entry.write=error*2; see base/failpoint.hpp)\n";
+      "cache.entry.write=error*2; see base/failpoint.hpp)\n"
+      "[--portfolio=E1,E2,...] (race registry engines, keep the best certified "
+      "result)\n"
+      "[--engines-list] (print the engine registry and exit)\n";
   help += budget_cli_help();
   return help;
 }

@@ -53,10 +53,20 @@ class FlowCli {
   bool quick = false;
   bool full = false;
   bool incremental = true;  // assign to FlowOptions::incremental
+  /// --engines-list was given: the main should print the engine registry
+  /// (engine_list_text() in core/engines.hpp) and exit 0. Collected here as
+  /// a flag because this library sits below core and cannot see the
+  /// registry itself.
+  bool engines_list = false;
   RunBudget budget;
   std::string trace_json_path;  // empty: tracing disabled
   std::string cache_dir;        // empty: caching disabled
   std::string failpoints;       // armed spec (env + flag), for logs; may be empty
+  /// --portfolio=LIST engine race spec (comma-separated registry names,
+  /// e.g. "turbosyn,turbomap,flowsyn_s"). Empty: no portfolio. Mains
+  /// resolve and validate it with parse_portfolio (core/portfolio.hpp) —
+  /// unknown names must exit 2 there, naming the engine.
+  std::string portfolio;
 
   /// The owned trace sink, or nullptr when --trace-json was not given.
   /// Assign to FlowOptions::trace.

@@ -1,5 +1,6 @@
 #include "base/run_budget.hpp"
 
+#include <algorithm>
 #include <csignal>
 
 namespace turbosyn {
@@ -87,6 +88,65 @@ bool RunBudget::try_consume_decomp_attempt() const {
   const State* s = state_.get();
   if (s == nullptr || s->decomp_attempts <= 0) return true;
   return s->decomp_attempts_used.fetch_add(1, std::memory_order_relaxed) < s->decomp_attempts;
+}
+
+RunBudget RunBudget::fork() const {
+  RunBudget child;
+  const State* s = state_.get();
+  if (s == nullptr) return child;
+  State& cs = child.mutable_state();
+  cs.has_deadline = s->has_deadline;
+  cs.deadline = s->deadline;
+  cs.cancel = s->cancel;
+  cs.bdd_nodes = s->bdd_nodes;
+  cs.flow_augments = s->flow_augments;
+  cs.decomp_attempts = s->decomp_attempts;
+  return child;
+}
+
+void RunBudget::tighten_deadline(std::chrono::milliseconds ms) {
+  const auto candidate = std::chrono::steady_clock::now() + ms;
+  State& s = mutable_state();
+  if (!s.has_deadline || candidate < s.deadline) {
+    s.has_deadline = true;
+    s.deadline = candidate;
+  }
+}
+
+// ----------------------------------------------------------------- pool ----
+
+BudgetPool::BudgetPool(std::int64_t total_ms, std::int64_t per_request_ms)
+    : total_ms_(total_ms > 0 ? total_ms : 0),
+      per_request_ms_(per_request_ms > 0 ? per_request_ms : 0),
+      remaining_ms_(total_ms_) {}
+
+std::int64_t BudgetPool::carve(std::int64_t requested_ms) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t want = requested_ms > 0 ? requested_ms : per_request_ms_;
+  if (per_request_ms_ > 0 && (want == 0 || want > per_request_ms_)) {
+    want = per_request_ms_;
+  }
+  if (total_ms_ == 0) return want;  // unlimited pool: the ceiling alone governs
+  std::int64_t slice = want > 0 ? std::min(want, remaining_ms_) : remaining_ms_;
+  // An exhausted pool still serves: a 1ms slice makes the request report
+  // kDeadlineExceeded honestly instead of hanging admission on refunds.
+  if (slice < 1) slice = 1;
+  remaining_ms_ -= std::min(slice, remaining_ms_);
+  return slice;
+}
+
+void BudgetPool::refund(std::int64_t carved_ms, std::int64_t used_ms) {
+  if (total_ms_ == 0 || carved_ms <= 0) return;
+  const std::int64_t unused =
+      std::max<std::int64_t>(0, carved_ms - std::max<std::int64_t>(0, used_ms));
+  const std::lock_guard<std::mutex> lock(mu_);
+  remaining_ms_ = std::min(total_ms_, remaining_ms_ + unused);
+}
+
+std::int64_t BudgetPool::remaining() const {
+  if (total_ms_ == 0) return -1;
+  const std::lock_guard<std::mutex> lock(mu_);
+  return remaining_ms_;
 }
 
 }  // namespace turbosyn

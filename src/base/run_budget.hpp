@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 namespace turbosyn {
 
@@ -57,11 +58,26 @@ inline bool is_interrupt(Status s) {
 class CancelToken {
  public:
   void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
-  bool cancelled() const noexcept { return flag_.load(std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    if (flag_.load(std::memory_order_relaxed)) return true;
+    const CancelToken* parent = parent_.load(std::memory_order_relaxed);
+    return parent != nullptr && parent->cancelled();
+  }
   void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+  /// Chains this token under `parent` (nullptr unchains): cancelled() then
+  /// also reports true once the parent fires, while cancel() still flips
+  /// only this token. The portfolio runner hangs one per-engine token off
+  /// the flow-level token this way — cancelling one losing engine never
+  /// touches its siblings, but a SIGINT at the flow level stops every
+  /// engine. The parent is not owned and must outlive the chained runs.
+  void chain_to(const CancelToken* parent) noexcept {
+    parent_.store(parent, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<bool> flag_{false};
+  std::atomic<const CancelToken*> parent_{nullptr};
 };
 static_assert(std::atomic<bool>::is_always_lock_free,
               "CancelToken::cancel must stay async-signal-safe");
@@ -91,6 +107,8 @@ class RunBudget {
 
   /// Token polled by check(); the token is not owned and must outlive runs.
   void set_cancel_token(const CancelToken* token);
+  /// The token check() polls (nullptr when none was set).
+  const CancelToken* cancel_token() const { return state_ ? state_->cancel : nullptr; }
 
   /// Per-attempt BDD node ceiling for decomposition (0 = library default).
   void set_bdd_node_budget(std::size_t nodes);
@@ -119,6 +137,20 @@ class RunBudget {
   /// (callers then fall back to the plain K-cut label for that node).
   bool try_consume_decomp_attempt() const;
 
+  /// An independent child budget: same resource ceilings, same absolute
+  /// deadline and same cancel token, but fresh consumption state (the
+  /// deadline latch and the decomposition-attempt counter start over). The
+  /// portfolio runner forks one slice per racing engine so a spendthrift
+  /// engine cannot exhaust its siblings' attempt budgets; the parent budget
+  /// itself is untouched. Forking an unlimited budget yields an unlimited
+  /// budget.
+  RunBudget fork() const;
+
+  /// Moves the deadline to min(current deadline, now + ms) — a fork may be
+  /// narrowed to a pool slice but can never outlive its parent's deadline.
+  void tighten_deadline(std::chrono::milliseconds ms);
+  void tighten_deadline_ms(std::int64_t ms) { tighten_deadline(std::chrono::milliseconds(ms)); }
+
  private:
   struct State {
     bool has_deadline = false;
@@ -134,6 +166,36 @@ class RunBudget {
   State& mutable_state();
 
   std::shared_ptr<State> state_;
+};
+
+/// Global wall-clock budget that long-lived callers carve per-run slices
+/// from: the mapping daemon slices it per request, the portfolio runner per
+/// racing engine. total_ms == 0 means an unlimited pool (slices are just the
+/// per-request ceiling). Refunding returns a slice's unused portion, so the
+/// pool meters actual spend, not reservations.
+class BudgetPool {
+ public:
+  BudgetPool(std::int64_t total_ms, std::int64_t per_request_ms);
+
+  /// The slice for one run: min(requested or per-request ceiling, pool
+  /// remaining). 0 = unlimited (only when both the pool and the ceilings
+  /// are unlimited); an exhausted pool yields 1ms slices — the run still
+  /// happens, reports kDeadlineExceeded best-so-far, and the record says
+  /// why.
+  std::int64_t carve(std::int64_t requested_ms);
+
+  /// Returns `carved - used` (clamped at 0) to the pool.
+  void refund(std::int64_t carved_ms, std::int64_t used_ms);
+
+  /// Milliseconds left (-1 = unlimited).
+  std::int64_t remaining() const;
+  std::int64_t total() const { return total_ms_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t total_ms_;
+  std::int64_t per_request_ms_;
+  std::int64_t remaining_ms_;
 };
 
 }  // namespace turbosyn

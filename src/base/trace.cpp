@@ -14,7 +14,6 @@ using Clock = std::chrono::steady_clock;
 
 /// Innermost open span of the calling thread (spans nest strictly).
 thread_local TraceSpan* t_current_span = nullptr;
-thread_local int t_depth = 0;
 
 /// One escaper for every JSON emitter (base/json_util.hpp): the trace sink
 /// must render names byte-for-byte like the batch/daemon record emitters,
@@ -136,7 +135,25 @@ TraceSpan::TraceSpan(TraceSink* sink, std::string name, std::string detail) : si
   event_.start_s = std::chrono::duration<double>(start_ - sink_->epoch_).count();
   outer_ = t_current_span;
   event_.parent = outer_ != nullptr ? outer_->event_.id : -1;
-  event_.depth = t_depth++;
+  event_.depth = outer_ != nullptr ? outer_->event_.depth + 1 : 0;
+  t_current_span = this;
+}
+
+TraceSpan::TraceSpan(const TraceSpan& parent, std::string name, std::string detail)
+    : sink_(parent.sink_) {
+  if (sink_ == nullptr) return;
+  start_ = Clock::now();
+  event_.id = sink_->begin_span();
+  event_.name = std::move(name);
+  event_.detail = std::move(detail);
+  event_.start_s = std::chrono::duration<double>(start_ - sink_->epoch_).count();
+  // The parent lives on another thread, but id and depth are written once at
+  // construction (before any lane launches) and never mutated, so reading
+  // them here is race-free. The calling thread's own stack still nests any
+  // further spans under this one.
+  event_.parent = parent.event_.id;
+  event_.depth = parent.event_.depth + 1;
+  outer_ = t_current_span;
   t_current_span = this;
 }
 
@@ -144,7 +161,6 @@ TraceSpan::~TraceSpan() {
   if (sink_ == nullptr) return;
   event_.seconds = std::chrono::duration<double>(Clock::now() - start_).count();
   t_current_span = outer_;
-  --t_depth;
   sink_->post(std::move(event_));
 }
 

@@ -48,7 +48,7 @@ void remap_entry_to_input_order(CacheEntry& entry, const Circuit& c) {
   const std::uint64_t input_hash =
       hash_labels(std::span<const int>(entry.winning_labels));
   for (CachedProbe& p : entry.probes) {
-    if (p.mode == entry.mode && p.phi == entry.phi) {
+    if (p.engine == entry.winner && p.mode == entry.mode && p.phi == entry.phi) {
       p.label_hash = input_hash;
       break;
     }
@@ -223,20 +223,25 @@ std::shared_ptr<const WarmImport> derive_near_miss_seed(const Circuit& c,
   return transfers ? seed : nullptr;
 }
 
-FlowResult replay_from_entry(FlowKind kind, const Circuit& c, const FlowOptions& options,
+/// Replays a hit's artifacts through the staged driver. `period_objective`
+/// selects the downstream config exactly as run_engine() would: mapgen caps
+/// relaxation at the PO labels and the timing tail retimes without
+/// pipelining. mapgen → pack → retime are deterministic functions of
+/// (circuit, labels, φ, options), so the replay is bit-identical to the
+/// stored run.
+FlowResult replay_from_entry(const std::string& trace_label, bool period_objective,
+                             const Circuit& c, const FlowOptions& options,
                              const CacheEntry& entry) {
   const auto start = Clock::now();
-  TraceSpan span(options.trace,
-                 std::string("flow:") + flow_kind_name(kind) + " (cache hit)");
+  TraceSpan span(options.trace, trace_label + " (cache hit)");
   FlowDriver driver(c, options);
   StageList stages;
   stages.push_back(std::make_unique<CachedSearchStage>(entry));
-  stages.push_back(
-      std::make_unique<MapGenStage>(/*po_label_limit=*/kind == FlowKind::kTurboMapPeriod));
+  stages.push_back(std::make_unique<MapGenStage>(/*po_label_limit=*/period_objective));
   stages.push_back(std::make_unique<PackStage>());
   stages.push_back(std::make_unique<PipelineRetimeStage>(
-      kind == FlowKind::kTurboMapPeriod ? PipelineRetimeStage::Kind::kRetimeOnly
-                                        : PipelineRetimeStage::Kind::kPipelineRetime));
+      period_objective ? PipelineRetimeStage::Kind::kRetimeOnly
+                       : PipelineRetimeStage::Kind::kPipelineRetime));
   driver.run(stages);
   FlowResult result = driver.finish();
   result.seconds = seconds_since(start);
@@ -263,6 +268,28 @@ void trace_cache_counters(TraceSink* trace, const FlowCache& cache) {
   span.counter("hot_evictions", cache.hot_evictions());
 }
 
+/// Near-miss warm start, shared by the flow and portfolio miss paths: if a
+/// donor entry for the same options line ran on a structurally similar
+/// circuit, transfer its converged labels where the fanin cones still match
+/// (derive_near_miss_seed above). The seed only accelerates convergence —
+/// probes still prove their fixpoints, so the result stays bit-identical to
+/// a cold run.
+void maybe_warm_start(const Circuit& c, const CacheKey& key, const FlowCache& cache,
+                      const FlowOptions& options, FlowOptions& run_options,
+                      CacheRunInfo* info) {
+  if (!options.incremental || options.warm_import != nullptr) return;
+  const std::optional<FlowCache::NearMiss> near = cache.lookup_near(key);
+  if (!near.has_value()) return;
+  const std::size_t nl = key.text.find('\n');
+  if (nl == std::string::npos) return;
+  if (auto seed =
+          derive_near_miss_seed(c, std::string_view(key.text).substr(nl + 1), *near);
+      seed != nullptr) {
+    run_options.warm_import = std::move(seed);
+    if (info != nullptr) info->near_miss = true;
+  }
+}
+
 }  // namespace
 
 void CachedSearchStage::run(FlowContext& ctx) {
@@ -283,6 +310,7 @@ void CachedSearchStage::run(FlowContext& ctx) {
 
   for (const CachedProbe& p : entry_.probes) {
     ProbeRecord rec;
+    rec.engine = p.engine;
     rec.phi = p.phi;
     rec.mode = p.mode;
     rec.outcome = p.outcome;
@@ -307,9 +335,11 @@ FlowResult run_flow_cached(FlowKind kind, const Circuit& c, const FlowOptions& o
 
   const CacheKey key = make_cache_key(c, options, kind);
   if (std::optional<CacheEntry> entry = cache->lookup(key);
-      entry.has_value() && entry_fits(*entry, c)) {
+      entry.has_value() && entry_fits(*entry, c) && entry->winner.empty()) {
     remap_entry_to_input_order(*entry, c);
-    FlowResult result = replay_from_entry(kind, c, options, *entry);
+    FlowResult result =
+        replay_from_entry(std::string("flow:") + flow_kind_name(kind),
+                          kind == FlowKind::kTurboMapPeriod, c, options, *entry);
     if (!options.collect_artifacts) result.artifacts = FlowArtifacts{};
     if (info != nullptr) info->hit = true;
     trace_cache_counters(options.trace, *cache);
@@ -321,26 +351,50 @@ FlowResult run_flow_cached(FlowKind kind, const Circuit& c, const FlowOptions& o
   // change the mapping — the fuzzer's bit-identity checks cover this).
   FlowOptions run_options = options;
   run_options.collect_artifacts = true;
-  // Near-miss warm start: if a donor entry for the same options ran on a
-  // structurally similar circuit, transfer its converged labels where the
-  // fanin cones still match (derive_near_miss_seed above). The seed only
-  // accelerates convergence — probes still prove their fixpoints, so the
-  // result stays bit-identical to a cold run.
-  if (options.incremental && options.warm_import == nullptr) {
-    if (const std::optional<FlowCache::NearMiss> near = cache->lookup_near(key);
-        near.has_value()) {
-      const std::size_t nl = key.text.find('\n');
-      if (nl != std::string::npos) {
-        if (auto seed = derive_near_miss_seed(
-                c, std::string_view(key.text).substr(nl + 1), *near);
-            seed != nullptr) {
-          run_options.warm_import = std::move(seed);
-          if (info != nullptr) info->near_miss = true;
-        }
-      }
+  maybe_warm_start(c, key, *cache, options, run_options, info);
+  FlowResult result = run_flow(kind, c, run_options);
+  const bool stored = cache->store_result(key, result, c);
+  if (info != nullptr) info->stored = stored;
+  if (!options.collect_artifacts) result.artifacts = FlowArtifacts{};
+  trace_cache_counters(options.trace, *cache);
+  return result;
+}
+
+FlowResult run_portfolio_cached(const std::vector<const EngineSpec*>& engines,
+                                const Circuit& c, const FlowOptions& options,
+                                const PortfolioOptions& popt, FlowCache* cache,
+                                CacheRunInfo* info) {
+  if (info != nullptr) *info = CacheRunInfo{};
+  if (cache == nullptr) return run_portfolio(engines, c, options, popt);
+
+  const CacheKey key = make_portfolio_cache_key(c, options, engines);
+  if (std::optional<CacheEntry> entry = cache->lookup(key);
+      entry.has_value() && entry_fits(*entry, c)) {
+    // Resolve the stored winner against the requested race. The byte-compared
+    // key already pins the engine list, so a missing name means a corrupt or
+    // hand-edited entry — degrade to a miss, never guess.
+    const EngineSpec* winner = nullptr;
+    for (const EngineSpec* spec : engines) {
+      if (spec->name == entry->winner) winner = spec;
+    }
+    if (winner != nullptr) {
+      remap_entry_to_input_order(*entry, c);
+      // The winner's option deltas governed the stored run; resolve them
+      // before replay so the regenerated mapping matches bit for bit.
+      FlowResult result = replay_from_entry("flow:portfolio", winner->period_objective, c,
+                                            winner->apply(options), *entry);
+      result.engine = entry->winner;
+      if (!options.collect_artifacts) result.artifacts = FlowArtifacts{};
+      if (info != nullptr) info->hit = true;
+      trace_cache_counters(options.trace, *cache);
+      return result;
     }
   }
-  FlowResult result = run_flow(kind, c, run_options);
+
+  FlowOptions run_options = options;
+  run_options.collect_artifacts = true;
+  maybe_warm_start(c, key, *cache, options, run_options, info);
+  FlowResult result = run_portfolio(engines, c, run_options, popt);
   const bool stored = cache->store_result(key, result, c);
   if (info != nullptr) info->stored = stored;
   if (!options.collect_artifacts) result.artifacts = FlowArtifacts{};

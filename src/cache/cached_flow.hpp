@@ -18,6 +18,7 @@
 
 #include "cache/flow_cache.hpp"
 #include "core/driver.hpp"
+#include "core/portfolio.hpp"
 
 namespace turbosyn {
 
@@ -31,6 +32,22 @@ struct CacheRunInfo {
 /// Runs `kind` on `c`, consulting `cache` (nullptr = plain run_flow).
 FlowResult run_flow_cached(FlowKind kind, const Circuit& c, const FlowOptions& options,
                            FlowCache* cache, CacheRunInfo* info = nullptr);
+
+/// Cache-aware portfolio racing: run_portfolio() with a FlowCache in front.
+/// The key covers the ordered engine list with per-spec fingerprints
+/// (make_portfolio_cache_key). A hit resolves the stored winner against the
+/// requested engines, applies that spec's option deltas, and replays the
+/// winner's artifacts through the staged driver — bit-identical to re-racing,
+/// because the race itself is bit-identical to running every engine and
+/// selecting with the shared comparator. The replayed result carries
+/// FlowResult::engine and the merged engine-tagged ledger but an empty
+/// portfolio table (no race happened, so there is nothing for the
+/// "portfolio" audit to re-verify). A race won by an engine without label
+/// artifacts (FlowSYN-s) is quarantined, never stored.
+FlowResult run_portfolio_cached(const std::vector<const EngineSpec*>& engines,
+                                const Circuit& c, const FlowOptions& options,
+                                const PortfolioOptions& popt, FlowCache* cache,
+                                CacheRunInfo* info = nullptr);
 
 /// The search-stage replacement a cache hit substitutes for UbProbe +
 /// PhiSearch: publishes the cached winning labels and re-records every

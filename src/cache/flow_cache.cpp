@@ -124,6 +124,16 @@ bool in_range(std::int64_t value, std::int64_t lo, std::int64_t hi) {
   return value >= lo && value <= hi;
 }
 
+/// Engine tags are single tokens in the line-oriented schema, so the empty
+/// tag (standalone runs) rides as "-" — never a legal engine name.
+std::string engine_token(const std::string& engine) {
+  return engine.empty() ? "-" : engine;
+}
+
+std::string engine_from_token(const std::string& token) {
+  return token == "-" ? std::string() : token;
+}
+
 /// A fully parsed and internally certified entry file, before any key check.
 struct ParsedEntry {
   CacheEntry entry;
@@ -161,6 +171,8 @@ std::optional<ParsedEntry> parse_entry_file(const std::string& path,
   if (r.token() != "ok") return std::nullopt;  // quarantined (degraded) entry
 
   CacheEntry& entry = parsed.entry;
+  r.expect("winner");
+  entry.winner = engine_from_token(r.token());
   r.expect("phi");
   entry.phi = static_cast<int>(r.integer());
   r.expect("mode");
@@ -184,6 +196,7 @@ std::optional<ParsedEntry> parse_entry_file(const std::string& path,
   for (std::int64_t i = 0; i < num_probes && r.ok(); ++i) {
     CachedProbe p;
     r.expect("p");
+    p.engine = engine_from_token(r.token());
     const std::int64_t probe_mode = r.integer();
     if (!in_range(probe_mode, 0, 1)) return std::nullopt;
     p.mode = static_cast<LabelMode>(probe_mode);
@@ -236,12 +249,14 @@ std::optional<ParsedEntry> parse_entry_file(const std::string& path,
 
   // Internal consistency: the winning labels must be certified by a feasible
   // ledger record whose hash matches them (the same tie the auditor checks).
-  // v2 stores labels in canonical order; the hash is over that order.
+  // v2 stores labels in canonical order; the hash is over that order. v4:
+  // the certifying record must belong to the winning engine — a merged
+  // portfolio ledger can hold several records at the same (mode, φ).
   const std::uint64_t winning_hash =
       hash_labels(std::span<const int>(entry.winning_labels));
   bool certified = false;
   for (const CachedProbe& p : entry.probes) {
-    if (p.mode == entry.mode && p.phi == entry.phi) {
+    if (p.engine == entry.winner && p.mode == entry.mode && p.phi == entry.phi) {
       certified = p.feasible && p.label_hash == winning_hash && p.status == Status::kOk;
       break;
     }
@@ -252,16 +267,23 @@ std::optional<ParsedEntry> parse_entry_file(const std::string& path,
 
 }  // namespace
 
-CacheKey make_cache_key(const Circuit& c, const FlowOptions& options, FlowKind kind) {
-  std::ostringstream os;
-  os << "flow " << flow_kind_name(kind) << " k " << options.k << " cmax " << options.cmax
-     << " height_span " << options.height_span << " pld " << options.use_pld << " bdd "
-     << options.use_bdd << " relax " << options.label_relaxation << " lowcost "
-     << options.low_cost_cuts << " dedupe " << options.dedupe << " pack " << options.pack
-     << " pipeline " << options.pipeline << " exp " << options.expansion.extra_levels << ' '
+namespace {
+
+/// The result-relevant caller options, shared by both key makers. Excludes
+/// num_threads / budgets / observability knobs (see make_cache_key docs).
+void append_option_fields(std::ostringstream& os, const FlowOptions& options) {
+  os << " k " << options.k << " cmax " << options.cmax << " height_span "
+     << options.height_span << " pld " << options.use_pld << " bdd " << options.use_bdd
+     << " relax " << options.label_relaxation << " lowcost " << options.low_cost_cuts
+     << " dedupe " << options.dedupe << " pack " << options.pack << " pipeline "
+     << options.pipeline << " exp " << options.expansion.extra_levels << ' '
      << options.expansion.node_budget << '\n';
+}
+
+/// Finishes a key from its options line: full text, hash, near-miss sketch.
+CacheKey finish_cache_key(const Circuit& c, const std::string& options_line) {
   CacheKey key;
-  key.text = os.str() + canonical_circuit_form(c).text;
+  key.text = options_line + canonical_circuit_form(c).text;
   key.hash = fnv1a64(key.text);
   // Near-miss sketch: options line + sorted interface names. Internal edits
   // (gate logic, wiring, added/removed gates) keep the sketch, so the edited
@@ -271,10 +293,33 @@ CacheKey make_cache_key(const Circuit& c, const FlowOptions& options, FlowKind k
   for (const NodeId v : c.pis()) interface_names.push_back("i " + c.name(v));
   for (const NodeId v : c.pos()) interface_names.push_back("o " + c.name(v));
   std::sort(interface_names.begin(), interface_names.end());
-  std::uint64_t sketch = fnv1a64(os.str());
+  std::uint64_t sketch = fnv1a64(options_line);
   for (const std::string& name : interface_names) sketch = fnv1a64(name + "\n", sketch);
   key.near_sketch = sketch;
   return key;
+}
+
+}  // namespace
+
+CacheKey make_cache_key(const Circuit& c, const FlowOptions& options, FlowKind kind) {
+  std::ostringstream os;
+  os << "flow " << flow_kind_name(kind);
+  append_option_fields(os, options);
+  return finish_cache_key(c, os.str());
+}
+
+CacheKey make_portfolio_cache_key(const Circuit& c, const FlowOptions& options,
+                                  const std::vector<const EngineSpec*>& engines) {
+  // The ordered engine list with per-spec fingerprints: order matters (it is
+  // the selection tie-break), and the fingerprint covers every spec-side
+  // delta, so editing a registry engine invalidates its portfolios' entries.
+  std::ostringstream os;
+  os << "portfolio";
+  for (const EngineSpec* spec : engines) {
+    os << ' ' << spec->name << '=' << fnv1a64(spec->fingerprint());
+  }
+  append_option_fields(os, options);
+  return finish_cache_key(c, os.str());
 }
 
 FlowCache::FlowCache(std::string dir) : dir_(std::move(dir)) {}
@@ -379,6 +424,7 @@ bool FlowCache::storable(const FlowResult& result) {
 
 CacheEntry FlowCache::entry_from_result(const FlowResult& result, const Circuit& input) {
   CacheEntry entry;
+  entry.winner = result.engine;  // empty for standalone flows
   entry.phi = result.artifacts.phi;
   entry.mode = result.artifacts.mode;
   entry.max_po_label = result.artifacts.labels.max_po_label;
@@ -398,6 +444,7 @@ CacheEntry FlowCache::entry_from_result(const FlowResult& result, const Circuit&
   for (const ProbeRecord& rec : result.probes) {
     if (rec.seed_only) continue;  // provenance of this run, not a verdict
     CachedProbe p;
+    p.engine = rec.engine;
     p.phi = rec.phi;
     p.mode = rec.mode;
     p.outcome = rec.outcome;
@@ -406,8 +453,12 @@ CacheEntry FlowCache::entry_from_result(const FlowResult& result, const Circuit&
     p.label_hash = rec.label_hash;
     p.max_po_label = rec.max_po_label;
     // The winning record's hash certifies the labels as stored, i.e. in
-    // canonical order; replay recomputes it over the remapped vector.
-    if (p.mode == entry.mode && p.phi == entry.phi) p.label_hash = canon_hash;
+    // canonical order; replay recomputes it over the remapped vector. The
+    // engine clause keeps a losing engine's record at the same (mode, φ)
+    // from masquerading as the certificate.
+    if (p.engine == entry.winner && p.mode == entry.mode && p.phi == entry.phi) {
+      p.label_hash = canon_hash;
+    }
     entry.probes.push_back(p);
   }
   entry.luts = result.luts;
@@ -529,16 +580,17 @@ bool FlowCache::store(const CacheKey& key, const CacheEntry& entry) {
   os << "hash " << hex64(key.hash) << '\n';
   os << "key " << key.text.size() << '\n' << key.text << '\n';
   os << "status ok\n";
+  os << "winner " << engine_token(entry.winner) << '\n';
   os << "phi " << entry.phi << " mode " << static_cast<int>(entry.mode) << " maxpo "
      << entry.max_po_label << '\n';
   os << "result " << entry.luts << ' ' << entry.ffs << ' ' << entry.mdr_num << ' '
      << entry.mdr_den << ' ' << entry.period << ' ' << entry.pipeline_stages << '\n';
   os << "probes " << entry.probes.size() << '\n';
   for (const CachedProbe& p : entry.probes) {
-    os << "p " << static_cast<int>(p.mode) << ' ' << p.phi << ' '
-       << static_cast<int>(p.outcome) << ' ' << static_cast<int>(p.status) << ' '
-       << (p.feasible ? 1 : 0) << ' ' << hex64(p.label_hash) << ' ' << p.max_po_label
-       << '\n';
+    os << "p " << engine_token(p.engine) << ' ' << static_cast<int>(p.mode) << ' '
+       << p.phi << ' ' << static_cast<int>(p.outcome) << ' ' << static_cast<int>(p.status)
+       << ' ' << (p.feasible ? 1 : 0) << ' ' << hex64(p.label_hash) << ' '
+       << p.max_po_label << '\n';
   }
   os << "labels " << entry.winning_labels.size() << '\n';
   for (std::size_t i = 0; i < entry.winning_labels.size(); ++i) {

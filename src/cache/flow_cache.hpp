@@ -66,6 +66,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/engines.hpp"
 #include "core/flows.hpp"
 #include "core/probe_ledger.hpp"
 #include "netlist/circuit.hpp"
@@ -91,9 +92,21 @@ struct CacheKey {
 /// result equal to the unlimited run) and observability knobs.
 CacheKey make_cache_key(const Circuit& c, const FlowOptions& options, FlowKind kind);
 
+/// Key for racing `engines` (a validated portfolio, core/portfolio.hpp) on
+/// `c`. The options line replaces the flow name with the ordered engine
+/// list, each entry carrying its spec fingerprint — so a portfolio hit is
+/// only served to the exact same race (same engines, same order, same spec
+/// deltas), and reordering or swapping an engine is a clean miss.
+CacheKey make_portfolio_cache_key(const Circuit& c, const FlowOptions& options,
+                                  const std::vector<const EngineSpec*>& engines);
+
 /// One serialized probe-ledger record (stats and wall time are dropped: an
 /// imported record never carries them — the originating run does).
 struct CachedProbe {
+  /// Ledger tag of the engine that produced the record (schema v4). Empty
+  /// for standalone runs; serialized as the "-" placeholder, so an engine
+  /// can never be named "-".
+  std::string engine;
   int phi = 0;
   LabelMode mode = LabelMode::kPlain;
   ProbeOutcome outcome = ProbeOutcome::kOk;
@@ -105,6 +118,10 @@ struct CachedProbe {
 
 /// Everything a hit needs to replay the flow without label probes.
 struct CacheEntry {
+  /// Winning engine of a portfolio run (schema v4; empty for standalone
+  /// flows). A portfolio hit resolves this name against the requested
+  /// engine list and replays under the winner's option deltas.
+  std::string winner;
   int phi = 0;                     // the ratio/period the run settled on
   LabelMode mode = LabelMode::kPlain;  // update rule of the winning labels
   int max_po_label = 0;            // of the winning label vector
@@ -132,10 +149,12 @@ class FlowCache {
   /// are created on the first store.
   explicit FlowCache(std::string dir);
 
-  /// v3: every entry ends in a length + checksum trailer so torn writes are
-  /// detected (v2 added canonical-order labels and the near-miss index).
-  /// Older entries parse as a schema mismatch, i.e. a clean miss.
-  static constexpr int kSchemaVersion = 3;
+  /// v4: entries name the winning engine and tag every probe record with
+  /// its engine, so portfolio runs cache and replay with the merged,
+  /// engine-tagged ledger intact (v3 added the length + checksum trailer;
+  /// v2 canonical-order labels and the near-miss index). Older entries
+  /// parse as a schema mismatch, i.e. a clean miss.
+  static constexpr int kSchemaVersion = 4;
 
   /// The complete, validated entry for `key`, or nullopt (miss). Collision-
   /// checked against key.text; never throws on malformed files. With the hot

@@ -1,0 +1,134 @@
+#pragma once
+// Engine registry: every synthesis flow as a data-driven EngineSpec.
+//
+// The four paper flows (and their variants) differ only in which probe
+// schedule, label-update rule and timing tail they run — the DAC'97
+// machinery underneath is shared. An EngineSpec captures exactly those
+// degrees of freedom: the pipeline shape, the label mode, the φ schedule,
+// the objective, and a handful of FlowOptions deltas. run_engine() expands a
+// spec into the stage list the FlowDriver executes, so "add a fifth engine"
+// is one registry entry, not a fifth hand-written pipeline.
+//
+// The registry is also the soundness basis of portfolio racing
+// (core/portfolio.hpp): each spec carries a dominance `strength`, and
+// never_beats() encodes the domain facts that make first-to-certificate
+// cancellation safe —
+//
+//   - decomposition is strictly label-improving, so for a fixed circuit and
+//     options φ(decomp) <= φ(plain) (TurboSYN never loses to TurboMap);
+//   - TurboMap's φ is minimal over all plain K-LUT mappings, so
+//     φ(plain) <= ceil(MDR(FlowSYN-s mapping)) (a label search never loses
+//     to the search-free baseline);
+//   - two engines with equal strength and equal quality_key() resolve to
+//     the same deterministic computation, hence certify the same φ.
+//
+// A weaker engine may therefore be cancelled the moment a dominating engine
+// finishes with a certificate: the race's outcome is bit-identical to
+// running every engine to completion and picking the best.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/flows.hpp"
+
+namespace turbosyn {
+
+struct EngineSpec {
+  /// Pipeline shape run_engine() expands the spec into.
+  enum class Shape : std::uint8_t {
+    /// UB probe, φ search, mapgen, pack, timing tail (the TurboMap family).
+    kSearch,
+    /// Two phases sharing one ledger: a plain kSearch pass provides the
+    /// upper bound and seed labels, then a descending scan in `mode` runs
+    /// from that imported certificate (TurboSYN).
+    kSeededSearch,
+    /// Direct mapping with no ratio search; φ is measured after packing
+    /// (FlowSYN-s).
+    kNoSearch,
+  };
+
+  std::string name;     // CLI spelling; also the ledger/trace/cache tag
+  std::string summary;  // one-liner for --engines-list
+  Shape shape = Shape::kSearch;
+  /// Update rule of the (final) search stage: plain K-cuts or K-cuts plus
+  /// sequential functional decomposition.
+  LabelMode mode = LabelMode::kPlain;
+  /// Clock-period objective (the ICCD'96 TurboMap): probes additionally
+  /// require max_po_label <= φ, mapgen caps relaxation at the PO labels,
+  /// and the timing tail retimes without pipelining.
+  bool period_objective = false;
+  /// Dominance rank for sound cancellation: 0 = no search (FlowSYN-s),
+  /// 1 = plain label search (TurboMap), 2 = decomposition search (TurboSYN).
+  /// Strictly higher strength under the same objective can never certify a
+  /// larger φ (see the file comment).
+  int strength = 0;
+
+  // FlowOptions deltas (unset = inherit the caller's options). These are
+  // what makes a registry variant a different engine: e.g. a truth-table
+  // multiplicity engine (use_bdd=false) or a tighter cmax.
+  std::optional<bool> use_bdd;
+  std::optional<bool> use_pld;
+  std::optional<bool> label_relaxation;
+  std::optional<bool> low_cost_cuts;
+  std::optional<int> cmax;
+
+  /// Root trace span. The four original flows keep their historical
+  /// spellings ("flow:turbomap", ...); variants use "flow:<name>".
+  std::string trace_label;
+  /// kSeededSearch only: the two phase spans ("phase:turbomap-ub",
+  /// "phase:turbosyn-search" for the original TurboSYN).
+  std::string phase_ub_label;
+  std::string phase_search_label;
+
+  /// The caller's options with this engine's deltas applied. A spec with no
+  /// deltas returns the options unchanged, so the four canonical engines
+  /// stay bit-identical to the pre-registry flows.
+  FlowOptions apply(const FlowOptions& base) const;
+
+  /// Canonical text of everything spec-side that can change this engine's
+  /// result for a fixed circuit and caller options — cache-key material.
+  std::string fingerprint() const;
+
+  /// The quality-relevant part of the fingerprint: the knobs that determine
+  /// the certified φ (mode, objective, cmax, multiplicity engine), with
+  /// speed-only knobs (use_pld) and mapping-structure knobs
+  /// (label_relaxation, low_cost_cuts) excluded. Equal strength + equal
+  /// quality key ⇒ identical certified φ: the basis of tie cancellation.
+  std::string quality_key() const;
+};
+
+/// The built-in engines, in registry order: the four paper flows first
+/// (turbomap, turbosyn, flowsyn_s, turbomap_period), then the variants
+/// (turbosyn_bisect, turbomap_nopld, turbosyn_tt).
+const std::vector<EngineSpec>& engine_registry();
+
+/// Lookup by CLI name; nullptr when unknown.
+const EngineSpec* find_engine(const std::string& name);
+
+/// The registry entry behind a classic FlowKind (always present).
+const EngineSpec& engine_for_kind(FlowKind kind);
+
+/// Human-readable registry listing for --engines-list.
+std::string engine_list_text();
+
+/// True when `weaker`'s certified φ can never be smaller than `stronger`'s
+/// on any circuit under shared caller options: same objective, and either
+/// strictly lower strength or equal strength with an equal quality key.
+/// This is the dominance predicate portfolio cancellation and the
+/// "portfolio" audit check both rest on.
+bool never_beats(const EngineSpec& weaker, const EngineSpec& stronger);
+
+/// The portfolio selection order, shared by the runner, the auditor and the
+/// fuzz oracle: engine a (φ `phi_a`, strength `strength_a`, list position
+/// `pos_a`) is preferred over b when its φ is smaller, or φ ties and its
+/// strength is higher, or both tie and it is listed earlier. Total and
+/// deterministic for distinct positions.
+bool portfolio_prefers(int phi_a, int strength_a, std::size_t pos_a, int phi_b,
+                       int strength_b, std::size_t pos_b);
+
+/// Runs one engine end to end: expands the spec into its stage pipeline and
+/// drives it. The backbone of run_flow() and of every portfolio lane.
+FlowResult run_engine(const EngineSpec& spec, const Circuit& c, const FlowOptions& options);
+
+}  // namespace turbosyn

@@ -1,43 +1,14 @@
 #include "core/flows.hpp"
 
-#include <chrono>
-#include <memory>
-#include <utility>
-
 #include "base/check.hpp"
-#include "base/trace.hpp"
-#include "core/driver.hpp"
-#include "core/stages/flowsyn_map.hpp"
-#include "core/stages/mapgen_stage.hpp"
-#include "core/stages/pack_stage.hpp"
-#include "core/stages/phi_search.hpp"
-#include "core/stages/pipeline_retime_stage.hpp"
-#include "core/stages/ub_probe.hpp"
+#include "core/engines.hpp"
 
 namespace turbosyn {
-namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// The TurboMap pipeline: identity-mapping upper bound, plain-label
-/// bisection, mapping generation, packing, pipelining + retiming. Also
-/// phase A of TurboSYN.
-StageList turbomap_stages() {
-  StageList stages;
-  stages.push_back(std::make_unique<UbProbeStage>(UbProbeStage::Kind::kIdentityMdr));
-  stages.push_back(std::make_unique<PhiSearchStage>(PhiSearchStage::Config{}));
-  stages.push_back(std::make_unique<MapGenStage>());
-  stages.push_back(std::make_unique<PackStage>());
-  stages.push_back(
-      std::make_unique<PipelineRetimeStage>(PipelineRetimeStage::Kind::kPipelineRetime));
-  return stages;
-}
-
-}  // namespace
+// The four public flows are registry entries since PR 9: run_engine()
+// expands an EngineSpec into the stage pipeline the FlowDriver executes
+// (core/engines.cpp), so this file only keeps the FlowOptions plumbing and
+// the FlowKind naming shims.
 
 LabelOptions FlowOptions::label_options(bool enable_decomposition) const {
   LabelOptions l;
@@ -76,118 +47,19 @@ const StageMetric* StageMetrics::find(const std::string& stage_name) const {
 }
 
 FlowResult run_turbomap(const Circuit& c, const FlowOptions& options) {
-  const auto start = Clock::now();
-  TraceSpan span(options.trace, "flow:turbomap");
-  span.counter("incremental", options.incremental ? 1 : 0);
-  FlowDriver driver(c, options);
-  driver.run(turbomap_stages());
-  FlowResult result = driver.finish();
-  result.seconds = seconds_since(start);
-  return result;
+  return run_engine(engine_for_kind(FlowKind::kTurboMap), c, options);
 }
 
 FlowResult run_turbosyn(const Circuit& c, const FlowOptions& options) {
-  const auto start = Clock::now();
-  TraceSpan flow_span(options.trace, "flow:turbosyn");
-  flow_span.counter("incremental", options.incremental ? 1 : 0);
-  // One no-reprobe scope across both phases: plain-mode probes from phase A
-  // and decomposition-mode probes from phase B share the ledger.
-  ProbeLedger ledger;
-
-  // Step 1 of the paper's pseudo-code: TurboMap provides the upper bound UB.
-  // Its labels at UB prove UB feasible for the decomposition search too
-  // (every plain K-cut is a valid realization there), so the search below
-  // starts from them instead of re-probing phi == UB.
-  FlowDriver ub_driver(c, options, ledger);
-  {
-    TraceSpan phase(options.trace, "phase:turbomap-ub");
-    ub_driver.run(turbomap_stages());
-  }
-  const bool have_ub_labels = ub_driver.context().have_labels;
-  auto ub_labels = std::make_shared<LabelResult>(ub_driver.context().labels);
-  FlowResult ub_run = ub_driver.finish();
-  if (ub_run.status == Status::kFailed) {
-    // A contained phase-A failure ends the flow: whatever labels exist were
-    // produced next to a blown stage boundary, so nothing seeds phase B.
-    ub_run.seconds = seconds_since(start);
-    return ub_run;
-  }
-  if (!have_ub_labels) {
-    // The TurboMap stage was stopped before it proved any ratio feasible:
-    // there are no labels to seed the decomposition search, so the anytime
-    // answer is the TurboMap stage's own fallback result.
-    ub_run.seconds = seconds_since(start);
-    return ub_run;
-  }
-
-  FlowDriver driver(c, options, ledger);
-  {
-    TraceSpan phase(options.trace, "phase:turbosyn-search");
-    StageList stages;
-    stages.push_back(std::make_unique<UbProbeStage>(ub_run.phi));
-    PhiSearchStage::Config cfg;
-    cfg.schedule = PhiSearchStage::Schedule::kDescending;
-    cfg.mode = LabelMode::kDecomp;
-    cfg.seed = std::move(ub_labels);
-    stages.push_back(std::make_unique<PhiSearchStage>(std::move(cfg)));
-    stages.push_back(std::make_unique<MapGenStage>());
-    stages.push_back(std::make_unique<PackStage>());
-    stages.push_back(
-        std::make_unique<PipelineRetimeStage>(PipelineRetimeStage::Kind::kPipelineRetime));
-    driver.run(stages);
-  }
-  FlowResult result = driver.finish();
-  result.stats.accumulate(ub_run.stats);
-  result.status = combine_status(result.status, ub_run.status);
-  fill_flow_diagnostics(result, c);
-  // One timeline: the TurboMap phase's stages first, then the search phase's.
-  result.stage_metrics.stages.insert(result.stage_metrics.stages.begin(),
-                                     ub_run.stage_metrics.stages.begin(),
-                                     ub_run.stage_metrics.stages.end());
-  result.seconds = seconds_since(start);
-  return result;
+  return run_engine(engine_for_kind(FlowKind::kTurboSyn), c, options);
 }
 
 FlowResult run_flowsyn_s(const Circuit& c, const FlowOptions& options) {
-  const auto start = Clock::now();
-  TraceSpan span(options.trace, "flow:flowsyn-s");
-  FlowDriver driver(c, options);
-  StageList stages;
-  stages.push_back(std::make_unique<FlowSynMapStage>());
-  // FlowSYN-s has no ratio search; phi is the ceiling of the measured MDR.
-  stages.push_back(std::make_unique<PackStage>(/*phi_from_mdr=*/true));
-  // flowmap() itself is not budget-aware; the final budget check reports a
-  // deadline/cancel that fired during it (the mapping is still complete and
-  // valid).
-  stages.push_back(std::make_unique<PipelineRetimeStage>(
-      PipelineRetimeStage::Kind::kPipelineRetime, /*final_budget_check=*/true));
-  driver.run(stages);
-  FlowResult result = driver.finish();
-  result.seconds = seconds_since(start);
-  return result;
+  return run_engine(engine_for_kind(FlowKind::kFlowSynS), c, options);
 }
 
 FlowResult run_turbomap_period(const Circuit& c, const FlowOptions& options) {
-  const auto start = Clock::now();
-  TraceSpan span(options.trace, "flow:turbomap-period");
-  span.counter("incremental", options.incremental ? 1 : 0);
-  FlowDriver driver(c, options);
-  StageList stages;
-  // Upper bound: the unmapped circuit's clock period (identity mapping,
-  // no retiming) is always achievable.
-  stages.push_back(std::make_unique<UbProbeStage>(UbProbeStage::Kind::kClockPeriod));
-  PhiSearchStage::Config cfg;
-  cfg.period_objective = true;
-  stages.push_back(std::make_unique<PhiSearchStage>(std::move(cfg)));
-  stages.push_back(std::make_unique<MapGenStage>(/*po_label_limit=*/true));
-  stages.push_back(std::make_unique<PackStage>());
-  // Clock-period mode: retiming only, no pipelining.
-  stages.push_back(
-      std::make_unique<PipelineRetimeStage>(PipelineRetimeStage::Kind::kRetimeOnly));
-  driver.run(stages);
-  FlowResult result = driver.finish();
-  result.seconds = seconds_since(start);
-  return result;
+  return run_engine(engine_for_kind(FlowKind::kTurboMapPeriod), c, options);
 }
 
 const char* flow_kind_name(FlowKind kind) {
@@ -216,18 +88,7 @@ bool flow_kind_from_name(const std::string& name, FlowKind& kind) {
 }
 
 FlowResult run_flow(FlowKind kind, const Circuit& c, const FlowOptions& options) {
-  switch (kind) {
-    case FlowKind::kTurboMap:
-      return run_turbomap(c, options);
-    case FlowKind::kTurboSyn:
-      return run_turbosyn(c, options);
-    case FlowKind::kFlowSynS:
-      return run_flowsyn_s(c, options);
-    case FlowKind::kTurboMapPeriod:
-      return run_turbomap_period(c, options);
-  }
-  TS_CHECK(false, "unknown flow kind");
-  return {};
+  return run_engine(engine_for_kind(kind), c, options);
 }
 
 }  // namespace turbosyn

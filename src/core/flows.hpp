@@ -123,6 +123,21 @@ struct FlowArtifacts {
   bool po_limited = false;
 };
 
+/// One engine's row in a portfolio run: what it achieved (or where it was
+/// stopped), for the STATS rollups, the trace, and the "portfolio" audit
+/// check. `cancelled` means the race stopped the engine before it finished
+/// exactly — either mid-run (status is then kCancelled) or before it even
+/// started (seconds == 0); a cancelled engine never holds a certificate.
+struct EngineRun {
+  std::string name;          // registry name
+  int phi = 0;               // the engine's φ (0 when skipped before start)
+  Status status = Status::kOk;
+  bool certified = false;    // finished with status kOk: an eligible winner
+  bool cancelled = false;    // lost the race (dominated by a finisher)
+  double seconds = 0.0;      // the engine's own wall clock (0 when skipped)
+  int luts = 0;
+};
+
 struct FlowResult {
   int phi = 0;               // minimum integer ratio/period the flow achieved
   Circuit mapped;            // final LUT network
@@ -159,8 +174,17 @@ struct FlowResult {
   StageMetrics stage_metrics;
   /// Full probe ledger of the run: every (mode, φ) label probe with outcome,
   /// label hash, stats and wall time (empty for FlowSYN-s, which runs no
-  /// ratio search). See core/probe_ledger.hpp for the soundness rules.
+  /// ratio search). A portfolio run merges every engine's ledger here with
+  /// each record tagged by its engine name. See core/probe_ledger.hpp for
+  /// the soundness rules.
   std::vector<ProbeRecord> probes;
+  /// Portfolio provenance. Empty for a standalone flow run. For a portfolio
+  /// run, `engine` names the winning engine (the one whose result this is)
+  /// and `portfolio` holds one row per raced engine in spec order —
+  /// including the winner — so callers can audit the selection and meter
+  /// the wall time the cancellations saved.
+  std::string engine;
+  std::vector<EngineRun> portfolio;
 };
 
 FlowResult run_turbomap(const Circuit& c, const FlowOptions& options);

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/labeling.hpp"
@@ -60,6 +61,14 @@ ProbeOutcome classify_probe(const LabelResult& r);
 struct ProbeRecord {
   int phi = 0;
   LabelMode mode = LabelMode::kPlain;
+  /// Engine that ran the probe, for merged portfolio ledgers. Empty for a
+  /// standalone flow run (every probe belongs to the one engine that ran);
+  /// the portfolio runner tags the winner's and every loser's records with
+  /// their registry names before merging, so uniqueness keys on
+  /// (engine, mode, φ) and the auditor can restrict certification checks to
+  /// the winning engine's records — a losing engine's degraded probes can
+  /// never outrank the winner's certificate.
+  std::string engine;
   ProbeOutcome outcome = ProbeOutcome::kOk;
   Status status = Status::kOk;
   bool feasible = false;
@@ -83,16 +92,20 @@ struct ProbeRecord {
   double seconds = 0.0;
 };
 
-/// Append-only per-run probe history, keyed by (mode, φ). See the file
-/// comment for the soundness rules it enforces.
+/// Append-only per-run probe history, keyed by (engine, mode, φ) — the
+/// engine tag is empty everywhere in a standalone run, so the key degrades
+/// to the classic (mode, φ). See the file comment for the soundness rules
+/// it enforces.
 class ProbeLedger {
  public:
-  bool contains(LabelMode mode, int phi) const;
-  /// The record at (mode, phi), or nullptr. Pointers are invalidated by the
-  /// next record() call.
-  const ProbeRecord* find(LabelMode mode, int phi) const;
-  /// Appends a record; rejects (TS_CHECK) a duplicate (mode, phi) key —
-  /// the "no φ probed twice" guarantee.
+  bool contains(LabelMode mode, int phi) const { return contains({}, mode, phi); }
+  bool contains(const std::string& engine, LabelMode mode, int phi) const;
+  /// The record at (engine, mode, phi), or nullptr. Pointers are
+  /// invalidated by the next record() call.
+  const ProbeRecord* find(LabelMode mode, int phi) const { return find({}, mode, phi); }
+  const ProbeRecord* find(const std::string& engine, LabelMode mode, int phi) const;
+  /// Appends a record; rejects (TS_CHECK) a duplicate (engine, mode, phi)
+  /// key — the "no φ probed twice" guarantee.
   void record(ProbeRecord r);
 
   const std::vector<ProbeRecord>& records() const { return records_; }

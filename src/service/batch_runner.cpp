@@ -30,6 +30,15 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ',';
+    out += name;
+  }
+  return out;
+}
+
 std::string path_stem(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   const std::size_t start = slash == std::string::npos ? 0 : slash + 1;
@@ -111,10 +120,24 @@ BatchRecord run_job(const BatchJob& job, const BatchOptions& options) {
     if (options.cancel != nullptr) flow_options.budget.set_cancel_token(options.cancel);
 
     CacheRunInfo info;
-    const FlowResult result =
-        run_flow_cached(job.flow, input, flow_options, options.cache, &info);
+    FlowResult result;
+    if (!job.portfolio.empty()) {
+      std::vector<const EngineSpec*> engines;
+      const std::string invalid = parse_portfolio(join_names(job.portfolio), engines);
+      if (!invalid.empty()) throw Error(invalid);
+      // A batch task already occupies a pool lane; the race must run its
+      // engines sequentially (dominance still skips provably-lost engines).
+      PortfolioOptions popt;
+      popt.concurrent = false;
+      result = run_portfolio_cached(engines, input, flow_options, popt, options.cache,
+                                    &info);
+    } else {
+      result = run_flow_cached(job.flow, input, flow_options, options.cache, &info);
+    }
     record.ok = true;
     record.cache_hit = info.hit;
+    record.engine = result.engine;
+    record.portfolio = result.portfolio;
     record.phi = result.phi;
     record.luts = result.luts;
     record.ffs = result.ffs;
@@ -220,14 +243,23 @@ std::vector<BatchJob> read_batch_manifest(std::istream& in, const std::string& s
     job.path = fields[0];
     TS_CHECK(!job.path.empty(), context << "empty path in field 1");
     if (fields.size() >= 2) {
-      // Name the offending field: an unquoted path with spaces lands its
-      // tail here, and "unknown flow 'b.blif'" with no field context sent
-      // users hunting through the flow table instead of their path.
-      TS_CHECK(flow_kind_from_name(fields[1], job.flow),
-               context << "unknown flow '" << fields[1]
-                       << "' in field 2 (expected turbomap|turbosyn|flowsyn_s|"
-                          "turbomap_period; a path containing spaces must be "
-                          "double-quoted)");
+      if (fields[1].find(',') != std::string::npos) {
+        // A comma-separated engine list races as a portfolio. Resolved and
+        // validated here so a typo fails at manifest load, not mid-batch.
+        std::vector<const EngineSpec*> engines;
+        const std::string invalid = parse_portfolio(fields[1], engines);
+        TS_CHECK(invalid.empty(), context << invalid << " in field 2");
+        for (const EngineSpec* spec : engines) job.portfolio.push_back(spec->name);
+      } else {
+        // Name the offending field: an unquoted path with spaces lands its
+        // tail here, and "unknown flow 'b.blif'" with no field context sent
+        // users hunting through the flow table instead of their path.
+        TS_CHECK(flow_kind_from_name(fields[1], job.flow),
+                 context << "unknown flow '" << fields[1]
+                         << "' in field 2 (expected turbomap|turbosyn|flowsyn_s|"
+                            "turbomap_period or a comma-separated engine portfolio; "
+                            "a path containing spaces must be double-quoted)");
+      }
     }
     if (fields.size() >= 3) {
       TS_CHECK(parse_int_strict(fields[2], 2, 32, job.k),
@@ -270,6 +302,10 @@ std::string batch_record_json(const BatchRecord& record) {
   json_append_string(out, record.path);
   out += ",\"flow\":";
   json_append_string(out, flow_kind_name(record.flow));
+  if (!record.engine.empty()) {
+    out += ",\"engine\":";
+    json_append_string(out, record.engine);
+  }
   out += ",\"k\":" + std::to_string(record.k);
   out += ",\"ok\":";
   out += record.ok ? "true" : "false";

@@ -31,7 +31,10 @@
 //   path/to/circuit.blif [flow] [K]
 //
 // where `flow` is turbomap | turbosyn | flowsyn_s | turbomap_period
-// (default turbosyn) and K is the LUT input bound (default 5). Blank lines
+// (default turbosyn) or a comma-separated engine list
+// ("turbosyn,turbomap,flowsyn_s" — any registry engines, see
+// --engines-list) to race as a portfolio, and K is the LUT input bound
+// (default 5). Blank lines
 // and `#` comments are ignored. Inputs wider than K are decomposed on load.
 // A path containing spaces must be double-quoted ("a b/x.blif", with \" and
 // \\ escapes inside); an unquoted space used to shear the path into a bogus
@@ -60,6 +63,11 @@ struct BatchJob {
   /// reading `path` (the mapping daemon ships circuits in-band this way).
   std::string blif;
   FlowKind flow = FlowKind::kTurboSyn;
+  /// Engine names to race instead of `flow` (empty = standalone flow). The
+  /// job runs through run_portfolio_cached in sequential mode — each batch
+  /// task already occupies a pool lane, so the engines run in list order
+  /// with dominance-based skipping instead of concurrent lanes.
+  std::vector<std::string> portfolio;
   int k = 5;
 };
 
@@ -109,6 +117,12 @@ struct BatchRecord {
   bool ok = false;         // the flow ran and returned a result
   bool skipped = false;    // cancelled before the task started
   bool cache_hit = false;
+  /// Winning engine of a portfolio job (empty for standalone flows).
+  std::string engine;
+  /// The race table of a portfolio job (FlowResult::portfolio): one row per
+  /// engine, for service-level win counts and wall-time-saved rollups.
+  /// Empty for standalone flows and cache-replayed portfolio hits.
+  std::vector<EngineRun> portfolio;
   int phi = 0;
   int luts = 0;
   std::int64_t ffs = 0;

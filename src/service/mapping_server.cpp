@@ -137,6 +137,24 @@ ParsedLine parse_protocol_line(const std::string& line) {
             "field 'flow': expected turbomap|turbosyn|flowsyn_s|turbomap_period, got '" +
             value.text + "'");
       }
+    } else if (key == "portfolio") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return protocol_error("field 'portfolio': expected a comma-separated engine list");
+      }
+      std::vector<const EngineSpec*> engines;
+      if (const std::string invalid = parse_portfolio(value.text, engines);
+          !invalid.empty()) {
+        return protocol_error("field 'portfolio': " + invalid);
+      }
+      out.map.portfolio.clear();
+      for (const EngineSpec* spec : engines) out.map.portfolio.push_back(spec->name);
+    } else if (key == "priority") {
+      if (value.kind != JsonScalar::Kind::kString ||
+          (value.text != "high" && value.text != "normal")) {
+        return protocol_error("field 'priority': expected \"high\" or \"normal\", got '" +
+                              value.text + "'");
+      }
+      out.map.high_priority = value.text == "high";
     } else if (key == "k") {
       if (value.kind != JsonScalar::Kind::kNumber ||
           !parse_int_strict(value.text, 2, 32, out.map.k)) {
@@ -191,8 +209,10 @@ bool AdmissionQueue::push(Ticket ticket) {
     const std::string& client = ticket.request.client;
     auto [it, inserted] = queues_.try_emplace(client);
     if (inserted) round_robin_.push_back(client);
-    it->second.push_back(std::move(ticket));
+    const bool high = ticket.request.high_priority;
+    (high ? it->second.high : it->second.normal).push_back(std::move(ticket));
     ++depth_;
+    if (high) ++high_depth_;
   }
   ready_.notify_one();
   return true;
@@ -209,8 +229,25 @@ std::optional<AdmissionQueue::Ticket> AdmissionQueue::pop() {
       const auto qit = queues_.find(client);
       if (qit == queues_.end() || qit->second.empty()) continue;
       if (in_flight_[client] >= per_client_) continue;
-      Ticket ticket = std::move(qit->second.front());
-      qit->second.pop_front();
+      // 3:1 weighted round-robin between this client's two bands: the high
+      // sub-queue is served unless it just took three pops in a row while
+      // normal work waited. One band empty hands the turn to the other
+      // (serving high when normal is empty still charges the grant counter,
+      // so a later normal arrival waits at most the remaining grants).
+      ClientQueues& bands = qit->second;
+      const bool serve_high =
+          !bands.high.empty() && (bands.high_grants < 3 || bands.normal.empty());
+      std::deque<Ticket>& band = serve_high ? bands.high : bands.normal;
+      if (serve_high) {
+        ++bands.high_grants;
+        ++high_served_;
+        --high_depth_;
+      } else {
+        bands.high_grants = 0;
+        ++normal_served_;
+      }
+      Ticket ticket = std::move(band.front());
+      band.pop_front();
       --depth_;
       ++in_flight_[client];
       running_[{client, ticket.request.id}] = ticket.cancel;
@@ -250,11 +287,14 @@ bool AdmissionQueue::closed() const {
 std::vector<AdmissionQueue::Ticket> AdmissionQueue::drain() {
   std::vector<Ticket> out;
   const std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [client, queue] : queues_) {
-    for (Ticket& ticket : queue) out.push_back(std::move(ticket));
-    queue.clear();
+  for (auto& [client, bands] : queues_) {
+    for (Ticket& ticket : bands.high) out.push_back(std::move(ticket));
+    for (Ticket& ticket : bands.normal) out.push_back(std::move(ticket));
+    bands.high.clear();
+    bands.normal.clear();
   }
   depth_ = 0;
+  high_depth_ = 0;
   std::sort(out.begin(), out.end(),
             [](const Ticket& a, const Ticket& b) { return a.seq < b.seq; });
   return out;
@@ -263,13 +303,15 @@ std::vector<AdmissionQueue::Ticket> AdmissionQueue::drain() {
 bool AdmissionQueue::cancel(const std::string& client, std::int64_t id) {
   const std::lock_guard<std::mutex> lock(mu_);
   if (const auto qit = queues_.find(client); qit != queues_.end()) {
-    for (Ticket& ticket : qit->second) {
-      if (ticket.request.id == id) {
-        // The ticket stays queued: the worker that pops it observes the
-        // token and reports cancelled without running, so the admission is
-        // still answered by exactly one record.
-        ticket.cancel->cancel();
-        return true;
+    for (std::deque<Ticket>* band : {&qit->second.high, &qit->second.normal}) {
+      for (Ticket& ticket : *band) {
+        if (ticket.request.id == id) {
+          // The ticket stays queued: the worker that pops it observes the
+          // token and reports cancelled without running, so the admission is
+          // still answered by exactly one record.
+          ticket.cancel->cancel();
+          return true;
+        }
       }
     }
   }
@@ -282,8 +324,9 @@ bool AdmissionQueue::cancel(const std::string& client, std::int64_t id) {
 
 void AdmissionQueue::cancel_all() {
   const std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [client, queue] : queues_) {
-    for (Ticket& ticket : queue) ticket.cancel->cancel();
+  for (auto& [client, bands] : queues_) {
+    for (Ticket& ticket : bands.high) ticket.cancel->cancel();
+    for (Ticket& ticket : bands.normal) ticket.cancel->cancel();
   }
   for (auto& [key, token] : running_) token->cancel();
 }
@@ -300,40 +343,22 @@ int AdmissionQueue::in_flight() const {
   return total;
 }
 
-// ----------------------------------------------------------------- pool ----
-
-BudgetPool::BudgetPool(std::int64_t total_ms, std::int64_t per_request_ms)
-    : total_ms_(std::max<std::int64_t>(0, total_ms)),
-      per_request_ms_(std::max<std::int64_t>(0, per_request_ms)),
-      remaining_ms_(total_ms_) {}
-
-std::int64_t BudgetPool::carve(std::int64_t requested_ms) {
+std::int64_t AdmissionQueue::high_served() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  std::int64_t want = requested_ms > 0 ? requested_ms : per_request_ms_;
-  if (per_request_ms_ > 0 && (want == 0 || want > per_request_ms_)) {
-    want = per_request_ms_;
-  }
-  if (total_ms_ == 0) return want;  // unlimited pool: the ceiling alone governs
-  std::int64_t slice = want > 0 ? std::min(want, remaining_ms_) : remaining_ms_;
-  // An exhausted pool still serves: a 1ms slice makes the request report
-  // kDeadlineExceeded honestly instead of hanging admission on refunds.
-  if (slice < 1) slice = 1;
-  remaining_ms_ -= std::min(slice, remaining_ms_);
-  return slice;
+  return high_served_;
 }
 
-void BudgetPool::refund(std::int64_t carved_ms, std::int64_t used_ms) {
-  if (total_ms_ == 0 || carved_ms <= 0) return;
-  const std::int64_t unused = std::max<std::int64_t>(0, carved_ms - std::max<std::int64_t>(0, used_ms));
+std::int64_t AdmissionQueue::normal_served() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  remaining_ms_ = std::min(total_ms_, remaining_ms_ + unused);
+  return normal_served_;
 }
 
-std::int64_t BudgetPool::remaining() const {
-  if (total_ms_ == 0) return -1;
+std::size_t AdmissionQueue::high_depth() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return remaining_ms_;
+  return high_depth_;
 }
+
+// BudgetPool lives in base/run_budget.cpp since PR 9.
 
 // --------------------------------------------------------------- server ----
 
@@ -655,6 +680,7 @@ void MappingServer::run_ticket(AdmissionQueue::Ticket ticket) {
   job.path = display_path;
   job.blif = request.blif;
   job.flow = request.flow;
+  job.portfolio = request.portfolio;
   job.k = request.k;
 
   BatchOptions options;
@@ -693,6 +719,23 @@ void MappingServer::run_ticket(AdmissionQueue::Ticket ticket) {
     for (const StageMetric& stage : record.stage_metrics.stages) {
       stage_seconds_[stage.name] += stage.seconds;
       stage_runs_[stage.name] += 1;
+    }
+    if (!record.engine.empty()) {
+      ++portfolio_runs_;
+      ++portfolio_wins_[record.engine];
+      // Wall time saved by sound cancellation: each cancelled engine would
+      // have been allowed to run as long as the slowest finisher did.
+      double slowest_finisher = 0.0;
+      for (const EngineRun& row : record.portfolio) {
+        if (!row.cancelled && row.status != Status::kCancelled) {
+          slowest_finisher = std::max(slowest_finisher, row.seconds);
+        }
+      }
+      for (const EngineRun& row : record.portfolio) {
+        if (!row.cancelled) continue;
+        ++portfolio_cancelled_engines_;
+        portfolio_saved_seconds_ += std::max(0.0, slowest_finisher - row.seconds);
+      }
     }
   }
   emit_record(ticket, record);
@@ -794,6 +837,9 @@ std::string MappingServer::stats_json() const {
   s += ",\"retries\":" + std::to_string(retries_.load(std::memory_order_relaxed));
   s += ",\"queue_depth\":" + std::to_string(queue_->depth());
   s += ",\"in_flight\":" + std::to_string(queue_->in_flight());
+  s += ",\"high_queued\":" + std::to_string(queue_->high_depth());
+  s += ",\"high_served\":" + std::to_string(queue_->high_served());
+  s += ",\"normal_served\":" + std::to_string(queue_->normal_served());
   s += ",\"workers\":" + std::to_string(std::max(1, options_.workers));
   s += ",\"draining\":";
   s += draining() ? "true" : "false";
@@ -821,6 +867,18 @@ std::string MappingServer::stats_json() const {
   }
   {
     const std::lock_guard<std::mutex> lock(stats_mu_);
+    s += ",\"portfolio\":{\"runs\":" + std::to_string(portfolio_runs_);
+    s += ",\"cancelled_engines\":" + std::to_string(portfolio_cancelled_engines_);
+    s += ",\"cancelled_wall_saved_seconds\":" + json_double(portfolio_saved_seconds_);
+    s += ",\"wins\":{";
+    bool first_win = true;
+    for (const auto& [engine, wins] : portfolio_wins_) {
+      if (!first_win) s += ",";
+      first_win = false;
+      json_append_string(s, engine);
+      s += ":" + std::to_string(wins);
+    }
+    s += "}}";
     s += ",\"ledger\":{\"probes\":" + std::to_string(total_probes_);
     s += ",\"imported_probes\":" + std::to_string(imported_probes_);
     s += "},\"flow_seconds\":" + json_double(flow_seconds_);

@@ -10,6 +10,17 @@
 //   {"op":"map","id":7,"client":"ci","blif":"...","flow":"turbosyn","k":5,
 //    "deadline_ms":2000}                       — map an inline netlist
 //   {"op":"map","id":8,"path":"/x/a.blif"}     — map a file the server reads
+//   {"op":"map","id":9,"path":"/x/a.blif",
+//    "portfolio":"turbosyn,turbomap,flowsyn_s",
+//    "priority":"high"}                        — race engines, jump the line
+//
+// "portfolio" (a comma-separated engine list, validated against the
+// registry at parse time) races the named engines instead of running one
+// flow; the result record carries the winner in its "engine" field and the
+// STATS aggregate rolls up per-engine win counts plus the wall time saved
+// by cancelling provably-lost engines. "priority":"high" routes the request
+// to its client's high-priority sub-queue (served 3:1 against normal — see
+// AdmissionQueue below); "priority":"normal" is the default.
 //   STATS      (or {"op":"stats"})             — one JSON aggregate object
 //   PING       (or {"op":"ping"})              — liveness
 //   CANCEL 7   (or {"op":"cancel","id":7})     — cancel a queued/running map
@@ -77,10 +88,16 @@ struct MapRequest {
   std::string path;        // server-side file, when `blif` is empty
   std::string blif;        // inline netlist text (preferred for isolation)
   FlowKind flow = FlowKind::kTurboSyn;
+  /// Engine names to race instead of `flow` (the "portfolio" request field,
+  /// a comma-separated list validated at parse time). Empty = standalone.
+  std::vector<std::string> portfolio;
   int k = 5;
   /// Requested wall-clock slice; the server caps it to its per-request
   /// ceiling and to what the global pool has left. 0 = server default.
   std::int64_t deadline_ms = 0;
+  /// Two-level scheduling: 'priority':'high' requests go to the client's
+  /// high-priority sub-queue, served 3:1 against its normal sub-queue.
+  bool high_priority = false;
 };
 
 /// One parsed request line: a verb or a protocol error (never throws).
@@ -97,13 +114,18 @@ struct ParsedLine {
 /// embedding the protocol elsewhere.
 ParsedLine parse_protocol_line(const std::string& line);
 
-/// Round-robin admission queue with a per-client in-flight cap.
+/// Round-robin admission queue with a per-client in-flight cap and
+/// two-level per-client priorities.
 ///
-/// push() enqueues under the ticket's client; pop() serves clients in
+/// push() enqueues under the ticket's client, into its high or normal
+/// sub-queue (MapRequest::high_priority); pop() serves clients in
 /// round-robin order, skipping any client at its in-flight cap, and blocks
-/// while nothing is eligible. complete() returns a client's in-flight slot.
-/// close() wakes every popper with nullopt; drain() then removes whatever
-/// was still queued so the caller can emit records for it.
+/// while nothing is eligible. Within a client, the two sub-queues are
+/// served 3:1 weighted round-robin: up to three high-priority tickets per
+/// normal one, so urgent work jumps the line without starving the backlog.
+/// complete() returns a client's in-flight slot. close() wakes every popper
+/// with nullopt; drain() then removes whatever was still queued so the
+/// caller can emit records for it.
 class AdmissionQueue {
  public:
   struct Ticket {
@@ -147,52 +169,45 @@ class AdmissionQueue {
 
   std::size_t depth() const;
   int in_flight() const;
+  /// Tickets served (popped) from high / normal sub-queues so far.
+  std::int64_t high_served() const;
+  std::int64_t normal_served() const;
+  /// Tickets currently queued in high-priority sub-queues.
+  std::size_t high_depth() const;
 
  private:
+  /// One client's two-band state: FIFO sub-queues plus the 3:1 weighted
+  /// round-robin grant counter (how many consecutive high pops this client
+  /// has taken since its last normal pop).
+  struct ClientQueues {
+    std::deque<Ticket> high;
+    std::deque<Ticket> normal;
+    int high_grants = 0;
+    bool empty() const { return high.empty() && normal.empty(); }
+  };
+
   mutable std::mutex mu_;
   std::condition_variable ready_;
   std::size_t max_depth_;
   int per_client_;
   bool closed_ = false;
-  /// Per-client FIFO sub-queues; round_robin_ orders the clients and the
+  /// Per-client sub-queues; round_robin_ orders the clients and the
   /// cursor rotates so every pop starts the scan at a different client.
-  std::map<std::string, std::deque<Ticket>> queues_;
+  std::map<std::string, ClientQueues> queues_;
   std::vector<std::string> round_robin_;
   std::size_t rr_cursor_ = 0;
   std::map<std::string, int> in_flight_;
   std::size_t depth_ = 0;
+  std::size_t high_depth_ = 0;
+  std::int64_t high_served_ = 0;
+  std::int64_t normal_served_ = 0;
   /// Tokens of popped-but-incomplete tickets, for cancel() of running work.
   std::map<std::pair<std::string, std::int64_t>, std::shared_ptr<CancelToken>> running_;
 };
 
-/// Global wall-clock budget the daemon carves per-request slices from.
-/// total_ms == 0 means an unlimited pool (slices are just the per-request
-/// ceiling). Refunding returns a slice's unused portion, so the pool meters
-/// actual spend, not reservations.
-class BudgetPool {
- public:
-  BudgetPool(std::int64_t total_ms, std::int64_t per_request_ms);
-
-  /// The slice for one request: min(requested or per-request ceiling,
-  /// pool remaining). 0 = unlimited (only when both the pool and the
-  /// ceilings are unlimited); an exhausted pool yields 1ms slices — the
-  /// request still runs, reports kDeadlineExceeded best-so-far, and the
-  /// record says why.
-  std::int64_t carve(std::int64_t requested_ms);
-
-  /// Returns `carved - used` (clamped at 0) to the pool.
-  void refund(std::int64_t carved_ms, std::int64_t used_ms);
-
-  /// Milliseconds left (-1 = unlimited).
-  std::int64_t remaining() const;
-  std::int64_t total() const { return total_ms_; }
-
- private:
-  mutable std::mutex mu_;
-  std::int64_t total_ms_;
-  std::int64_t per_request_ms_;
-  std::int64_t remaining_ms_;
-};
+// BudgetPool moved to base/run_budget.hpp (PR 9): the portfolio runner in
+// core carves per-engine slices from the same pool type the daemon carves
+// per-request slices from.
 
 struct MappingServerOptions {
   /// Unix-domain socket path (unlinked and rebound on start). Empty: no
@@ -316,6 +331,14 @@ class MappingServer {
   std::int64_t total_probes_ = 0;
   std::int64_t imported_probes_ = 0;
   double flow_seconds_ = 0.0;
+  // Portfolio rollups (guarded by stats_mu_): wins per engine, and wall
+  // time saved by cancelled engines — per cancelled row, the slowest
+  // finisher's seconds minus the row's seconds (how much longer the row
+  // would have been allowed to run had nothing cancelled it).
+  std::map<std::string, std::int64_t> portfolio_wins_;
+  std::int64_t portfolio_runs_ = 0;
+  std::int64_t portfolio_cancelled_engines_ = 0;
+  double portfolio_saved_seconds_ = 0.0;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};

@@ -5,9 +5,11 @@
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "base/check.hpp"
+#include "core/engines.hpp"
 #include "decomp/roth_karp.hpp"
 #include "netlist/blif.hpp"
 #include "retime/cycle_ratio.hpp"
@@ -490,7 +492,7 @@ AuditReport audit_flow(const Circuit& input, const FlowResult& result,
     add_outcome("containment", failure,
                 "stage '" + result.failed_stage + "' contained: " + result.failure);
     for (const char* name : {"structure", "interface", "labels", "cuts", "mdr", "period",
-                             "equivalence", "probes", "stage-timing"}) {
+                             "equivalence", "probes", "portfolio", "stage-timing"}) {
       add(name, AuditStatus::kSkipped, "run failed in containment; no result to verify");
     }
     return report;
@@ -605,10 +607,14 @@ AuditReport audit_flow(const Circuit& input, const FlowResult& result,
   }
 
   // probes: the ledger is internally consistent and certifies the result —
-  // no (mode, phi) probed twice, no probe more degraded than the flow
-  // admits, the winning phi backed by a feasible record whose label hash
-  // matches the artifacts, and (on an exact run) a rejection witness at
-  // phi - 1 proving minimality.
+  // no (engine, mode, phi) probed twice, no winning-engine probe more
+  // degraded than the flow admits, the winning phi backed by a feasible
+  // record whose label hash matches the artifacts, and (on an exact run) a
+  // rejection witness at phi - 1 proving minimality. In a merged portfolio
+  // ledger the severity/certification rules bind only the winning engine's
+  // records (tagged with FlowResult::engine): a losing engine's degraded or
+  // interrupted probes are expected casualties of the race and must never
+  // outrank — or stand in for — the winner's certificate.
   if (result.probes.empty()) {
     add("probes", AuditStatus::kSkipped,
         "flow recorded no probe ledger (FlowSYN-s, or a pre-pipeline result)");
@@ -619,11 +625,14 @@ AuditReport audit_flow(const Circuit& input, const FlowResult& result,
     // probe at the same (mode, phi) — every verdict check skips them.
     const auto find_probe = [&result](LabelMode mode, int phi) -> const ProbeRecord* {
       for (const ProbeRecord& rec : result.probes) {
-        if (!rec.seed_only && rec.mode == mode && rec.phi == phi) return &rec;
+        if (!rec.seed_only && rec.engine == result.engine && rec.mode == mode &&
+            rec.phi == phi) {
+          return &rec;
+        }
       }
       return nullptr;
     };
-    std::map<std::pair<int, int>, int> seen;
+    std::map<std::tuple<std::string, int, int>, int> seen;
     for (const ProbeRecord& rec : result.probes) {
       if (rec.seed_only) {
         if (!rec.imported || rec.feasible) {
@@ -633,12 +642,14 @@ AuditReport audit_flow(const Circuit& input, const FlowResult& result,
         }
         continue;
       }
-      if (++seen[{static_cast<int>(rec.mode), rec.phi}] > 1) {
+      if (++seen[{rec.engine, static_cast<int>(rec.mode), rec.phi}] > 1) {
         failure = "phi=" + std::to_string(rec.phi) + " (" + label_mode_name(rec.mode) +
+                  (rec.engine.empty() ? std::string() : ", engine " + rec.engine) +
                   ") probed twice in one run";
         break;
       }
-      if (combine_status(result.status, rec.status) != result.status) {
+      if (rec.engine == result.engine &&
+          combine_status(result.status, rec.status) != result.status) {
         failure = "probe phi=" + std::to_string(rec.phi) + " (" + label_mode_name(rec.mode) +
                   ") reported status " + status_name(rec.status) +
                   ", more severe than the flow's " + status_name(result.status);
@@ -674,6 +685,125 @@ AuditReport audit_flow(const Circuit& input, const FlowResult& result,
     }
     add_outcome("probes", failure,
                 std::to_string(result.probes.size()) + " probe record(s), ledger consistent");
+  }
+
+  // portfolio: winner selection re-verified from the race table. The
+  // selected result must be the minimal certified φ among finishers under
+  // the shared selection order (engines.hpp), every cancellation must be
+  // justified by a finished certificate that provably dominates the victim,
+  // and no engine — cancelled or not — may hold an exact feasible probe
+  // below the selected φ (a cancelled engine therefore contributed no
+  // certificate the selection ignored).
+  if (result.portfolio.empty()) {
+    add("portfolio", AuditStatus::kSkipped, "standalone flow run (no portfolio)");
+  } else {
+    std::optional<std::string> failure;
+    const std::vector<EngineRun>& table = result.portfolio;
+    std::vector<const EngineSpec*> specs(table.size(), nullptr);
+    std::size_t winner_pos = table.size();
+    for (std::size_t i = 0; i < table.size() && !failure.has_value(); ++i) {
+      specs[i] = find_engine(table[i].name);
+      if (specs[i] == nullptr) {
+        failure = "unknown engine '" + table[i].name + "' in the portfolio table";
+        break;
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        if (table[j].name == table[i].name) {
+          failure = "engine '" + table[i].name + "' listed twice in the portfolio table";
+          break;
+        }
+      }
+      if (table[i].name == result.engine) winner_pos = i;
+    }
+    if (!failure.has_value() && result.engine.empty()) {
+      failure = "portfolio result names no winning engine";
+    }
+    if (!failure.has_value() && winner_pos == table.size()) {
+      failure = "winning engine '" + result.engine + "' is missing from the portfolio table";
+    }
+    // Row coherence: certified iff the engine finished exactly; cancelled
+    // rows were interrupted, never exact.
+    for (std::size_t i = 0; i < table.size() && !failure.has_value(); ++i) {
+      const EngineRun& row = table[i];
+      if (row.certified != (row.status == Status::kOk)) {
+        failure = "engine '" + row.name + "' marked " +
+                  (row.certified ? "certified with status " : "uncertified despite status ") +
+                  status_name(row.status);
+      } else if (row.cancelled && !is_interrupt(row.status)) {
+        failure = "cancelled engine '" + row.name + "' reports status " +
+                  std::string(status_name(row.status)) + " (expected an interrupt)";
+      }
+    }
+    if (!failure.has_value()) {
+      const EngineRun& win = table[winner_pos];
+      if (win.cancelled) {
+        failure = "winning engine '" + result.engine + "' is marked cancelled";
+      } else if (win.phi != result.phi) {
+        failure = "winner row claims phi=" + std::to_string(win.phi) +
+                  " but the result carries phi=" + std::to_string(result.phi);
+      } else if (win.status != result.status) {
+        failure = std::string("winner row status ") + status_name(win.status) +
+                  " does not match the result's " + status_name(result.status);
+      }
+    }
+    // Selection minimality among certified finishers.
+    if (!failure.has_value()) {
+      std::size_t best = table.size();
+      for (std::size_t i = 0; i < table.size(); ++i) {
+        if (!table[i].certified || table[i].cancelled) continue;
+        if (best == table.size() ||
+            portfolio_prefers(table[i].phi, specs[i]->strength, i, table[best].phi,
+                              specs[best]->strength, best)) {
+          best = i;
+        }
+      }
+      if (best != table.size() && best != winner_pos) {
+        failure = "selected winner '" + result.engine + "' (phi=" +
+                  std::to_string(table[winner_pos].phi) + ") is not the preferred certified " +
+                  "engine: '" + table[best].name + "' certified phi=" +
+                  std::to_string(table[best].phi);
+      }
+    }
+    // Every cancellation justified by a dominating finished certificate.
+    for (std::size_t i = 0; i < table.size() && !failure.has_value(); ++i) {
+      if (!table[i].cancelled) continue;
+      bool justified = false;
+      for (std::size_t j = 0; j < table.size() && !justified; ++j) {
+        justified = table[j].certified && !table[j].cancelled &&
+                    never_beats(*specs[i], *specs[j]) &&
+                    (specs[i]->strength < specs[j]->strength || j < i);
+      }
+      if (!justified) {
+        failure = "engine '" + table[i].name +
+                  "' was cancelled but no finished certificate dominates it";
+      }
+    }
+    // No exact feasible probe below the selected φ, anywhere in the merged
+    // ledger, and every record tagged with a raced engine.
+    if (!failure.has_value() && winner_pos != table.size()) {
+      const bool po_limited = specs[winner_pos]->period_objective;
+      for (const ProbeRecord& rec : result.probes) {
+        if (rec.seed_only) continue;
+        bool known = false;
+        for (const EngineRun& row : table) known = known || row.name == rec.engine;
+        if (!known) {
+          failure = "probe record tagged with engine '" + rec.engine +
+                    "', which is not in the portfolio";
+          break;
+        }
+        const bool certifies = rec.outcome == ProbeOutcome::kOk && rec.feasible &&
+                               (!po_limited || rec.max_po_label <= rec.phi);
+        if (certifies && rec.phi < result.phi) {
+          failure = "engine '" + rec.engine + "' holds an exact feasible probe at phi=" +
+                    std::to_string(rec.phi) + ", below the selected phi=" +
+                    std::to_string(result.phi) + ": wrong winner";
+          break;
+        }
+      }
+    }
+    add_outcome("portfolio", failure,
+                std::to_string(table.size()) + " engine(s), winner '" + result.engine +
+                    "' re-verified");
   }
 
   // stage-timing: the per-stage wall times are non-negative and account for

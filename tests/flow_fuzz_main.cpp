@@ -2,7 +2,8 @@
 // with the invariant auditor as the oracle.
 //
 //   $ flow_fuzz_main [--seeds N | --seeds A..B] [--time-budget SECONDS]
-//                    [--threads N] [--through-cache] [--require-all] [--verbose]
+//                    [--threads N] [--through-cache] [--portfolio]
+//                    [--require-all] [--verbose]
 //
 // Per seed it generates a small random FSM circuit (workloads/generator),
 // runs TurboMap and TurboSYN, and checks:
@@ -21,7 +22,12 @@
 //     flow-artifact cache (src/cache): the populate run and the cache-hit run
 //     must both be bit-identical with the uncached run, the hit's probe
 //     ledger must contain only imported records, and the hit must pass the
-//     full audit.
+//     full audit;
+//   - with --portfolio, every seed also races a rotating engine portfolio
+//     (core/portfolio) in both sequential and concurrent modes: the race
+//     must be bit-identical to the best standalone engine under the shared
+//     selection order, every cancelled row must be certificate-free, and
+//     the result must pass the full audit including the "portfolio" check.
 //
 // Exits nonzero on the first failing seed's summary. --time-budget stops
 // early once the budget is spent; with --require-all, not finishing every
@@ -41,7 +47,9 @@
 
 #include "base/check.hpp"
 #include "cache/cached_flow.hpp"
+#include "core/engines.hpp"
 #include "core/flows.hpp"
+#include "core/portfolio.hpp"
 #include "netlist/blif.hpp"
 #include "verify/audit.hpp"
 #include "verify/equiv.hpp"
@@ -57,6 +65,7 @@ struct FuzzConfig {
   double time_budget_s = 0.0;  // 0 = unlimited
   int threads = 2;             // the "N" of the 1-vs-N determinism check
   bool through_cache = false;  // replay every seed through a flow cache
+  bool portfolio = false;      // race a rotating engine portfolio per seed
   bool require_all = false;
   bool verbose = false;
 };
@@ -81,13 +90,15 @@ FuzzConfig parse_args(int argc, char** argv) {
       cfg.threads = std::atoi(argv[++i]);
     } else if (a == "--through-cache") {
       cfg.through_cache = true;
+    } else if (a == "--portfolio") {
+      cfg.portfolio = true;
     } else if (a == "--require-all") {
       cfg.require_all = true;
     } else if (a == "--verbose") {
       cfg.verbose = true;
     } else {
       std::cerr << "usage: flow_fuzz_main [--seeds N|A..B] [--time-budget S] [--threads N]"
-                   " [--through-cache] [--require-all] [--verbose]\n";
+                   " [--through-cache] [--portfolio] [--require-all] [--verbose]\n";
       std::exit(2);
     }
   }
@@ -303,6 +314,67 @@ SeedOutcome run_seed(std::uint64_t seed, const FuzzConfig& cfg, FlowCache* cache
       if (near_info.near_miss) {
         audit_into(out, edited, seeded, opt, "turbomap/near-miss", seed, cfg.verbose);
       }
+    }
+  }
+
+  // Portfolio race vs the "run everything, pick the best" oracle: the race
+  // (sequential and concurrent alike) must be bit-identical to the best
+  // standalone engine under the shared selection order, cancelled rows must
+  // be certificate-free, and the race must audit clean (the "portfolio"
+  // check re-verifies the table).
+  if (cfg.portfolio) {
+    static const std::vector<std::vector<std::string>> kPortfolios = {
+        {"turbomap", "turbosyn", "flowsyn_s"},
+        {"turbosyn", "turbomap"},
+        {"turbomap_nopld", "turbosyn_bisect", "flowsyn_s"},
+        {"turbosyn_tt", "turbomap"},
+    };
+    const std::vector<std::string>& names = kPortfolios[seed % kPortfolios.size()];
+    std::vector<const EngineSpec*> engines;
+    const std::string invalid = parse_portfolio(
+        [&names] {
+          std::string joined;
+          for (const std::string& n : names) {
+            if (!joined.empty()) joined += ',';
+            joined += n;
+          }
+          return joined;
+        }(),
+        engines);
+    expect(out, invalid.empty(), "portfolio spec rejected: " + invalid);
+
+    std::vector<FlowResult> standalone;
+    for (const EngineSpec* spec : engines) standalone.push_back(run_engine(*spec, c, opt));
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+      if (standalone[i].status != Status::kOk) continue;
+      if (!best || portfolio_prefers(standalone[i].phi, engines[i]->strength, i,
+                                     standalone[*best].phi, engines[*best]->strength,
+                                     *best)) {
+        best = i;
+      }
+    }
+    expect(out, best.has_value(), "portfolio oracle: no standalone engine certified");
+    if (best) {
+      PortfolioOptions seq;
+      seq.concurrent = false;
+      const FlowResult race_seq = run_portfolio(engines, c, opt, seq);
+      expect(out, race_seq.engine == engines[*best]->name,
+             "sequential race winner " + race_seq.engine + " != oracle " +
+                 engines[*best]->name);
+      expect(out, fingerprint(race_seq) == fingerprint(standalone[*best]),
+             "sequential race differs from the best standalone engine");
+      const FlowResult race_con = run_portfolio(engines, c, opt);
+      expect(out, race_con.engine == engines[*best]->name,
+             "concurrent race winner " + race_con.engine + " != oracle " +
+                 engines[*best]->name);
+      expect(out, fingerprint(race_con) == fingerprint(standalone[*best]),
+             "concurrent race differs from the best standalone engine");
+      for (const EngineRun& row : race_con.portfolio) {
+        expect(out, !(row.cancelled && row.certified),
+               "cancelled engine " + row.name + " holds a certificate");
+      }
+      audit_into(out, c, race_con, opt, "portfolio", seed, cfg.verbose);
     }
   }
 

@@ -37,6 +37,7 @@ namespace {
   std::cerr << "error: " << message << '\n'
             << "usage: ts_client (--socket PATH | --tcp-port N)\n"
                "         (--map FILE [--send-path] [--flow NAME] [--k N]\n"
+               "            [--portfolio E1,E2,...] [--priority high|normal]\n"
                "            [--deadline-ms N] [--id N] [--client NAME]\n"
                "          | --stats | --ping | --cancel ID [--client NAME]\n"
                "          | --shutdown | --stdin)\n";
@@ -116,6 +117,8 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::string map_file;
   std::string flow = "turbosyn";
+  std::string portfolio;
+  std::string priority;
   std::string client_name;
   int tcp_port = -1;
   long long k = 5;
@@ -143,6 +146,15 @@ int main(int argc, char** argv) {
       send_path = true;
     } else if (a == "--flow") {
       flow = value();
+    } else if (a == "--portfolio") {
+      // Validated by the daemon against its engine registry; a bad name
+      // comes back as an error reply naming the engine.
+      portfolio = value();
+    } else if (a == "--priority") {
+      priority = value();
+      if (priority != "high" && priority != "normal") {
+        usage_error("--priority expects 'high' or 'normal'");
+      }
     } else if (a == "--client") {
       client_name = value();
     } else if (a == "--k") {
@@ -195,6 +207,8 @@ int main(int argc, char** argv) {
       request = "{\"op\":\"map\",\"id\":" + std::to_string(id);
       if (!client_name.empty()) request += ",\"client\":" + json_quote(client_name);
       request += ",\"flow\":" + json_quote(flow) + ",\"k\":" + std::to_string(k);
+      if (!portfolio.empty()) request += ",\"portfolio\":" + json_quote(portfolio);
+      if (!priority.empty()) request += ",\"priority\":" + json_quote(priority);
       if (deadline_ms > 0) request += ",\"deadline_ms\":" + std::to_string(deadline_ms);
       if (send_path) {
         request += ",\"path\":" + json_quote(map_file);
