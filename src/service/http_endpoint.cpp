@@ -1,0 +1,191 @@
+#include "service/http_endpoint.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "base/check.hpp"
+
+namespace turbosyn {
+namespace {
+
+/// Full response bytes for one exchange. Every response carries an explicit
+/// Content-Length and Connection: close, so even HTTP/1.1 clients that
+/// would default to keep-alive read the body and hang up.
+std::string http_response(int code, const char* reason, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // the peer is gone; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Parses "/trace/<decimal id>"; false for any other shape (including a
+/// trailing slash, sign, or non-digit — a garbage id is a 404, not a 500).
+bool parse_trace_target(std::string_view target, std::uint64_t* id) {
+  constexpr std::string_view kPrefix = "/trace/";
+  if (!target.starts_with(kPrefix)) return false;
+  const std::string_view digits = target.substr(kPrefix.size());
+  if (digits.empty() || digits.size() > 19) return false;
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *id = value;
+  return true;
+}
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(int port, Handlers handlers)
+    : requested_port_(port), handlers_(std::move(handlers)) {}
+
+HttpEndpoint::~HttpEndpoint() { stop(); }
+
+void HttpEndpoint::start() {
+  TS_CHECK(listen_fd_ < 0, "HttpEndpoint::start() called twice");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  TS_CHECK(fd >= 0, std::string("socket(AF_INET): ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(requested_port_));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const std::string error = "http bind/listen(127.0.0.1:" +
+                              std::to_string(requested_port_) +
+                              "): " + std::strerror(errno);
+    ::close(fd);
+    throw Error(error);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  listen_fd_ = fd;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpEndpoint::stop() {
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpEndpoint::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down
+    }
+    // A stalled peer must not wedge the scrape path: bound both directions,
+    // then serve inline (responses are small and handlers are fast, so one
+    // connection at a time keeps the endpoint free of thread churn).
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpEndpoint::serve_connection(int fd) {
+  // Read until the end of the header block (GETs carry no body). 16 KiB is
+  // generous for a request whose only meaningful content is the first line.
+  std::string request;
+  char chunk[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < (std::size_t{16} << 10)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (request.find("\r\n") == std::string::npos) return;  // nothing usable
+      break;  // a bare request line without final CRLFCRLF still routes
+    }
+    request.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  const std::size_t eol = request.find("\r\n");
+  const std::string_view first_line =
+      std::string_view(request).substr(0, eol == std::string::npos ? request.size() : eol);
+  const std::size_t sp1 = first_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos : first_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    send_all(fd, http_response(400, "Bad Request", "text/plain", "bad request\n"));
+    return;
+  }
+  const std::string_view method = first_line.substr(0, sp1);
+  std::string_view target = first_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Scrapers may append a query string; the routes here ignore it.
+  if (const std::size_t q = target.find('?'); q != std::string_view::npos) {
+    target = target.substr(0, q);
+  }
+
+  if (method != "GET") {
+    send_all(fd, http_response(405, "Method Not Allowed", "text/plain",
+                               "only GET is supported\n"));
+    return;
+  }
+  if (target == "/metrics") {
+    send_all(fd, http_response(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                               handlers_.metrics ? handlers_.metrics() : std::string()));
+    return;
+  }
+  if (target == "/healthz") {
+    const bool ready = handlers_.ready && handlers_.ready();
+    if (ready) {
+      send_all(fd, http_response(200, "OK", "text/plain", "ok\n"));
+    } else {
+      send_all(fd, http_response(503, "Service Unavailable", "text/plain", "draining\n"));
+    }
+    return;
+  }
+  if (std::uint64_t id = 0; parse_trace_target(target, &id)) {
+    const std::string body = handlers_.trace ? handlers_.trace(id) : std::string();
+    if (body.empty()) {
+      send_all(fd, http_response(404, "Not Found", "text/plain",
+                                 "no trace for this request id\n"));
+    } else {
+      send_all(fd, http_response(200, "OK", "application/json", body));
+    }
+    return;
+  }
+  send_all(fd, http_response(404, "Not Found", "text/plain",
+                             "routes: /metrics /healthz /trace/<id>\n"));
+}
+
+}  // namespace turbosyn

@@ -478,9 +478,28 @@ void MappingServer::start() {
     workers_.emplace_back([this] { worker_loop(); });
   }
   monitor_ = std::thread([this] { monitor_loop(); });
+  if (options_.http_port >= 0) {
+    HttpEndpoint::Handlers handlers;
+    handlers.metrics = [this] { return render_prometheus(snapshot()); };
+    handlers.ready = [this] { return !draining_.load(std::memory_order_relaxed); };
+    handlers.trace = [this](std::uint64_t seq) { return trace_json(seq); };
+    http_ = std::make_unique<HttpEndpoint>(options_.http_port, std::move(handlers));
+    try {
+      http_->start();
+    } catch (...) {
+      // The line protocol is already live; unwind it before rethrowing so
+      // the caller never sees a half-started server.
+      http_.reset();
+      request_shutdown();
+      wait();
+      throw;
+    }
+  }
 }
 
 int MappingServer::port() const { return tcp_port_bound_; }
+
+int MappingServer::http_port() const { return http_ != nullptr ? http_->port() : -1; }
 
 bool MappingServer::draining() const { return draining_.load(std::memory_order_relaxed); }
 
@@ -692,6 +711,16 @@ void MappingServer::run_ticket(AdmissionQueue::Ticket ticket) {
   const std::int64_t slice_ms = pool_->carve(request.deadline_ms);
   options.per_circuit_deadline_ms = slice_ms;
 
+  // Per-request trace handle: with the ring enabled, this request runs
+  // against its own sink so its span tree is retrievable in isolation via
+  // /trace/<seq> — the shared options_.flow.trace sink (if any) is NOT also
+  // fed, or every span would be double-counted in the merged totals.
+  std::unique_ptr<TraceSink> request_trace;
+  if (options_.trace_ring_entries > 0) {
+    request_trace = std::make_unique<TraceSink>();
+    options.flow.trace = request_trace.get();
+  }
+
   const auto start = Clock::now();
   int retries = 0;
   BatchRecord record = run_supervised_job(job, options, &retries);
@@ -738,18 +767,51 @@ void MappingServer::run_ticket(AdmissionQueue::Ticket ticket) {
       }
     }
   }
-  emit_record(ticket, record);
+  if (request_trace != nullptr) store_trace(ticket.seq, *request_trace);
+  emit_record(ticket, record, request_trace != nullptr);
+}
+
+void MappingServer::store_trace(std::uint64_t seq, const TraceSink& sink) {
+  std::string json = sink.to_json();
+  const std::lock_guard<std::mutex> lock(trace_mu_);
+  // Totals survive eviction: the aggregate view (STATS "trace", /metrics
+  // ts_trace_counter_total) covers every request ever traced, while the
+  // ring bounds only the retrievable span trees.
+  for (const auto& [name, value] : sink.totals()) trace_totals_[name] += value;
+  if (json.size() > options_.trace_ring_bytes) return;  // would evict everything
+  trace_ring_bytes_now_ += json.size();
+  trace_ring_.push_back(TraceHandle{seq, std::move(json)});
+  ++traces_stored_;
+  while (trace_ring_.size() > options_.trace_ring_entries ||
+         trace_ring_bytes_now_ > options_.trace_ring_bytes) {
+    trace_ring_bytes_now_ -= trace_ring_.front().json.size();
+    trace_ring_.pop_front();
+    ++traces_evicted_;
+  }
+}
+
+std::string MappingServer::trace_json(std::uint64_t seq) const {
+  const std::lock_guard<std::mutex> lock(trace_mu_);
+  for (const TraceHandle& handle : trace_ring_) {
+    if (handle.seq == seq) return handle.json;
+  }
+  return {};
 }
 
 void MappingServer::emit_record(const AdmissionQueue::Ticket& ticket,
-                                const BatchRecord& record) {
+                                const BatchRecord& record, bool traced) {
   const std::string body = batch_record_json(record);  // "{...}"
+  // The trace handle (when this request ran under the ring) rides in both
+  // envelopes: "trace":<seq> is what a client quotes back to /trace/<seq>.
+  const std::string trace_field =
+      traced ? ",\"trace\":" + std::to_string(ticket.seq) : std::string();
   // The JSONL record and the wire reply share the record body byte for
   // byte; only the envelope differs.
   std::string jsonl_line = "{\"seq\":" + std::to_string(ticket.seq) +
                            ",\"id\":" + std::to_string(ticket.request.id) +
                            ",\"client\":";
   json_append_string(jsonl_line, ticket.request.client);
+  jsonl_line += trace_field;
   jsonl_line += ",";
   jsonl_line += body.substr(1);
   sink_->write(jsonl_line);
@@ -757,6 +819,7 @@ void MappingServer::emit_record(const AdmissionQueue::Ticket& ticket,
   std::string reply = "{\"reply\":\"result\",\"id\":" + std::to_string(ticket.request.id) +
                       ",\"client\":";
   json_append_string(reply, ticket.request.client);
+  reply += trace_field;
   reply += ",";
   reply += body.substr(1);
   send_reply(connection(ticket.connection), reply);
@@ -824,92 +887,173 @@ void MappingServer::wait() {
   for (const int fd : listen_fds_) ::close(fd);
   listen_fds_.clear();
   if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+  // The HTTP endpoint goes down last: /healthz keeps answering 503 through
+  // the whole drain (that flip is what a readiness probe watches for) and
+  // /trace stays fetchable until every record has been emitted.
+  if (http_ != nullptr) http_->stop();
 }
 
-std::string MappingServer::stats_json() const {
-  std::string s = "{\"reply\":\"stats\",\"server\":{";
-  s += "\"admitted\":" + std::to_string(admitted());
-  s += ",\"completed\":" + std::to_string(completed());
-  s += ",\"failed\":" + std::to_string(failed());
-  s += ",\"cancelled\":" + std::to_string(cancelled());
-  s += ",\"rejected\":" + std::to_string(rejected());
-  s += ",\"poison_blocked\":" + std::to_string(poison_blocked());
-  s += ",\"retries\":" + std::to_string(retries_.load(std::memory_order_relaxed));
-  s += ",\"queue_depth\":" + std::to_string(queue_->depth());
-  s += ",\"in_flight\":" + std::to_string(queue_->in_flight());
-  s += ",\"high_queued\":" + std::to_string(queue_->high_depth());
-  s += ",\"high_served\":" + std::to_string(queue_->high_served());
-  s += ",\"normal_served\":" + std::to_string(queue_->normal_served());
-  s += ",\"workers\":" + std::to_string(std::max(1, options_.workers));
-  s += ",\"draining\":";
-  s += draining() ? "true" : "false";
-  s += ",\"jsonl_faults\":" + std::to_string(jsonl_faults());
-  s += "},\"budget\":{\"total_ms\":" + std::to_string(pool_->total());
-  s += ",\"remaining_ms\":" + std::to_string(pool_->remaining());
-  s += "}";
+StatsSnapshot MappingServer::snapshot() const {
+  StatsSnapshot snap;
+  snap.admitted = admitted();
+  snap.completed = completed();
+  snap.failed = failed();
+  snap.cancelled = cancelled();
+  snap.rejected = rejected();
+  snap.poison_blocked = poison_blocked();
+  snap.retries = retries_.load(std::memory_order_relaxed);
+  snap.queue_depth = static_cast<std::int64_t>(queue_->depth());
+  snap.in_flight = queue_->in_flight();
+  snap.high_queued = static_cast<std::int64_t>(queue_->high_depth());
+  snap.high_served = queue_->high_served();
+  snap.normal_served = queue_->normal_served();
+  snap.workers = std::max(1, options_.workers);
+  snap.draining = draining();
+  snap.jsonl_faults = jsonl_faults();
+  snap.budget_total_ms = pool_->total();
+  snap.budget_remaining_ms = pool_->remaining();
   if (options_.cache != nullptr) {
     const FlowCache& cache = *options_.cache;
-    s += ",\"cache\":{";
-    s += "\"hits\":" + std::to_string(cache.hits());
-    s += ",\"misses\":" + std::to_string(cache.misses());
-    s += ",\"stores\":" + std::to_string(cache.stores());
-    s += ",\"rejects\":" + std::to_string(cache.rejects());
-    s += ",\"near_hits\":" + std::to_string(cache.near_hits());
-    s += ",\"recovered_entries\":" + std::to_string(cache.recovered_entries());
-    s += ",\"recovered_tmp\":" + std::to_string(cache.recovered_tmp());
-    s += ",\"recovered_sidecars\":" + std::to_string(cache.recovered_sidecars());
-    s += ",\"store_retries\":" + std::to_string(cache.retries());
-    s += ",\"hot_hits\":" + std::to_string(cache.hot_hits());
-    s += ",\"hot_evictions\":" + std::to_string(cache.hot_evictions());
-    s += ",\"hot_entries\":" + std::to_string(cache.hot_entries());
-    s += ",\"hot_bytes\":" + std::to_string(cache.hot_bytes());
-    s += "}";
+    snap.has_cache = true;
+    snap.cache_hits = cache.hits();
+    snap.cache_misses = cache.misses();
+    snap.cache_stores = cache.stores();
+    snap.cache_rejects = cache.rejects();
+    snap.cache_near_hits = cache.near_hits();
+    snap.cache_recovered_entries = cache.recovered_entries();
+    snap.cache_recovered_tmp = cache.recovered_tmp();
+    snap.cache_recovered_sidecars = cache.recovered_sidecars();
+    snap.cache_store_retries = cache.retries();
+    snap.hot_hits = cache.hot_hits();
+    snap.hot_evictions = cache.hot_evictions();
+    snap.hot_cost_evictions = cache.hot_cost_evictions();
+    snap.hot_cost_retained_seconds = cache.hot_cost_retained_seconds();
+    snap.hot_entries = cache.hot_entries();
+    snap.hot_bytes = cache.hot_bytes();
+    snap.hot_policy = hot_policy_name(cache.hot_policy());
   }
   {
     const std::lock_guard<std::mutex> lock(stats_mu_);
-    s += ",\"portfolio\":{\"runs\":" + std::to_string(portfolio_runs_);
-    s += ",\"cancelled_engines\":" + std::to_string(portfolio_cancelled_engines_);
-    s += ",\"cancelled_wall_saved_seconds\":" + json_double(portfolio_saved_seconds_);
-    s += ",\"wins\":{";
-    bool first_win = true;
-    for (const auto& [engine, wins] : portfolio_wins_) {
-      if (!first_win) s += ",";
-      first_win = false;
-      json_append_string(s, engine);
-      s += ":" + std::to_string(wins);
-    }
-    s += "}}";
-    s += ",\"ledger\":{\"probes\":" + std::to_string(total_probes_);
-    s += ",\"imported_probes\":" + std::to_string(imported_probes_);
-    s += "},\"flow_seconds\":" + json_double(flow_seconds_);
-    s += ",\"stages\":{";
-    bool first = true;
+    snap.portfolio_runs = portfolio_runs_;
+    snap.portfolio_cancelled_engines = portfolio_cancelled_engines_;
+    snap.portfolio_saved_seconds = portfolio_saved_seconds_;
+    snap.portfolio_wins = portfolio_wins_;
+    snap.total_probes = total_probes_;
+    snap.imported_probes = imported_probes_;
+    snap.flow_seconds = flow_seconds_;
     for (const auto& [name, seconds] : stage_seconds_) {
-      if (!first) s += ",";
-      first = false;
-      json_append_string(s, name);
-      s += ":{\"seconds\":" + json_double(seconds);
       const auto runs = stage_runs_.find(name);
-      s += ",\"runs\":" +
-           std::to_string(runs == stage_runs_.end() ? 0 : runs->second) + "}";
+      snap.stages[name] =
+          StatsSnapshot::StageStat{seconds, runs == stage_runs_.end() ? 0 : runs->second};
     }
-    s += "}";
+  }
+  for (const auto& [site, count] : failpoint::trigger_counts()) {
+    snap.failpoints[site] = count;
+  }
+  // Trace totals: the shared sink (ring disabled) and the accumulated
+  // per-request totals (ring enabled) merge into one view — exactly one of
+  // the two sources is populated for any given request.
+  if (options_.flow.trace != nullptr) {
+    snap.has_trace = true;
+    snap.trace_totals = options_.flow.trace->totals();
   }
   {
-    s += ",\"failpoints\":{";
-    bool first = true;
-    for (const auto& [site, count] : failpoint::trigger_counts()) {
-      if (!first) s += ",";
-      first = false;
-      json_append_string(s, site);
-      s += ":" + std::to_string(count);
+    const std::lock_guard<std::mutex> lock(trace_mu_);
+    if (options_.trace_ring_entries > 0) {
+      snap.has_trace = true;
+      snap.has_trace_ring = true;
+      for (const auto& [name, value] : trace_totals_) snap.trace_totals[name] += value;
+      snap.traces_stored = traces_stored_;
+      snap.traces_evicted = traces_evicted_;
+      snap.trace_ring_entries = static_cast<std::int64_t>(trace_ring_.size());
+      snap.trace_ring_bytes = static_cast<std::int64_t>(trace_ring_bytes_now_);
     }
+  }
+  return snap;
+}
+
+std::string MappingServer::stats_json() const { return render_stats_json(snapshot()); }
+
+std::string render_stats_json(const StatsSnapshot& snap) {
+  std::string s = "{\"reply\":\"stats\",\"server\":{";
+  s += "\"admitted\":" + std::to_string(snap.admitted);
+  s += ",\"completed\":" + std::to_string(snap.completed);
+  s += ",\"failed\":" + std::to_string(snap.failed);
+  s += ",\"cancelled\":" + std::to_string(snap.cancelled);
+  s += ",\"rejected\":" + std::to_string(snap.rejected);
+  s += ",\"poison_blocked\":" + std::to_string(snap.poison_blocked);
+  s += ",\"retries\":" + std::to_string(snap.retries);
+  s += ",\"queue_depth\":" + std::to_string(snap.queue_depth);
+  s += ",\"in_flight\":" + std::to_string(snap.in_flight);
+  s += ",\"high_queued\":" + std::to_string(snap.high_queued);
+  s += ",\"high_served\":" + std::to_string(snap.high_served);
+  s += ",\"normal_served\":" + std::to_string(snap.normal_served);
+  s += ",\"workers\":" + std::to_string(snap.workers);
+  s += ",\"draining\":";
+  s += snap.draining ? "true" : "false";
+  s += ",\"jsonl_faults\":" + std::to_string(snap.jsonl_faults);
+  s += "},\"budget\":{\"total_ms\":" + std::to_string(snap.budget_total_ms);
+  s += ",\"remaining_ms\":" + std::to_string(snap.budget_remaining_ms);
+  s += "}";
+  if (snap.has_cache) {
+    s += ",\"cache\":{";
+    s += "\"hits\":" + std::to_string(snap.cache_hits);
+    s += ",\"misses\":" + std::to_string(snap.cache_misses);
+    s += ",\"stores\":" + std::to_string(snap.cache_stores);
+    s += ",\"rejects\":" + std::to_string(snap.cache_rejects);
+    s += ",\"near_hits\":" + std::to_string(snap.cache_near_hits);
+    s += ",\"recovered_entries\":" + std::to_string(snap.cache_recovered_entries);
+    s += ",\"recovered_tmp\":" + std::to_string(snap.cache_recovered_tmp);
+    s += ",\"recovered_sidecars\":" + std::to_string(snap.cache_recovered_sidecars);
+    s += ",\"store_retries\":" + std::to_string(snap.cache_store_retries);
+    s += ",\"hot_hits\":" + std::to_string(snap.hot_hits);
+    s += ",\"hot_evictions\":" + std::to_string(snap.hot_evictions);
+    s += ",\"hot_cost_evictions\":" + std::to_string(snap.hot_cost_evictions);
+    s += ",\"hot_cost_retained_seconds\":" + json_double(snap.hot_cost_retained_seconds);
+    s += ",\"hot_entries\":" + std::to_string(snap.hot_entries);
+    s += ",\"hot_bytes\":" + std::to_string(snap.hot_bytes);
+    s += ",\"hot_policy\":";
+    json_append_string(s, snap.hot_policy);
     s += "}";
   }
-  if (options_.flow.trace != nullptr) {
+  s += ",\"portfolio\":{\"runs\":" + std::to_string(snap.portfolio_runs);
+  s += ",\"cancelled_engines\":" + std::to_string(snap.portfolio_cancelled_engines);
+  s += ",\"cancelled_wall_saved_seconds\":" + json_double(snap.portfolio_saved_seconds);
+  s += ",\"wins\":{";
+  bool first_win = true;
+  for (const auto& [engine, wins] : snap.portfolio_wins) {
+    if (!first_win) s += ",";
+    first_win = false;
+    json_append_string(s, engine);
+    s += ":" + std::to_string(wins);
+  }
+  s += "}}";
+  s += ",\"ledger\":{\"probes\":" + std::to_string(snap.total_probes);
+  s += ",\"imported_probes\":" + std::to_string(snap.imported_probes);
+  s += "},\"flow_seconds\":" + json_double(snap.flow_seconds);
+  s += ",\"stages\":{";
+  bool first = true;
+  for (const auto& [name, stage] : snap.stages) {
+    if (!first) s += ",";
+    first = false;
+    json_append_string(s, name);
+    s += ":{\"seconds\":" + json_double(stage.seconds);
+    s += ",\"runs\":" + std::to_string(stage.runs) + "}";
+  }
+  s += "}";
+  s += ",\"failpoints\":{";
+  first = true;
+  for (const auto& [site, count] : snap.failpoints) {
+    if (!first) s += ",";
+    first = false;
+    json_append_string(s, site);
+    s += ":" + std::to_string(count);
+  }
+  s += "}";
+  if (snap.has_trace) {
     s += ",\"trace\":{";
-    bool first = true;
-    for (const auto& [name, value] : options_.flow.trace->totals()) {
+    first = true;
+    for (const auto& [name, value] : snap.trace_totals) {
       if (!first) s += ",";
       first = false;
       json_append_string(s, name);
@@ -917,8 +1061,213 @@ std::string MappingServer::stats_json() const {
     }
     s += "}";
   }
+  if (snap.has_trace_ring) {
+    s += ",\"trace_ring\":{\"stored\":" + std::to_string(snap.traces_stored);
+    s += ",\"evicted\":" + std::to_string(snap.traces_evicted);
+    s += ",\"entries\":" + std::to_string(snap.trace_ring_entries);
+    s += ",\"bytes\":" + std::to_string(snap.trace_ring_bytes);
+    s += "}";
+  }
   s += "}";
   return s;
+}
+
+namespace {
+
+/// One exposition family: # HELP, # TYPE, then the sample line(s). The
+/// emitters below guarantee promlint.py's invariants by construction —
+/// every family declared exactly once, counters suffixed _total, samples
+/// immediately after their TYPE line.
+void prom_family(std::string& out, const char* name, const char* help, const char* type) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void prom_sample(std::string& out, const char* name, std::int64_t value) {
+  out += name;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+void prom_sample(std::string& out, const char* name, double value) {
+  out += name;
+  out += ' ';
+  out += json_double(value);
+  out += '\n';
+}
+
+void prom_counter(std::string& out, const char* name, const char* help,
+                  std::int64_t value) {
+  prom_family(out, name, help, "counter");
+  prom_sample(out, name, value);
+}
+
+void prom_gauge(std::string& out, const char* name, const char* help, std::int64_t value) {
+  prom_family(out, name, help, "gauge");
+  prom_sample(out, name, value);
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+std::string prom_label_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_prometheus(const StatsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  prom_counter(out, "ts_server_admitted_total", "Requests admitted to the queue.",
+               snap.admitted);
+  prom_counter(out, "ts_server_completed_total", "Requests finished successfully.",
+               snap.completed);
+  prom_counter(out, "ts_server_failed_total", "Requests that failed or quarantined.",
+               snap.failed);
+  prom_counter(out, "ts_server_cancelled_total", "Requests cancelled or drained.",
+               snap.cancelled);
+  prom_counter(out, "ts_server_rejected_total",
+               "Requests rejected at admission (full queue or draining).", snap.rejected);
+  prom_counter(out, "ts_server_poison_blocked_total",
+               "Resubmissions of quarantined circuits answered without running.",
+               snap.poison_blocked);
+  prom_counter(out, "ts_server_retries_total",
+               "Supervised attempt retries across all requests.", snap.retries);
+  prom_gauge(out, "ts_server_workers", "Configured worker lanes.", snap.workers);
+  prom_gauge(out, "ts_server_draining",
+             "1 while the graceful drain is in progress, else 0.",
+             snap.draining ? 1 : 0);
+  prom_counter(out, "ts_server_jsonl_faults_total",
+               "JSONL sink write faults absorbed.", snap.jsonl_faults);
+  prom_gauge(out, "ts_queue_depth", "Tickets queued, not yet popped.", snap.queue_depth);
+  prom_gauge(out, "ts_queue_in_flight", "Tickets popped and running.", snap.in_flight);
+  prom_gauge(out, "ts_queue_high_depth", "Queued high-priority tickets.",
+             snap.high_queued);
+  prom_counter(out, "ts_queue_high_served_total",
+               "Tickets served from high-priority sub-queues.", snap.high_served);
+  prom_counter(out, "ts_queue_normal_served_total",
+               "Tickets served from normal sub-queues.", snap.normal_served);
+  prom_gauge(out, "ts_budget_total_ms", "Global budget pool size (0 = unlimited).",
+             snap.budget_total_ms);
+  prom_gauge(out, "ts_budget_remaining_ms", "Budget pool milliseconds left.",
+             snap.budget_remaining_ms);
+
+  if (snap.has_cache) {
+    prom_counter(out, "ts_cache_hits_total", "FlowCache lookup hits.", snap.cache_hits);
+    prom_counter(out, "ts_cache_misses_total", "FlowCache lookup misses.",
+                 snap.cache_misses);
+    prom_counter(out, "ts_cache_stores_total", "Entries persisted.", snap.cache_stores);
+    prom_counter(out, "ts_cache_rejects_total",
+                 "Unstorable (quarantined/degraded) results refused.", snap.cache_rejects);
+    prom_counter(out, "ts_cache_near_hits_total", "Near-miss warm-start donors served.",
+                 snap.cache_near_hits);
+    prom_counter(out, "ts_cache_recovered_entries_total",
+                 "Torn or corrupt entries detected and absorbed.",
+                 snap.cache_recovered_entries);
+    prom_counter(out, "ts_cache_recovered_tmp_total",
+                 "Stray tmp files garbage-collected.", snap.cache_recovered_tmp);
+    prom_counter(out, "ts_cache_recovered_sidecars_total",
+                 "Near-miss sidecars dropped.", snap.cache_recovered_sidecars);
+    prom_counter(out, "ts_cache_store_retries_total",
+                 "Store attempts re-run after transient failures.",
+                 snap.cache_store_retries);
+    prom_counter(out, "ts_cache_hot_hits_total",
+                 "Hits served from the in-memory hot tier.", snap.hot_hits);
+    prom_counter(out, "ts_cache_hot_evictions_total", "Hot-tier entries evicted.",
+                 snap.hot_evictions);
+    prom_counter(out, "ts_cache_hot_cost_evictions_total",
+                 "Evictions where the cost-aware score overrode LRU order.",
+                 snap.hot_cost_evictions);
+    prom_family(out, "ts_cache_hot_cost_retained_seconds_total",
+                "Flow wall seconds kept resident by cost-aware eviction.", "counter");
+    prom_sample(out, "ts_cache_hot_cost_retained_seconds_total",
+                snap.hot_cost_retained_seconds);
+    prom_gauge(out, "ts_cache_hot_entries", "Hot-tier entries resident.",
+               snap.hot_entries);
+    prom_gauge(out, "ts_cache_hot_bytes", "Hot-tier estimated resident bytes.",
+               snap.hot_bytes);
+    prom_family(out, "ts_cache_hot_policy",
+                "Active hot-tier eviction policy (1 on the active label).", "gauge");
+    out += "ts_cache_hot_policy{policy=\"" + prom_label_escape(snap.hot_policy) +
+           "\"} 1\n";
+  }
+
+  prom_counter(out, "ts_portfolio_runs_total", "Portfolio races finished.",
+               snap.portfolio_runs);
+  prom_counter(out, "ts_portfolio_cancelled_engines_total",
+               "Engine lanes cancelled by a sound first certificate.",
+               snap.portfolio_cancelled_engines);
+  prom_family(out, "ts_portfolio_cancelled_wall_saved_seconds_total",
+              "Wall seconds saved by cancelling provably-lost engines.", "counter");
+  prom_sample(out, "ts_portfolio_cancelled_wall_saved_seconds_total",
+              snap.portfolio_saved_seconds);
+  prom_family(out, "ts_portfolio_wins_total", "Races won, per engine.", "counter");
+  for (const auto& [engine, wins] : snap.portfolio_wins) {
+    out += "ts_portfolio_wins_total{engine=\"" + prom_label_escape(engine) + "\"} " +
+           std::to_string(wins) + '\n';
+  }
+  prom_counter(out, "ts_ledger_probes_total", "Probe-ledger records across requests.",
+               snap.total_probes);
+  prom_counter(out, "ts_ledger_imported_probes_total",
+               "Ledger records imported from cache replays.", snap.imported_probes);
+  prom_family(out, "ts_flow_seconds_total", "Flow wall seconds across requests.",
+              "counter");
+  prom_sample(out, "ts_flow_seconds_total", snap.flow_seconds);
+  prom_family(out, "ts_stage_seconds_total", "Stage wall seconds, per stage.", "counter");
+  for (const auto& [name, stage] : snap.stages) {
+    out += "ts_stage_seconds_total{stage=\"" + prom_label_escape(name) + "\"} " +
+           json_double(stage.seconds) + '\n';
+  }
+  prom_family(out, "ts_stage_runs_total", "Stage executions, per stage.", "counter");
+  for (const auto& [name, stage] : snap.stages) {
+    out += "ts_stage_runs_total{stage=\"" + prom_label_escape(name) + "\"} " +
+           std::to_string(stage.runs) + '\n';
+  }
+  prom_family(out, "ts_failpoint_triggers_total", "Failpoint triggers, per site.",
+              "counter");
+  for (const auto& [site, count] : snap.failpoints) {
+    out += "ts_failpoint_triggers_total{site=\"" + prom_label_escape(site) + "\"} " +
+           std::to_string(count) + '\n';
+  }
+  if (snap.has_trace) {
+    prom_family(out, "ts_trace_counter_total", "Trace counter totals, per counter name.",
+                "counter");
+    for (const auto& [name, value] : snap.trace_totals) {
+      out += "ts_trace_counter_total{counter=\"" + prom_label_escape(name) + "\"} " +
+             std::to_string(value) + '\n';
+    }
+  }
+  if (snap.has_trace_ring) {
+    prom_counter(out, "ts_trace_ring_stored_total",
+                 "Per-request traces stored in the ring.", snap.traces_stored);
+    prom_counter(out, "ts_trace_ring_evicted_total",
+                 "Per-request traces evicted from the ring.", snap.traces_evicted);
+    prom_gauge(out, "ts_trace_ring_entries", "Traces currently resident.",
+               snap.trace_ring_entries);
+    prom_gauge(out, "ts_trace_ring_bytes", "Bytes of trace JSON resident.",
+               snap.trace_ring_bytes);
+  }
+  return out;
 }
 
 }  // namespace turbosyn

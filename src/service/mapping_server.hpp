@@ -78,8 +78,88 @@
 #include "base/trace.hpp"
 #include "cache/flow_cache.hpp"
 #include "service/batch_runner.hpp"
+#include "service/http_endpoint.hpp"
 
 namespace turbosyn {
+
+/// One consistent read of every counter the daemon exposes. Both render
+/// targets — the STATS JSON reply and the Prometheus /metrics exposition —
+/// are pure functions of this struct, so a STATS reply and a scrape taken
+/// from the same snapshot agree bit for bit on every shared counter
+/// (DESIGN.md §16). Fill with MappingServer::snapshot().
+struct StatsSnapshot {
+  // Server counters and queue/worker state.
+  std::int64_t admitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t rejected = 0;
+  std::int64_t poison_blocked = 0;
+  std::int64_t retries = 0;
+  std::int64_t queue_depth = 0;
+  std::int64_t in_flight = 0;
+  std::int64_t high_queued = 0;
+  std::int64_t high_served = 0;
+  std::int64_t normal_served = 0;
+  int workers = 1;
+  bool draining = false;
+  std::int64_t jsonl_faults = 0;
+  // Budget pool.
+  std::int64_t budget_total_ms = 0;
+  std::int64_t budget_remaining_ms = 0;
+  // FlowCache (has_cache gates the whole block, mirroring STATS).
+  bool has_cache = false;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_stores = 0;
+  std::int64_t cache_rejects = 0;
+  std::int64_t cache_near_hits = 0;
+  std::int64_t cache_recovered_entries = 0;
+  std::int64_t cache_recovered_tmp = 0;
+  std::int64_t cache_recovered_sidecars = 0;
+  std::int64_t cache_store_retries = 0;
+  std::int64_t hot_hits = 0;
+  std::int64_t hot_evictions = 0;
+  std::int64_t hot_cost_evictions = 0;
+  double hot_cost_retained_seconds = 0.0;
+  std::int64_t hot_entries = 0;
+  std::int64_t hot_bytes = 0;
+  std::string hot_policy;  // "recency" | "cost-aware"
+  // Portfolio rollups.
+  std::int64_t portfolio_runs = 0;
+  std::int64_t portfolio_cancelled_engines = 0;
+  double portfolio_saved_seconds = 0.0;
+  std::map<std::string, std::int64_t> portfolio_wins;
+  // Probe ledger, flow wall time, per-stage rollups.
+  std::int64_t total_probes = 0;
+  std::int64_t imported_probes = 0;
+  double flow_seconds = 0.0;
+  struct StageStat {
+    double seconds = 0.0;
+    std::int64_t runs = 0;
+  };
+  std::map<std::string, StageStat> stages;
+  // Failpoint trigger counts (always present; empty when nothing armed).
+  std::map<std::string, std::int64_t> failpoints;
+  // Trace counter totals: the global sink's totals merged with the
+  // accumulated per-request (trace-ring) totals. has_trace gates the block.
+  bool has_trace = false;
+  std::map<std::string, std::int64_t> trace_totals;
+  // Per-request trace ring.
+  bool has_trace_ring = false;
+  std::int64_t traces_stored = 0;
+  std::int64_t traces_evicted = 0;
+  std::int64_t trace_ring_entries = 0;
+  std::int64_t trace_ring_bytes = 0;
+};
+
+/// The STATS reply ({"reply":"stats",...}) rendered from a snapshot.
+std::string render_stats_json(const StatsSnapshot& snap);
+
+/// The same counters as Prometheus text exposition format 0.0.4: every
+/// family is `ts_`-prefixed, carries # HELP and # TYPE lines, and counters
+/// end in `_total` (tools/promlint.py enforces all three in CI).
+std::string render_prometheus(const StatsSnapshot& snap);
 
 /// One "map" request, as parsed off the wire.
 struct MapRequest {
@@ -236,6 +316,18 @@ struct MappingServerOptions {
   /// this to global_cancel_token() and install_sigterm_cancellation() and a
   /// service manager's SIGTERM drains the daemon. Not owned.
   const CancelToken* external_shutdown = nullptr;
+  /// HTTP observability endpoint port (-1 = off, 0 = ephemeral; see
+  /// http_port()). Serves /metrics, /healthz and /trace/<seq> — the
+  /// endpoint stays up through the drain so readiness probes see the flip.
+  int http_port = -1;
+  /// Per-request trace handles: > 0 keeps each admitted request's TraceSink
+  /// span tree (JSON schema v1) in a bounded in-memory ring of at most this
+  /// many requests, retrievable via /trace/<seq> or trace_json(). The
+  /// result reply echoes the handle as "trace":<seq>. 0 disables the ring;
+  /// when disabled, flow.trace (one shared sink) keeps PR 8 behavior.
+  std::size_t trace_ring_entries = 0;
+  /// Byte cap on the ring's stored JSON (oldest evicted first).
+  std::size_t trace_ring_bytes = std::size_t{4} << 20;
 };
 
 class MappingServer {
@@ -262,11 +354,24 @@ class MappingServer {
   /// Bound TCP port (after start(), when tcp_port was >= 0), else -1.
   int port() const;
 
+  /// Bound HTTP endpoint port (after start(), when http_port was >= 0),
+  /// else -1.
+  int http_port() const;
+
+  /// One consistent read of every exposed counter — the single source both
+  /// stats_json() and the /metrics exposition render from.
+  StatsSnapshot snapshot() const;
+
   /// The STATS aggregate: server counters, queue/budget state, cache
   /// counters (including the hot tier), probe-ledger and per-stage rollups,
   /// failpoint trigger counts, JSONL sink faults. One flat-ish JSON object
-  /// (values may be nested objects; keys are stable).
+  /// (values may be nested objects; keys are stable). Equivalent to
+  /// render_stats_json(snapshot()).
   std::string stats_json() const;
+
+  /// Stored trace JSON for admission seq `seq` (trace_ring_entries > 0),
+  /// or "" when the request never stored one / the ring evicted it.
+  std::string trace_json(std::uint64_t seq) const;
 
   // Counters, exposed for tests and tsd's exit log.
   std::int64_t admitted() const { return admitted_.load(std::memory_order_relaxed); }
@@ -297,9 +402,15 @@ class MappingServer {
   void handle_line(const std::shared_ptr<Connection>& conn, const std::string& line);
   void handle_map(const std::shared_ptr<Connection>& conn, MapRequest request);
   void run_ticket(AdmissionQueue::Ticket ticket);
+  /// Stores one finished request's trace JSON in the bounded ring (evicting
+  /// oldest-first past the entry/byte caps) and rolls its counter totals
+  /// into trace_totals_.
+  void store_trace(std::uint64_t seq, const TraceSink& sink);
   /// Emits the record to the JSONL stream and, when the connection is still
-  /// up, as a "result" reply.
-  void emit_record(const AdmissionQueue::Ticket& ticket, const BatchRecord& record);
+  /// up, as a "result" reply. `traced` appends "trace":<seq> — the handle a
+  /// client quotes back to /trace/<seq> or --trace-fetch.
+  void emit_record(const AdmissionQueue::Ticket& ticket, const BatchRecord& record,
+                   bool traced = false);
   void send_reply(const std::shared_ptr<Connection>& conn, const std::string& line);
   std::shared_ptr<Connection> connection(int id) const;
 
@@ -310,6 +421,26 @@ class MappingServer {
   std::unique_ptr<AdmissionQueue> queue_;
   std::unique_ptr<BudgetPool> pool_;
   std::unique_ptr<JsonlSink> sink_;
+  std::unique_ptr<HttpEndpoint> http_;
+
+  // Per-request trace ring (guarded by trace_mu_): completed requests'
+  // serialized span trees, keyed by admission seq, bounded by the options'
+  // entry and byte caps with oldest-first eviction. trace_totals_
+  // accumulates every per-request sink's counter totals so STATS/metrics
+  // still aggregate across requests the ring has already evicted.
+  struct TraceHandle {
+    std::uint64_t seq = 0;
+    std::string json;
+  };
+  mutable std::mutex trace_mu_;
+  // A deque scanned linearly on fetch: the ring holds at most
+  // trace_ring_entries handles (tens, not thousands) and fetches are rare
+  // relative to stores, so an index would buy nothing.
+  std::deque<TraceHandle> trace_ring_;  // front = oldest
+  std::size_t trace_ring_bytes_now_ = 0;
+  std::int64_t traces_stored_ = 0;
+  std::int64_t traces_evicted_ = 0;
+  std::map<std::string, std::int64_t> trace_totals_;
 
   std::vector<int> listen_fds_;
   int tcp_port_bound_ = -1;

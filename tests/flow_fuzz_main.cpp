@@ -3,7 +3,7 @@
 //
 //   $ flow_fuzz_main [--seeds N | --seeds A..B] [--time-budget SECONDS]
 //                    [--threads N] [--through-cache] [--portfolio]
-//                    [--require-all] [--verbose]
+//                    [--hot-policy] [--require-all] [--verbose]
 //
 // Per seed it generates a small random FSM circuit (workloads/generator),
 // runs TurboMap and TurboSYN, and checks:
@@ -27,7 +27,14 @@
 //     (core/portfolio) in both sequential and concurrent modes: the race
 //     must be bit-identical to the best standalone engine under the shared
 //     selection order, every cancelled row must be certificate-free, and
-//     the result must pass the full audit including the "portfolio" check.
+//     the result must pass the full audit including the "portfolio" check;
+//   - with --hot-policy, every seed replays the same store/hit/evict access
+//     sequence through two fresh caches whose hot tiers are entry-capped
+//     small enough to churn, one under the recency policy and one under
+//     cost-aware: every run must be bit-identical across the two policies
+//     (and to the uncached run), hits must still import-only their ledgers,
+//     and the hit must pass the full audit — the eviction policy may change
+//     WHAT stays resident, never a result.
 //
 // Exits nonzero on the first failing seed's summary. --time-budget stops
 // early once the budget is spent; with --require-all, not finishing every
@@ -66,6 +73,7 @@ struct FuzzConfig {
   int threads = 2;             // the "N" of the 1-vs-N determinism check
   bool through_cache = false;  // replay every seed through a flow cache
   bool portfolio = false;      // race a rotating engine portfolio per seed
+  bool hot_policy = false;     // recency-vs-cost-aware hot-tier oracle
   bool require_all = false;
   bool verbose = false;
 };
@@ -92,13 +100,16 @@ FuzzConfig parse_args(int argc, char** argv) {
       cfg.through_cache = true;
     } else if (a == "--portfolio") {
       cfg.portfolio = true;
+    } else if (a == "--hot-policy") {
+      cfg.hot_policy = true;
     } else if (a == "--require-all") {
       cfg.require_all = true;
     } else if (a == "--verbose") {
       cfg.verbose = true;
     } else {
       std::cerr << "usage: flow_fuzz_main [--seeds N|A..B] [--time-budget S] [--threads N]"
-                   " [--through-cache] [--portfolio] [--require-all] [--verbose]\n";
+                   " [--through-cache] [--portfolio] [--hot-policy] [--require-all]"
+                   " [--verbose]\n";
       std::exit(2);
     }
   }
@@ -315,6 +326,73 @@ SeedOutcome run_seed(std::uint64_t seed, const FuzzConfig& cfg, FlowCache* cache
         audit_into(out, edited, seeded, opt, "turbomap/near-miss", seed, cfg.verbose);
       }
     }
+  }
+
+  // Hot-tier policy invariance: the identical access sequence through two
+  // fresh caches — recency vs cost-aware eviction, tiers capped at two
+  // entries so the three distinct circuits below force eviction churn —
+  // must produce bit-identical results run for run (and match the uncached
+  // baselines), with audit-clean imported ledgers on the hits.
+  if (cfg.hot_policy) {
+    const Circuit edited = mutate_one_gate(c, seed);
+    FlowOptions cold_opt = opt;
+    cold_opt.incremental = false;
+    const FlowResult edited_baseline = run_turbosyn(edited, cold_opt);
+
+    struct PolicyRun {
+      std::string populate, populate_tm, populate_edited, hit, hit_edited;
+      bool hit_hit = false, hit_edited_hit = false;
+      std::int64_t hot_cost_evictions = 0;
+    };
+    const HotPolicy policies[] = {HotPolicy::kRecency, HotPolicy::kCostAware};
+    PolicyRun runs[2];
+    for (int p = 0; p < 2; ++p) {
+      const std::filesystem::path dir =
+          std::filesystem::temp_directory_path() /
+          ("turbosyn_fuzz_hotpol." + std::to_string(::getpid()) + "." +
+           std::to_string(seed) + "." + hot_policy_name(policies[p]));
+      std::filesystem::remove_all(dir);
+      FlowCache hot_cache(dir.string());
+      hot_cache.enable_hot_tier(std::size_t{16} << 20, 2);
+      hot_cache.set_hot_policy(policies[p]);
+
+      PolicyRun& r = runs[p];
+      r.populate = fingerprint(run_flow_cached(FlowKind::kTurboSyn, c, opt, &hot_cache));
+      r.populate_tm = fingerprint(run_flow_cached(FlowKind::kTurboMap, c, opt, &hot_cache));
+      r.populate_edited =
+          fingerprint(run_flow_cached(FlowKind::kTurboSyn, edited, opt, &hot_cache));
+      CacheRunInfo hit_info;
+      const FlowResult hit = run_flow_cached(FlowKind::kTurboSyn, c, opt, &hot_cache, &hit_info);
+      r.hit = fingerprint(hit);
+      r.hit_hit = hit_info.hit;
+      CacheRunInfo edited_info;
+      const FlowResult hit_edited =
+          run_flow_cached(FlowKind::kTurboSyn, edited, opt, &hot_cache, &edited_info);
+      r.hit_edited = fingerprint(hit_edited);
+      r.hit_edited_hit = edited_info.hit;
+      r.hot_cost_evictions = hot_cache.hot_cost_evictions();
+
+      const std::string tag = std::string("hot-policy/") + hot_policy_name(policies[p]);
+      expect(out, r.populate == fingerprint(ts), tag + ": populate differs from uncached");
+      expect(out, r.populate_tm == fingerprint(tm),
+             tag + ": turbomap populate differs from uncached");
+      expect(out, r.hit_hit, tag + ": replay of the stored circuit missed");
+      expect(out, r.hit_edited_hit, tag + ": replay of the edited circuit missed");
+      bool all_imported = !hit.probes.empty();
+      for (const ProbeRecord& probe : hit.probes) all_imported = all_imported && probe.imported;
+      expect(out, !r.hit_hit || all_imported, tag + ": hit ledger has non-imported records");
+      if (r.hit_hit) audit_into(out, c, hit, opt, tag, seed, cfg.verbose);
+      std::filesystem::remove_all(dir);
+    }
+    expect(out, runs[0].populate_edited == runs[1].populate_edited,
+           "hot-policy: edited populate differs between policies");
+    expect(out, runs[0].hit == runs[1].hit, "hot-policy: hit differs between policies");
+    expect(out, runs[0].hit_edited == runs[1].hit_edited,
+           "hot-policy: edited hit differs between policies");
+    expect(out, runs[0].populate_edited == fingerprint(edited_baseline),
+           "hot-policy: edited populate differs from the cold baseline");
+    expect(out, runs[0].hot_cost_evictions == 0,
+           "hot-policy: recency run reported cost-aware evictions");
   }
 
   // Portfolio race vs the "run everything, pick the best" oracle: the race

@@ -18,6 +18,7 @@
 #include <sys/un.h>
 #include <sys/wait.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <chrono>
@@ -28,6 +29,7 @@
 #include <fstream>
 #include <limits>
 #include <map>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -42,8 +44,10 @@
 #include "base/trace.hpp"
 #include "cache/cached_flow.hpp"
 #include "cache/flow_cache.hpp"
+#include "core/probe_ledger.hpp"
 #include "decomp/gate_decomp.hpp"
 #include "netlist/blif.hpp"
+#include "netlist/canonical.hpp"
 #include "service/batch_runner.hpp"
 #include "service/mapping_server.hpp"
 #include "workloads/generator.hpp"
@@ -734,6 +738,148 @@ TEST(HotTier, ByteCapAndReconfiguration) {
 }
 
 // ---------------------------------------------------------------------------
+// Hot-tier eviction policy (cost-aware admission)
+
+TEST(HotPolicyNames, RoundTripAndRejection) {
+  EXPECT_STREQ(hot_policy_name(HotPolicy::kRecency), "recency");
+  EXPECT_STREQ(hot_policy_name(HotPolicy::kCostAware), "cost-aware");
+  EXPECT_EQ(parse_hot_policy("recency"), HotPolicy::kRecency);
+  EXPECT_EQ(parse_hot_policy("cost-aware"), HotPolicy::kCostAware);
+  EXPECT_FALSE(parse_hot_policy("lru").has_value());
+  EXPECT_FALSE(parse_hot_policy("").has_value());
+  EXPECT_FALSE(parse_hot_policy("Cost-Aware").has_value());
+}
+
+/// A synthetic storable entry whose only interesting property is its cost.
+/// Self-consistent enough to survive the full parse/certification path on a
+/// disk lookup (a feasible probe record certifying the winning labels).
+CacheEntry costed_entry(double flow_wall_seconds) {
+  CacheEntry entry;
+  entry.phi = 3;
+  entry.max_po_label = 1;
+  entry.winning_labels = {0, 1};
+  CachedProbe probe;
+  probe.phi = entry.phi;
+  probe.feasible = true;
+  probe.label_hash = hash_labels(std::span<const int>(entry.winning_labels));
+  probe.max_po_label = entry.max_po_label;
+  entry.probes.push_back(probe);
+  entry.flow_wall_seconds = flow_wall_seconds;
+  entry.mapped_blif = ".model synthetic\n.end\n";
+  return entry;
+}
+
+CacheKey synthetic_key(std::uint64_t n) {
+  CacheKey key;
+  key.text = "synthetic key " + std::to_string(n);
+  key.hash = fnv1a64(key.text);  // lookup re-derives and checks this tie
+  key.near_sketch = key.hash ^ 0x5555555555555555ull;
+  return key;
+}
+
+TEST(HotTier, CostAwareSparesExpensiveLruTail) {
+  const fs::path dir = test_dir("hot_cost");
+  FlowCache cache(dir.string());
+  cache.enable_hot_tier(16u << 20, 2);
+  EXPECT_EQ(cache.hot_policy(), HotPolicy::kRecency);
+  cache.set_hot_policy(HotPolicy::kCostAware);
+  EXPECT_EQ(cache.hot_policy(), HotPolicy::kCostAware);
+
+  // Oldest entry is 100000x more expensive than the two cheap ones.
+  const CacheKey expensive = synthetic_key(1);
+  const CacheKey cheap = synthetic_key(2);
+  const CacheKey fresh = synthetic_key(3);
+  ASSERT_TRUE(cache.store(expensive, costed_entry(100.0)));
+  ASSERT_TRUE(cache.store(cheap, costed_entry(0.001)));
+  EXPECT_EQ(cache.hot_entries(), 2);
+
+  // The third store must evict: plain LRU would drop `expensive` (the
+  // tail), cost-aware drops `cheap` because its score is vanishing.
+  ASSERT_TRUE(cache.store(fresh, costed_entry(0.001)));
+  EXPECT_EQ(cache.hot_entries(), 2);
+  EXPECT_EQ(cache.hot_evictions(), 1);
+  EXPECT_EQ(cache.hot_cost_evictions(), 1);
+  EXPECT_DOUBLE_EQ(cache.hot_cost_retained_seconds(), 100.0);
+
+  // `expensive` is still resident (a hot hit); `cheap` fell back to disk.
+  ASSERT_TRUE(cache.lookup(expensive).has_value());
+  EXPECT_EQ(cache.hot_hits(), 1);
+  const std::optional<CacheEntry> demoted = cache.lookup(cheap);
+  ASSERT_TRUE(demoted.has_value());
+  EXPECT_EQ(cache.hot_hits(), 1);  // served from disk, not memory
+  EXPECT_DOUBLE_EQ(demoted->flow_wall_seconds, 0.001);
+}
+
+TEST(HotTier, RecencyPolicyIgnoresCost) {
+  const fs::path dir = test_dir("hot_recency_cost");
+  FlowCache cache(dir.string());
+  cache.enable_hot_tier(16u << 20, 2);  // default policy: recency
+
+  const CacheKey expensive = synthetic_key(1);
+  const CacheKey cheap = synthetic_key(2);
+  const CacheKey fresh = synthetic_key(3);
+  ASSERT_TRUE(cache.store(expensive, costed_entry(100.0)));
+  ASSERT_TRUE(cache.store(cheap, costed_entry(0.001)));
+  ASSERT_TRUE(cache.store(fresh, costed_entry(0.001)));
+
+  // Inverse of the cost-aware case: the expensive-but-old entry is the LRU
+  // tail and leaves first, cost notwithstanding.
+  EXPECT_EQ(cache.hot_evictions(), 1);
+  EXPECT_EQ(cache.hot_cost_evictions(), 0);
+  EXPECT_DOUBLE_EQ(cache.hot_cost_retained_seconds(), 0.0);
+  ASSERT_TRUE(cache.lookup(cheap).has_value());
+  EXPECT_EQ(cache.hot_hits(), 1);
+  ASSERT_TRUE(cache.lookup(expensive).has_value());
+  EXPECT_EQ(cache.hot_hits(), 1);  // evicted: this hit came from disk
+}
+
+TEST(HotTier, ZeroCostDegradesToLruUnderCostAware) {
+  const fs::path dir = test_dir("hot_zero_cost");
+  FlowCache cache(dir.string());
+  cache.enable_hot_tier(16u << 20, 2);
+  cache.set_hot_policy(HotPolicy::kCostAware);
+
+  // All costs equal (zero): the last_use tie-break reduces the score scan
+  // to exact LRU order, so recency and cost-aware behave identically.
+  ASSERT_TRUE(cache.store(synthetic_key(1), costed_entry(0.0)));
+  ASSERT_TRUE(cache.store(synthetic_key(2), costed_entry(0.0)));
+  ASSERT_TRUE(cache.store(synthetic_key(3), costed_entry(0.0)));
+  EXPECT_EQ(cache.hot_evictions(), 1);
+  EXPECT_EQ(cache.hot_cost_evictions(), 0);
+  ASSERT_TRUE(cache.lookup(synthetic_key(2)).has_value());
+  ASSERT_TRUE(cache.lookup(synthetic_key(3)).has_value());
+  EXPECT_EQ(cache.hot_hits(), 2);  // 2 and 3 stayed; 1 was the LRU victim
+}
+
+TEST(HotTier, MidRunPolicyReconfigurationKeepsResidents) {
+  const fs::path dir = test_dir("hot_reconfig");
+  FlowCache cache(dir.string());
+  cache.enable_hot_tier(16u << 20, 2);
+
+  const CacheKey expensive = synthetic_key(1);
+  const CacheKey cheap = synthetic_key(2);
+  ASSERT_TRUE(cache.store(expensive, costed_entry(50.0)));
+  ASSERT_TRUE(cache.store(cheap, costed_entry(0.001)));
+
+  // Flip to cost-aware with entries resident: nothing is dropped, and the
+  // next eviction already follows the new policy (sparing the expensive
+  // LRU tail).
+  cache.set_hot_policy(HotPolicy::kCostAware);
+  EXPECT_EQ(cache.hot_entries(), 2);
+  ASSERT_TRUE(cache.store(synthetic_key(3), costed_entry(0.001)));
+  EXPECT_EQ(cache.hot_cost_evictions(), 1);
+  ASSERT_TRUE(cache.lookup(expensive).has_value());
+  EXPECT_EQ(cache.hot_hits(), 1);
+
+  // Flip back mid-run: plain LRU again, cost ignored from here on.
+  cache.set_hot_policy(HotPolicy::kRecency);
+  ASSERT_TRUE(cache.store(synthetic_key(4), costed_entry(0.001)));
+  EXPECT_EQ(cache.hot_cost_evictions(), 1);  // unchanged
+  ASSERT_TRUE(cache.lookup(expensive).has_value());
+  EXPECT_EQ(cache.hot_hits(), 2);  // the recently-hit entry survived as MRU
+}
+
+// ---------------------------------------------------------------------------
 // MappingServer over a real Unix socket
 
 MappingServerOptions server_options(const fs::path& sock) {
@@ -964,6 +1110,258 @@ TEST(MappingServerTest, TcpLoopbackListener) {
   server.request_shutdown();
   server.wait();
 }
+
+// ---------------------------------------------------------------------------
+// HTTP observability endpoint
+
+/// One blocking request against 127.0.0.1:`port`. Returns the raw response
+/// (status line, headers, body), or "" when the connection itself failed —
+/// which is how the tests detect a stopped endpoint.
+std::string http_request(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(int port, const std::string& target) {
+  return http_request(port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+/// Body of a raw response (everything past the header block).
+std::string http_body(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : response.substr(at + 4);
+}
+
+TEST(HttpEndpointTest, RoutesMetricsHealthzAndTraces) {
+  const fs::path dir = test_dir("http");
+  FlowCache cache((dir / "cache").string());
+  cache.enable_hot_tier(16u << 20);
+  MappingServerOptions options = server_options(dir / "tsd.sock");
+  options.cache = &cache;
+  options.http_port = 0;  // ephemeral
+  options.trace_ring_entries = 4;
+  MappingServer server(std::move(options));
+  server.start();
+  const int port = server.http_port();
+  ASSERT_GT(port, 0);
+
+  EXPECT_TRUE(contains(http_get(port, "/healthz"), " 200 "));
+  EXPECT_TRUE(contains(http_body(http_get(port, "/healthz")), "ok"));
+  EXPECT_TRUE(contains(http_get(port, "/nope"), " 404 "));
+  EXPECT_TRUE(contains(http_get(port, "/trace/notanumber"), " 404 "));
+  EXPECT_TRUE(contains(http_request(port, "POST /metrics HTTP/1.1\r\n\r\n"), " 405 "));
+
+  // A mapped request earns a trace handle, echoed in the reply envelope.
+  TestClient client;
+  ASSERT_TRUE(client.connect_unix((dir / "tsd.sock").string()));
+  std::string line;
+  ASSERT_TRUE(client.send(map_line(1, counter3_blif(), "ci")));
+  ASSERT_TRUE(read_result_for(client, 1, line));
+  const std::size_t tag = line.find("\"trace\":");
+  ASSERT_NE(tag, std::string::npos) << line;
+  std::string seq;
+  for (std::size_t i = tag + 8;
+       i < line.size() && std::isdigit(static_cast<unsigned char>(line[i])); ++i) {
+    seq += line[i];
+  }
+  ASSERT_FALSE(seq.empty());
+
+  const std::string trace = http_get(port, "/trace/" + seq);
+  EXPECT_TRUE(contains(trace, " 200 ")) << trace;
+  EXPECT_TRUE(contains(trace, "application/json")) << trace;
+  EXPECT_TRUE(contains(http_body(trace), "\"version\": 1")) << trace;
+  EXPECT_TRUE(contains(http_body(trace), "\"spans\": [")) << trace;
+  EXPECT_TRUE(contains(http_get(port, "/trace/999999"), " 404 "));
+
+  // The exposition carries the request's footprint and the active policy.
+  const std::string metrics = http_body(http_get(port, "/metrics"));
+  EXPECT_TRUE(contains(metrics, "# TYPE ts_server_admitted_total counter")) << metrics;
+  EXPECT_TRUE(contains(metrics, "ts_server_admitted_total 1\n")) << metrics;
+  EXPECT_TRUE(contains(metrics, "ts_cache_misses_total 1\n")) << metrics;
+  EXPECT_TRUE(contains(metrics, "ts_cache_hot_policy{policy=\"recency\"} 1\n")) << metrics;
+  EXPECT_TRUE(contains(metrics, "ts_trace_ring_stored_total 1\n")) << metrics;
+
+  // Bit-for-bit consistency: the scrape, a direct render of the snapshot,
+  // and the STATS reply all describe the same struct. The daemon is idle,
+  // so back-to-back reads must agree exactly.
+  EXPECT_EQ(metrics, render_prometheus(server.snapshot()));
+  ASSERT_TRUE(client.send("STATS"));
+  // The queued ack and the worker's result race on the wire; skip any stray
+  // ack still buffered ahead of the stats reply.
+  do {
+    ASSERT_TRUE(client.read(line));
+  } while (!contains(line, "\"reply\":\"stats\""));
+  EXPECT_EQ(line, render_stats_json(server.snapshot()));
+
+  // The drain flips readiness but keeps the endpoint answering: a scraper
+  // watching /healthz sees the drain, not a vanished daemon.
+  server.request_shutdown();
+  const std::string draining = http_get(port, "/healthz");
+  EXPECT_TRUE(contains(draining, " 503 ")) << draining;
+  EXPECT_TRUE(contains(http_body(draining), "draining")) << draining;
+  server.wait();
+  EXPECT_TRUE(http_get(port, "/healthz").empty());  // endpoint stopped last
+}
+
+TEST(HttpEndpointTest, TraceRingEvictsOldestAndKeepsTotals) {
+  const fs::path dir = test_dir("http_ring");
+  MappingServerOptions options = server_options(dir / "tsd.sock");
+  options.http_port = 0;
+  options.trace_ring_entries = 1;  // the second trace evicts the first
+  MappingServer server(std::move(options));
+  server.start();
+  const int port = server.http_port();
+  ASSERT_GT(port, 0);
+
+  TestClient client;
+  ASSERT_TRUE(client.connect_unix((dir / "tsd.sock").string()));
+  std::string line;
+  ASSERT_TRUE(client.send(map_line(1, counter3_blif(), "ci")));
+  ASSERT_TRUE(read_result_for(client, 1, line));
+  ASSERT_TRUE(client.send(map_line(2, traffic_light_blif(), "ci")));
+  ASSERT_TRUE(read_result_for(client, 2, line));
+
+  // seq 1 was evicted by seq 2; only the newest handle resolves.
+  EXPECT_TRUE(contains(http_get(port, "/trace/1"), " 404 "));
+  EXPECT_TRUE(contains(http_get(port, "/trace/2"), " 200 "));
+  const std::string metrics = http_body(http_get(port, "/metrics"));
+  EXPECT_TRUE(contains(metrics, "ts_trace_ring_stored_total 2\n")) << metrics;
+  EXPECT_TRUE(contains(metrics, "ts_trace_ring_evicted_total 1\n")) << metrics;
+  EXPECT_TRUE(contains(metrics, "ts_trace_ring_entries 1\n")) << metrics;
+  // Evicted traces still count into the aggregated trace counters.
+  EXPECT_TRUE(contains(metrics, "# TYPE ts_trace_counter_total counter")) << metrics;
+
+  server.request_shutdown();
+  server.wait();
+}
+
+// ---------------------------------------------------------------------------
+// ts_client exit codes (the built binary against an in-process daemon)
+
+#ifdef TS_CLIENT_BIN
+
+/// Runs the ts_client binary with `args`, capturing stderr. Returns the
+/// exit status (-1 if it did not exit normally).
+int run_ts_client(const std::string& args, const fs::path& stderr_file) {
+  const std::string cmd = std::string(TS_CLIENT_BIN) + " " + args + " >/dev/null 2>" +
+                          stderr_file.string();
+  const int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(TsClientTool, ExitCodesFollowReplyOutcome) {
+  const fs::path dir = test_dir("tsclient");
+  const fs::path err = dir / "stderr.txt";
+  MappingServerOptions options = server_options(dir / "tsd.sock");
+  options.http_port = 0;
+  options.trace_ring_entries = 4;
+  MappingServer server(std::move(options));
+  server.start();
+  const std::string sock = " --socket " + (dir / "tsd.sock").string();
+
+  std::ofstream(dir / "good.blif") << counter3_blif();
+  std::ofstream(dir / "bad.blif") << "this is not a blif netlist\n";
+
+  EXPECT_EQ(run_ts_client("--ping" + sock, err), 0);
+  EXPECT_EQ(run_ts_client("--map " + (dir / "good.blif").string() + sock, err), 0);
+
+  // A failed result record must exit nonzero with the server's text on
+  // stderr — a failed map must fail the calling script.
+  EXPECT_EQ(run_ts_client("--map " + (dir / "bad.blif").string() + sock, err), 1);
+  std::string text = slurp(err);
+  EXPECT_TRUE(contains(text, "ts_client: server error:")) << text;
+
+  // Same for a protocol-level error reply (unknown portfolio engine).
+  EXPECT_EQ(run_ts_client("--map " + (dir / "good.blif").string() +
+                              " --portfolio nosuchengine" + sock,
+                          err),
+            1);
+  text = slurp(err);
+  EXPECT_TRUE(contains(text, "ts_client: server error:")) << text;
+
+  // Trace fetches: a missing id is exit 1, a real one exit 0.
+  const std::string http = " --http-port " + std::to_string(server.http_port());
+  EXPECT_EQ(run_ts_client("--trace-fetch 999999" + http, err), 1);
+  EXPECT_EQ(run_ts_client("--trace-fetch 1" + http, err), 0);
+
+  server.request_shutdown();
+  server.wait();
+
+  // With the daemon gone, connecting at all fails: exit 1.
+  EXPECT_EQ(run_ts_client("--ping" + sock, err), 1);
+}
+
+TEST(TsClientTool, ExitsNonzeroWhenConnectionDropsMidResponse) {
+  const fs::path dir = test_dir("tsclient_drop");
+  const fs::path err = dir / "stderr.txt";
+  std::ofstream(dir / "good.blif") << counter3_blif();
+
+  // A fake daemon that acks the map as queued and then hangs up: the client
+  // must not report success for a request it never saw finish.
+  const std::string sock_path = (dir / "fake.sock").string();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, sock_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  std::thread fake([listen_fd] {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    std::string request;
+    char chunk[4096];
+    while (request.find('\n') == std::string::npos) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      request.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::string ack = "{\"reply\":\"queued\",\"id\":1}\n";
+    (void)!::send(fd, ack.data(), ack.size(), MSG_NOSIGNAL);
+    ::close(fd);  // drop before the terminal reply
+  });
+
+  EXPECT_EQ(run_ts_client("--map " + (dir / "good.blif").string() + " --socket " + sock_path,
+                          err),
+            1);
+  const std::string text = slurp(err);
+  EXPECT_TRUE(contains(text, "connection closed before a terminal reply")) << text;
+  fake.join();
+  ::close(listen_fd);
+}
+
+#endif  // TS_CLIENT_BIN
 
 }  // namespace
 }  // namespace turbosyn

@@ -12,8 +12,14 @@
 // daemon sharing the filesystem. A map invocation prints the "queued" ack
 // and then blocks for the "result" record; the other verbs print their one
 // reply. --stdin forwards raw protocol lines and prints every reply until
-// EOF. Exit status: 0 on a terminal reply, 1 on connection/protocol
-// trouble, 2 on usage errors.
+// EOF. --trace-fetch ID --http-port N pulls /trace/ID from the daemon's
+// observability endpoint and prints the JSON body.
+//
+// Exit status: 0 on a successful terminal reply, 1 when the server answers
+// with an error reply or a failed/cancelled result record (the server's
+// error text goes to stderr), when the connection drops before a terminal
+// reply, or when a trace fetch misses; 2 on usage errors. CI scripts rely
+// on this: a failed map must fail the step.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -40,7 +46,8 @@ namespace {
                "            [--portfolio E1,E2,...] [--priority high|normal]\n"
                "            [--deadline-ms N] [--id N] [--client NAME]\n"
                "          | --stats | --ping | --cancel ID [--client NAME]\n"
-               "          | --shutdown | --stdin)\n";
+               "          | --shutdown | --stdin)\n"
+               "       ts_client --trace-fetch ID --http-port N\n";
   std::exit(2);
 }
 
@@ -110,6 +117,68 @@ bool terminal_reply(const std::string& line) {
   return line.find("\"reply\":\"queued\"") == std::string::npos;
 }
 
+/// If `line` reports a failure — an error reply, or a result record whose
+/// run did not succeed — extracts the server's error text (decoded from the
+/// flat protocol object when it parses; the raw line otherwise) and returns
+/// true. Successful replies return false.
+bool extract_error(const std::string& line, std::string* message) {
+  const bool error_reply = line.find("\"reply\":\"error\"") != std::string::npos;
+  const bool failed_result = line.find("\"reply\":\"result\"") != std::string::npos &&
+                             line.find("\"ok\":false") != std::string::npos;
+  if (!error_reply && !failed_result) return false;
+  *message = line;
+  std::vector<std::pair<std::string, turbosyn::JsonScalar>> fields;
+  if (turbosyn::parse_flat_json_object(line, fields)) {
+    for (const auto& [key, value] : fields) {
+      if (key == "error" && value.kind == turbosyn::JsonScalar::Kind::kString) {
+        *message = value.text;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+/// One GET against the daemon's observability endpoint. Prints the body on
+/// a 200 and returns 0; anything else (connect failure, non-200, truncated
+/// response) reports to stderr and returns 1.
+int http_fetch(int port, const std::string& target) {
+  const int fd = connect_tcp(port);
+  if (fd < 0) {
+    std::cerr << "ts_client: cannot connect to http port " << port << '\n';
+    return 1;
+  }
+  // send_line appends the final '\n', completing the blank line that ends
+  // the header block.
+  if (!send_line(fd, "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                     "Connection: close\r\n\r")) {
+    std::cerr << "ts_client: send failed\n";
+    ::close(fd);
+    return 1;
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    std::cerr << "ts_client: malformed http response\n";
+    return 1;
+  }
+  const std::string status_line = response.substr(0, response.find("\r\n"));
+  if (status_line.find(" 200 ") == std::string::npos) {
+    std::cerr << "ts_client: " << target << ": " << status_line << '\n';
+    return 1;
+  }
+  std::cout << response.substr(body_at + 4);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,6 +194,8 @@ int main(int argc, char** argv) {
   long long id = 0;
   long long deadline_ms = 0;
   long long cancel_id = -1;
+  long long trace_fetch_id = -1;
+  int http_port = -1;
   bool send_path = false;
   bool stats = false, ping = false, shutdown_req = false, stdin_mode = false;
 
@@ -167,6 +238,14 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--cancel") {
       if (!parse_int_strict(value(), 0, 1LL << 60, cancel_id)) usage_error("bad --cancel");
+    } else if (a == "--trace-fetch") {
+      if (!parse_int_strict(value(), 0, 1LL << 60, trace_fetch_id)) {
+        usage_error("bad --trace-fetch");
+      }
+    } else if (a == "--http-port") {
+      long long port = 0;
+      if (!parse_int_strict(value(), 0, 65535, port)) usage_error("bad --http-port");
+      http_port = static_cast<int>(port);
     } else if (a == "--stats") {
       stats = true;
     } else if (a == "--ping") {
@@ -181,8 +260,15 @@ int main(int argc, char** argv) {
   }
   const int verbs = (!map_file.empty() ? 1 : 0) + (stats ? 1 : 0) + (ping ? 1 : 0) +
                     (cancel_id >= 0 ? 1 : 0) + (shutdown_req ? 1 : 0) +
-                    (stdin_mode ? 1 : 0);
-  if (verbs != 1) usage_error("exactly one of --map/--stats/--ping/--cancel/--shutdown/--stdin");
+                    (stdin_mode ? 1 : 0) + (trace_fetch_id >= 0 ? 1 : 0);
+  if (verbs != 1) {
+    usage_error(
+        "exactly one of --map/--stats/--ping/--cancel/--shutdown/--stdin/--trace-fetch");
+  }
+  if (trace_fetch_id >= 0) {
+    if (http_port < 0) usage_error("--trace-fetch needs --http-port");
+    return http_fetch(http_port, "/trace/" + std::to_string(trace_fetch_id));
+  }
   if (socket_path.empty() && tcp_port < 0) usage_error("--socket or --tcp-port is required");
 
   const int fd = !socket_path.empty() ? connect_unix(socket_path) : connect_tcp(tcp_port);
@@ -239,11 +325,18 @@ int main(int argc, char** argv) {
       std::cerr << "ts_client: send failed\n";
       status = 1;
     } else {
-      // Print the ack (map) and block until the terminal reply.
+      // Print the ack (map) and block until the terminal reply. An error
+      // reply is a failure of the request itself: surface the server's
+      // message on stderr and exit nonzero so scripts see it.
       bool done = false;
       while (!done && read_line(fd, buffer, line)) {
         std::cout << line << '\n';
         done = terminal_reply(line);
+        std::string error_text;
+        if (done && extract_error(line, &error_text)) {
+          std::cerr << "ts_client: server error: " << error_text << '\n';
+          status = 1;
+        }
       }
       if (!done) {
         std::cerr << "ts_client: connection closed before a terminal reply\n";

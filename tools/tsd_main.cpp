@@ -2,10 +2,12 @@
 //
 //   $ ./tsd --socket /tmp/tsd.sock [--tcp-port N] [--workers N]
 //           [--cache-dir PATH] [--hot-mb N] [--hot-entries N]
+//           [--hot-policy recency|cost-aware]
 //           [--max-queue N] [--per-client N]
 //           [--budget-ms N] [--per-request-ms N]
 //           [--jsonl PATH] [--max-attempts N]
 //           [--failpoints SPEC] [--trace-json PATH]
+//           [--http-port N] [--trace-ring N]
 //
 // Serves the line-delimited JSON mapping protocol (service/mapping_server.hpp)
 // over a Unix-domain socket, optionally also on TCP loopback (--tcp-port 0
@@ -13,6 +15,13 @@
 // running requests wind down to best-so-far, queued requests report
 // cancelled, every admitted request still lands in the JSONL stream. A
 // second signal terminates hard, as usual.
+//
+// --http-port N (0 = ephemeral, printed at startup as http:127.0.0.1:PORT)
+// opens the observability endpoint: GET /metrics (Prometheus text
+// exposition), GET /healthz (200 while serving, 503 during the drain), and
+// GET /trace/<seq> for per-request trace JSON when --trace-ring N keeps the
+// last N requests' span trees in memory. --hot-policy picks the hot tier's
+// eviction policy (DESIGN.md §16); results are bit-identical either way.
 //
 // Every numeric flag goes through parse_int_strict: a malformed value is a
 // usage error (exit 2), never a silent zero.
@@ -36,10 +45,12 @@ namespace {
   std::cerr << "error: " << message << '\n'
             << "usage: tsd --socket PATH [--tcp-port N] [--workers N]\n"
                "           [--cache-dir PATH] [--hot-mb N] [--hot-entries N]\n"
+               "           [--hot-policy recency|cost-aware]\n"
                "           [--max-queue N] [--per-client N]\n"
                "           [--budget-ms N] [--per-request-ms N]\n"
                "           [--jsonl PATH] [--max-attempts N]\n"
-               "           [--failpoints SPEC] [--trace-json PATH]\n";
+               "           [--failpoints SPEC] [--trace-json PATH]\n"
+               "           [--http-port N] [--trace-ring N]\n";
   std::exit(2);
 }
 
@@ -52,12 +63,15 @@ int main(int argc, char** argv) {
   std::string jsonl_path;
   std::string trace_path;
   std::string failpoints;
+  std::string hot_policy_name_arg = "recency";
   int tcp_port = -1;
+  int http_port = -1;
   int workers = 2;
   int per_client = 1;
   int max_attempts = 2;
   long long hot_mb = 64;
   long long hot_entries = 0;
+  long long trace_ring = 0;
   long long max_queue = 256;
   long long budget_ms = 0;
   long long per_request_ms = 0;
@@ -88,6 +102,19 @@ int main(int argc, char** argv) {
       int_flag("--tcp-port", i, 0, 65535, &value);
       tcp_port = static_cast<int>(value);
       ++i;
+    } else if (a == "--http-port") {
+      int_flag("--http-port", i, 0, 65535, &value);
+      http_port = static_cast<int>(value);
+      ++i;
+    } else if (a == "--trace-ring") {
+      int_flag("--trace-ring", i, 0, 1 << 20, &trace_ring);
+      ++i;
+    } else if (a == "--hot-policy" && i + 1 < argc) {
+      hot_policy_name_arg = argv[++i];
+      if (!parse_hot_policy(hot_policy_name_arg).has_value()) {
+        usage_error("--hot-policy expects 'recency' or 'cost-aware', got '" +
+                    hot_policy_name_arg + "'");
+      }
     } else if (a == "--workers") {
       int_flag("--workers", i, 1, 1 << 10, &value);
       workers = static_cast<int>(value);
@@ -141,6 +168,7 @@ int main(int argc, char** argv) {
       if (hot_mb > 0) {
         cache->enable_hot_tier(static_cast<std::size_t>(hot_mb) << 20,
                                static_cast<std::size_t>(hot_entries));
+        cache->set_hot_policy(*parse_hot_policy(hot_policy_name_arg));
       }
     }
     std::unique_ptr<std::ofstream> jsonl;
@@ -169,12 +197,15 @@ int main(int argc, char** argv) {
     options.max_attempts = max_attempts;
     options.jsonl = jsonl.get();
     options.external_shutdown = &global_cancel_token();
+    options.http_port = http_port;
+    options.trace_ring_entries = static_cast<std::size_t>(trace_ring);
 
     MappingServer server(std::move(options));
     server.start();
     std::cout << "tsd: serving";
     if (!socket_path.empty()) std::cout << " unix:" << socket_path;
     if (server.port() >= 0) std::cout << " tcp:127.0.0.1:" << server.port();
+    if (server.http_port() >= 0) std::cout << " http:127.0.0.1:" << server.http_port();
     std::cout << " (workers=" << workers << ")" << std::endl;
 
     server.wait();
